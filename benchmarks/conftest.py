@@ -1,0 +1,33 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper's §5 and
+writes its rendered table under ``results/`` (plus stdout with ``-s``).
+``REPRO_SCALE=quick|default|paper`` selects the experiment scale;
+benches default to ``quick`` so the whole suite finishes in minutes.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.settings import ExperimentScale
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return ExperimentScale.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as f:
+            f.write(text + "\n")
+        print(f"\n{text}\n[saved to {os.path.relpath(path)}]")
+
+    return _save

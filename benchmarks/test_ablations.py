@@ -1,0 +1,48 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_design_ablations(benchmark, scale, save_result):
+    rows = benchmark.pedantic(ablations.run, args=(scale,), rounds=1,
+                              iterations=1)
+    save_result("ablations", ablations.print_table(rows))
+
+    def cell(ablation, setting):
+        return next(
+            r for r in rows
+            if r["ablation"] == ablation and r["setting"] == setting
+        )
+
+    # §4.2.2: batching is where PACT's skew advantage comes from
+    assert (
+        cell("batching(high skew)", "on")["throughput"]
+        > cell("batching(high skew)", "off")["throughput"]
+    )
+    # §4.1.1: group commit amortizes logging
+    assert (
+        cell("group commit", "on")["throughput"]
+        >= cell("group commit", "off")["throughput"] * 0.95
+    )
+    # §4.4.3: the incomplete-AfterSet optimization reduces hybrid aborts
+    assert (
+        cell("incomplete-AS opt", "on")["abort_rate"]
+        <= cell("incomplete-AS opt", "off")["abort_rate"]
+    )
+    # §4.2.1: one coordinator must not beat the ring
+    assert (
+        cell("coordinators", "4")["throughput"]
+        >= cell("coordinators", "1")["throughput"] * 0.8
+    )
+    # §5.4.2 extension: delta-logging the Order tables shrinks the log
+    # and improves TPC-C throughput
+    full = cell("tpcc order logging", "full-state")
+    incremental = cell("tpcc order logging", "incremental")
+    assert incremental["log_bytes"] < full["log_bytes"]
+    assert incremental["throughput"] >= full["throughput"] * 0.95
+    # §4.2.2: the token cycle is the batching epoch — longer cycles make
+    # bigger batches (the latency/amortization trade-off knob)
+    assert (
+        cell("token cycle", "8ms")["batch_size"]
+        > cell("token cycle", "0.5ms")["batch_size"] * 2
+    )

@@ -1,0 +1,35 @@
+"""Extension bench — multi-server deployment (§7 future work)."""
+
+from repro.experiments import ext_multiserver
+
+
+def test_multiserver_extension(benchmark, scale, save_result):
+    rows = benchmark.pedantic(
+        ext_multiserver.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("ext_multiserver", ext_multiserver.print_table(rows))
+
+    def cell(experiment, silos, engine, placement=None):
+        for row in rows:
+            if (row["experiment"] == experiment and row["silos"] == silos
+                    and row["engine"] == engine
+                    and (placement is None or row["placement"] == placement)):
+                return row
+        raise KeyError((experiment, silos, engine, placement))
+
+    # a transaction spanning silos pays real cross-silo traffic
+    multi = cell("scale-out", 4, "pact")
+    assert multi["cross_share"] > 0.3
+    assert cell("scale-out", 1, "pact")["cross_share"] == 0.0
+    # latency grows with the deployment span for both strategies
+    for engine in ("pact", "act"):
+        assert (
+            cell("scale-out", 4, engine)["p50_ms"]
+            > cell("scale-out", 1, engine)["p50_ms"]
+        )
+    # §7's placement observation: pinning the ring to one silo removes
+    # token crossings (lower cross-silo share) — the trade-off the paper
+    # says must be explored
+    spread = cell("coordinator-placement", 4, "pact", "spread")
+    pinned = cell("coordinator-placement", 4, "pact", "0")
+    assert pinned["cross_share"] != spread["cross_share"]

@@ -1,0 +1,31 @@
+"""Fig. 11 and Fig. 18 — the experimental-setting tables."""
+
+from repro.experiments.settings import print_settings
+from repro.experiments.tables import format_table
+from repro.workloads.tpcc import TpccLayout
+
+
+def render_fig18() -> str:
+    layout = TpccLayout()
+    rows = [
+        ["Warehouse", "1 actor per warehouse", "read-only in NewOrder"],
+        ["District", "1 actor per (warehouse, district)",
+         "D_TAX read, D_NEXT_O_ID updated"],
+        ["Customer", "1 actor per warehouse", "read-only in NewOrder"],
+        ["Item", f"{layout.item_partitions} shared read-only partitions",
+         "global 100k-row table"],
+        ["Stock", f"{layout.stock_partitions} partitions per warehouse",
+         "quantities updated"],
+        ["Order/NewOrder/OrderLine",
+         f"{layout.order_partitions} partitions per warehouse",
+         "insertion-only; partition count sets skew"],
+    ]
+    return "Fig. 18 — TPC-C table-to-actor partitioning\n" + format_table(
+        ["table", "actors", "NewOrder usage"], rows
+    )
+
+
+def test_fig11_and_fig18_settings(benchmark, save_result):
+    text = benchmark(lambda: print_settings() + "\n\n" + render_fig18())
+    save_result("fig11_fig18_settings", text)
+    assert "pipeline" in text and "TPC-C" in text

@@ -1,0 +1,30 @@
+"""Fig. 12 — transaction overhead vs txnsize, relative to NT."""
+
+from repro.experiments import fig12_overhead
+
+
+def test_fig12_transaction_overhead(benchmark, scale, save_result):
+    sizes = (2, 4, 16, 64) if scale.name == "quick" else fig12_overhead.TXN_SIZES
+    rows = benchmark.pedantic(
+        fig12_overhead.run, args=(scale,), kwargs={"txn_sizes": sizes},
+        rounds=1, iterations=1,
+    )
+    save_result("fig12_overhead", fig12_overhead.print_table(rows))
+
+    by_size = {r["txn_size"]: r for r in rows}
+    smallest, largest = min(by_size), max(by_size)
+    # paper shape 1: at the smallest txnsize, CC-only PACT degrades more
+    # than CC-only ACT (PACT pays more messages per txn in tiny batches)
+    assert by_size[smallest]["pact_cc"] < by_size[smallest]["act_cc"]
+    # paper shape 2: ACT aborts explode with txnsize (~90% at 64)
+    assert by_size[largest]["act_abort_rate"] > 0.5
+    assert by_size[smallest]["act_abort_rate"] < 0.3
+    # paper shape 3: with logging, PACT >= ACT at every size
+    for row in rows:
+        assert row["pact_cc_log"] >= row["act_cc_log"] * 0.95
+    # paper shape 4: logging costs ACT relatively more than PACT
+    act_log_cost = by_size[smallest]["act_cc"] - by_size[smallest]["act_cc_log"]
+    pact_log_cost = (
+        by_size[smallest]["pact_cc"] - by_size[smallest]["pact_cc_log"]
+    )
+    assert act_log_cost > pact_log_cost

@@ -1,0 +1,32 @@
+"""Fig. 14 — throughput vs skew: PACT, ACT, OrleansTxn, deadlock-free."""
+
+from repro.experiments import fig14_skew
+
+
+def test_fig14_throughput_vs_skew(benchmark, scale, save_result):
+    rows = benchmark.pedantic(
+        fig14_skew.run, args=(scale,), rounds=1, iterations=1
+    )
+    save_result("fig14_skew", fig14_skew.print_table(rows))
+
+    by_skew = {r["skew"]: r for r in rows}
+    # paper shape 1: PACT rises (or at least holds) with skew
+    assert by_skew["very_high"]["pact_tps"] >= by_skew["uniform"]["pact_tps"] * 0.9
+    # paper shape 2: ACT and OrleansTxn fall with skew
+    assert by_skew["very_high"]["act_tps"] < by_skew["uniform"]["act_tps"]
+    assert (
+        by_skew["very_high"]["orleans_tps"]
+        < by_skew["uniform"]["orleans_tps"]
+    )
+    # paper shape 3: PACT approaches ~2x ACT under high skew
+    assert by_skew["high"]["pact_tps"] > 1.5 * by_skew["high"]["act_tps"]
+    # paper shape 4: OrleansTxn below ACT at every skew level
+    for row in rows:
+        assert row["orleans_tps"] <= row["act_tps"] * 1.1
+    # paper shape 5: deadlock-free ordering removes OrleansTxn aborts at
+    # low skew and improves its throughput
+    assert by_skew["uniform"]["orleans_df_abort"] <= 0.02
+    assert (
+        by_skew["uniform"]["orleans_df_tps"]
+        >= by_skew["uniform"]["orleans_tps"] * 0.9
+    )

@@ -1,0 +1,29 @@
+"""Fig. 15 — conflict-free latency breakdown: ACT vs OrleansTxn."""
+
+from repro.experiments import fig15_breakdown
+
+
+def test_fig15_latency_breakdown(benchmark, scale, save_result):
+    iterations = 100 if scale.name == "quick" else 400
+    rows = benchmark.pedantic(
+        fig15_breakdown.run, args=(scale,),
+        kwargs={"iterations": iterations}, rounds=1, iterations=1,
+    )
+    save_result("fig15_breakdown", fig15_breakdown.print_table(rows))
+
+    by_variant = {r["variant"]: r for r in rows}
+    # paper shape 1: for 0W+1N the two systems are close overall
+    simple = by_variant["0W+1N"]
+    assert simple["orleans_total_ms"] <= simple["act_total_ms"] * 2.5
+    # paper shape 2: serial no-op calls cost OrleansTxn more (I6)
+    chained = by_variant["0W+4N"]
+    assert chained["orleans_exec_ms"] > chained["act_exec_ms"]
+    # paper shape 3: single-writer commit is nearly free for ACT (the
+    # first actor IS the 2PC coordinator) but costs OrleansTxn a full
+    # TA round trip
+    one_writer = by_variant["1W+3N"]
+    assert one_writer["orleans_commit_ms"] > one_writer["act_commit_ms"] * 1.5
+    # paper shape 4: the commit gap persists (and grows in absolute
+    # terms) with more write participants
+    four_writers = by_variant["4W+0N"]
+    assert four_writers["orleans_commit_ms"] > four_writers["act_commit_ms"]

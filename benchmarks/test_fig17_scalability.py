@@ -1,0 +1,61 @@
+"""Fig. 17 — scalability with cores: SmallBank (17a) and TPC-C (17b)."""
+
+from repro.experiments import fig17_scalability
+
+
+def test_fig17a_smallbank_scalability(benchmark, scale, save_result):
+    cores = (4, 8, 16) if scale.name == "quick" else (4, 8, 16, 32)
+    rows = benchmark.pedantic(
+        fig17_scalability.run_smallbank_scaling, args=(scale,),
+        kwargs={"core_counts": cores}, rounds=1, iterations=1,
+    )
+    text = fig17_scalability.print_table({"smallbank": rows, "tpcc": []})
+    save_result("fig17a_smallbank_scalability", text.split("\n\n")[0])
+
+    def cell(cores_, workload):
+        return next(
+            r for r in rows
+            if r["cores"] == cores_ and r["workload"] == workload
+        )
+
+    # paper shape 1: near-linear scaling under the uniform workload
+    for engine in ("pact", "act", "hybrid"):
+        low = cell(cores[0], "uniform")[f"{engine}_tps"]
+        high = cell(cores[-1], "uniform")[f"{engine}_tps"]
+        factor = cores[-1] / cores[0]
+        assert high > low * factor * 0.5, (
+            f"{engine} scaled {high / max(low, 1):.1f}x over {factor}x cores"
+        )
+    # paper shape 2: PACT beats ACT on the hotspot (skewed) workload
+    for cores_ in cores:
+        hot = cell(cores_, "hotspot")
+        assert hot["pact_tps"] > hot["act_tps"]
+
+
+def test_fig17b_tpcc_scalability(benchmark, scale, save_result):
+    cores = (4, 8) if scale.name == "quick" else (4, 8, 16, 32)
+    rows = benchmark.pedantic(
+        fig17_scalability.run_tpcc_scaling, args=(scale,),
+        kwargs={"core_counts": cores}, rounds=1, iterations=1,
+    )
+    text = fig17_scalability.print_table({"smallbank": [], "tpcc": rows})
+    save_result("fig17b_tpcc_scalability", text.split("\n\n")[-1])
+
+    def cell(cores_, skew):
+        return next(
+            r for r in rows if r["cores"] == cores_ and r["skew"] == skew
+        )
+
+    # paper shape 1: PACT and ACT scale with cores under low skew
+    for engine in ("pact", "act"):
+        low = cell(cores[0], "low")[f"{engine}_tps"]
+        high = cell(cores[-1], "low")[f"{engine}_tps"]
+        assert high > low * 1.2
+    # paper shape 2: PACT above ACT under high skew
+    for cores_ in cores:
+        assert cell(cores_, "high")["pact_tps"] > cell(cores_, "high")["act_tps"]
+    # paper shape 3: both transactional engines land far below NT
+    # (~90% degradation; whole-state logging of insertion-only tables)
+    base = cell(cores[0], "low")
+    assert base["pact_tps"] < base["nt_tps"] * 0.5
+    assert base["act_tps"] < base["nt_tps"] * 0.5

@@ -1,0 +1,89 @@
+"""Quickstart: define a transactional actor, run PACTs and ACTs.
+
+This mirrors the paper's Figs. 1-2: an ``AccountActor`` whose state is
+its balance, a ``transfer`` that withdraws locally and deposits on
+another actor, and a client that submits the same transaction first as
+a PACT (pre-declared actor accesses) and then as an ACT.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AccessMode,
+    FuncCall,
+    SnapperSystem,
+    TransactionAbortedError,
+    TransactionalActor,
+)
+
+
+class AccountActor(TransactionalActor):
+    """One bank account per actor; the state blob is a float balance."""
+
+    def initial_state(self) -> float:
+        return 100.0
+
+    async def balance(self, ctx, _input=None) -> float:
+        return await self.get_state(ctx, AccessMode.READ)
+
+    async def deposit(self, ctx, money: float) -> float:
+        balance = await self.get_state(ctx, AccessMode.READ_WRITE)
+        self._state = balance + money
+        return self._state
+
+    async def transfer(self, ctx, txn_input) -> float:
+        """Withdraw here, deposit on the target account (Fig. 2)."""
+        money, to_account = txn_input
+        balance = await self.get_state(ctx, AccessMode.READ_WRITE)
+        if balance < money:
+            raise ValueError("balance insufficient")
+        self._state = balance - money
+        await self.call_actor(
+            ctx, self.ref("account", to_account).id, FuncCall("deposit", money)
+        )
+        return self._state
+
+
+def main() -> None:
+    system = SnapperSystem(seed=42)
+    system.register_actor("account", AccountActor)
+    system.start()
+
+    async def scenario():
+        # --- a PACT: the accessed actors and counts are pre-declared ----
+        balance = await system.submit_pact(
+            "account", "alice", "transfer", (30.0, "bob"),
+            access={"alice": 1, "bob": 1},
+        )
+        print(f"PACT transfer committed; alice's balance: {balance:.2f}")
+
+        # --- the same transaction as an ACT: no pre-declaration ---------
+        balance = await system.submit_act(
+            "account", "alice", "transfer", (20.0, "carol")
+        )
+        print(f"ACT transfer committed;  alice's balance: {balance:.2f}")
+
+        # --- user aborts roll everything back ----------------------------
+        try:
+            await system.submit_act(
+                "account", "alice", "transfer", (1_000.0, "bob")
+            )
+        except TransactionAbortedError as exc:
+            print(f"over-withdrawal aborted as expected ({exc.reason})")
+
+        for name in ("alice", "bob", "carol"):
+            balance = await system.submit_act("account", name, "balance")
+            print(f"  {name:5s}: {balance:7.2f}")
+
+    system.run(scenario())
+    stats = system.stats()
+    print(
+        f"\nsimulated {system.loop.now * 1000:.1f} ms; "
+        f"{stats['messages_sent']} messages, "
+        f"{stats['log_records']} log records, "
+        f"{stats['batches_committed']} PACT batches committed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""SmallBank MultiTransfer: PACT vs ACT vs OrleansTxn vs NT.
+
+Runs the paper's core comparison (a miniature Fig. 14 slice) on a
+uniform and a highly skewed workload and prints the throughput /
+latency / abort-rate table.
+
+Run:  python examples/smallbank_comparison.py
+"""
+
+import random
+
+from repro.experiments.tables import format_table
+from repro.workloads.distributions import make_distribution
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.smallbank import (
+    ACCOUNT_KIND,
+    NTAccountActor,
+    OrleansAccountActor,
+    SmallBankWorkload,
+    SnapperAccountActor,
+)
+
+FAMILIES = {
+    "snapper": {ACCOUNT_KIND: SnapperAccountActor},
+    "nt": {ACCOUNT_KIND: NTAccountActor},
+    "orleans": {ACCOUNT_KIND: OrleansAccountActor},
+}
+PIPELINES = {"nt": 64, "pact": 64, "act": 16, "orleans": 16}
+
+
+def run_one(engine: str, skew: str) -> dict:
+    runner = EngineRunner(engine, FAMILIES, seed=1)
+    distribution = make_distribution(skew, 2_000, runner.loop.rng)
+    workload = SmallBankWorkload(
+        distribution, txn_size=4, rng=random.Random(7)
+    )
+    result = run_epochs(
+        runner,
+        workload.next_txn,
+        num_clients=1,
+        pipeline_size=PIPELINES[engine],
+        epochs=3,
+        epoch_duration=0.4,
+        warmup_epochs=1,
+    )
+    summary = result.metrics.summary()
+    return {
+        "engine": engine,
+        "skew": skew,
+        "tps": summary["throughput"],
+        "p50_ms": summary["p50_ms"],
+        "p90_ms": summary["p90_ms"],
+        "abort": summary["abort_rate"],
+    }
+
+
+def main() -> None:
+    rows = []
+    for skew in ("uniform", "very_high"):
+        for engine in ("nt", "pact", "act", "orleans"):
+            print(f"running {engine} / {skew} ...")
+            rows.append(run_one(engine, skew))
+    print()
+    print(format_table(
+        ["engine", "skew", "tps", "p50 ms", "p90 ms", "abort%"],
+        [[r["engine"], r["skew"], r["tps"], f"{r['p50_ms']:.2f}",
+          f"{r['p90_ms']:.2f}", f"{r['abort']:.1%}"] for r in rows],
+    ))
+    print(
+        "\nThe paper's headline should be visible: PACT holds (or gains) "
+        "throughput under skew\nwhile ACT and OrleansTxn collapse, and "
+        "OrleansTxn trails ACT (§5.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

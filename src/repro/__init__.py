@@ -1,0 +1,50 @@
+"""repro -- a Python reproduction of Snapper (SIGMOD 2022).
+
+"Hybrid Deterministic and Nondeterministic Execution of Transactions in
+Actor Systems", Liu, Su, Shah, Zhou, Vaz Salles.
+
+Public surface:
+
+* :class:`SnapperSystem` / :class:`SnapperConfig` -- build a deployment.
+* :class:`TransactionalActor` -- base class for user actors (Fig. 2).
+* :class:`TxnContext`, :class:`FuncCall`, :class:`AccessMode` -- the
+  transactional API types (Table 1).
+* :mod:`repro.sim` / :mod:`repro.actors` -- the simulation kernel and the
+  Orleans-like actor runtime it all runs on.
+* :mod:`repro.baselines` -- NT and OrleansTxn-like comparators.
+* :mod:`repro.workloads` -- SmallBank, TPC-C, clients, metrics.
+* :mod:`repro.experiments` -- regenerate every figure of Section 5.
+"""
+
+from repro.core import (
+    AccessMode,
+    FuncCall,
+    SnapperConfig,
+    SnapperSystem,
+    TransactionalActor,
+    TxnContext,
+    TxnMode,
+)
+from repro.errors import (
+    AbortReason,
+    DeadlockError,
+    SerializabilityError,
+    TransactionAbortedError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AbortReason",
+    "DeadlockError",
+    "FuncCall",
+    "SerializabilityError",
+    "SnapperConfig",
+    "SnapperSystem",
+    "TransactionAbortedError",
+    "TransactionalActor",
+    "TxnContext",
+    "TxnMode",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""An Orleans-like virtual-actor runtime on the simulation kernel.
+
+This package substitutes for Orleans 3.4.3 (§2 of the paper).  It keeps
+the semantics Snapper's protocols depend on:
+
+* **Virtual actors** — actors are addressed by ``(kind, key)`` identity
+  and activated on first use; a crashed actor is transparently
+  re-activated by the next message (§2, §4.2.5).
+* **Asynchronous RPC** — method calls return futures; callers may overlap
+  invocations and ``await`` results, and exceptions propagate along the
+  call chain (§2).
+* **Nondeterministic delivery** — per-message network jitter means
+  messages can arrive out of order, which the batch scheduling logic must
+  (and does) tolerate (§4.2.2).
+* **Turn-based scheduling with opt-in reentrancy** — a non-reentrant
+  actor processes one request to completion at a time; a reentrant actor
+  interleaves requests at ``await`` points only (§2).
+
+Failure injection (``kill``/``kill_all``) models actor and silo crashes
+for the recovery protocols (§4.2.5, §4.3.4, §4.4.5).
+"""
+
+from repro.actors.ref import ActorId, ActorRef
+from repro.actors.actor import Actor
+from repro.actors.runtime import ActorRuntime, SiloConfig
+
+__all__ = ["Actor", "ActorId", "ActorRef", "ActorRuntime", "SiloConfig"]

@@ -1,0 +1,57 @@
+"""The actor base class.
+
+User actors subclass :class:`Actor`, define ``async`` methods, and are
+instantiated by the runtime on first use.  ``reentrant`` mirrors the
+Orleans attribute: Snapper marks all transactional actors reentrant so
+suspended method invocations do not block the actor (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.actors.ref import ActorId, ActorRef
+
+
+class Actor:
+    """Base class for all simulated actors.
+
+    Attributes populated by the runtime before ``on_activate`` runs:
+
+    * ``id`` — this actor's :class:`ActorId`.
+    * ``runtime`` — the owning :class:`~repro.actors.runtime.ActorRuntime`.
+    * ``incarnation`` — activation counter; bumps on every re-activation
+      after a crash, useful for fencing stale messages in tests.
+    """
+
+    #: whether turns from different requests may interleave at awaits (§2).
+    reentrant: bool = False
+
+    id: ActorId
+    runtime: "ActorRuntime"
+    incarnation: int
+
+    async def on_activate(self) -> None:
+        """Hook run before the first message of an activation is processed."""
+
+    async def on_deactivate(self) -> None:
+        """Hook run when the runtime deactivates an idle actor."""
+
+    # -- conveniences ------------------------------------------------------
+    def ref(self, kind: str, key: Any) -> ActorRef:
+        """Get a reference to another actor in the same runtime."""
+        return self.runtime.ref(kind, key)
+
+    def self_ref(self) -> ActorRef:
+        return ActorRef(self.runtime, self.id)
+
+    async def charge(self, cost: float) -> None:
+        """Consume ``cost`` seconds of CPU on this actor's silo.
+
+        Application and protocol code calls this to model compute; it is
+        how actor work contends for the hosting silo's cores.
+        """
+        await self.runtime.cpu_of(self.id).execute(cost)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {getattr(self, 'id', '?')}>"

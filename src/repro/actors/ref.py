@@ -1,0 +1,54 @@
+"""Actor identities and references.
+
+In Orleans, actors are addressed by user-defined identities and calls are
+asynchronous RPCs on strongly-typed references (§2).  Here, an
+:class:`ActorId` is a hashable ``(kind, key)`` pair and an
+:class:`ActorRef` is the callable proxy bound to a runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from repro.sim.future import Future
+
+
+@dataclass(frozen=True, order=True)
+class ActorId:
+    """Stable identity of a virtual actor: a kind plus a user key."""
+
+    kind: str
+    key: Hashable
+
+    def __str__(self) -> str:
+        return f"{self.kind}/{self.key}"
+
+
+class ActorRef:
+    """A location-transparent handle used to invoke actor methods.
+
+    ``call`` enqueues an RPC and returns a future for its result; the
+    target is activated on demand.  References are cheap and can be
+    created for actors that do not exist yet — perpetual existence is the
+    point of virtual actors.
+    """
+
+    __slots__ = ("runtime", "id")
+
+    def __init__(self, runtime: "ActorRuntime", actor_id: ActorId):
+        self.runtime = runtime
+        self.id = actor_id
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Future:
+        """Invoke ``method`` on the target actor; returns a result future."""
+        return self.runtime.send(self.id, method, args, kwargs)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ActorRef) and self.id == other.id
+
+    def __hash__(self) -> int:
+        return hash(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ActorRef {self.id}>"

@@ -1,0 +1,384 @@
+"""The actor runtime ("silo").
+
+One :class:`ActorRuntime` models one Orleans silo: a registry of actor
+kinds, a table of live activations, an ``n``-core CPU pool, and a message
+fabric with seeded random delivery jitter.  The runtime implements:
+
+* on-demand activation and (optional) idle deactivation of virtual actors;
+* turn-based scheduling, with reentrancy as an opt-in per actor class;
+* failure injection: killing an activation drops its in-memory state and
+  fails its in-flight turns; the next message re-activates it (§2, §4.2.5);
+* a ``services`` registry for the in-memory singletons the paper shares
+  across actors on a machine — the loggers (§4.1.1), and in our build the
+  commit watermark and abort controller.
+
+The cost model: every delivered invocation charges ``cpu_per_dispatch``
+on the core pool before user code runs, and the message itself takes
+``net_latency ± jitter`` of virtual time.  Everything else (state access,
+lock logic, 2PC bookkeeping) is charged explicitly by the layers above.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Tuple
+
+from repro.errors import (
+    ActorCrashedError,
+    CancelledError,
+    SimulationError,
+    UnknownActorMethodError,
+)
+from repro.actors.actor import Actor
+from repro.actors.ref import ActorId, ActorRef
+from repro.sim.future import Future
+from repro.sim.loop import SimLoop
+from repro.sim.resources import CpuPool
+from repro.sim.sync import Queue
+
+
+class SiloConfig:
+    """Tunable constants of the simulated silo.
+
+    Defaults are calibrated so that one silo core sustains on the order of
+    10k simple actor calls per second — the right ballpark for the paper's
+    3 GHz cores running Orleans RPCs (Fig. 12 shows NT around 25-90k tps on
+    4 cores depending on transaction size).
+    """
+
+    def __init__(
+        self,
+        cores: int = 4,
+        net_latency: float = 50e-6,
+        net_jitter: float = 25e-6,
+        cpu_per_dispatch: float = 20e-6,
+        cpu_per_send: float = 5e-6,
+        idle_deactivate_after: Optional[float] = None,
+        seed: int = 0,
+        num_silos: int = 1,
+        cross_silo_latency: float = 250e-6,
+        cross_silo_jitter: float = 100e-6,
+    ):
+        self.cores = cores
+        #: one-way message latency between any two actors (in-process on
+        #: the same silo: queueing plus serialization).
+        self.net_latency = net_latency
+        #: uniform jitter added per message; source of delivery reordering.
+        self.net_jitter = net_jitter
+        #: CPU charged on the receiving silo per delivered invocation.
+        self.cpu_per_dispatch = cpu_per_dispatch
+        #: CPU charged on the sender per outgoing invocation.
+        self.cpu_per_send = cpu_per_send
+        #: deactivate actors idle this long (None = keep forever).
+        self.idle_deactivate_after = idle_deactivate_after
+        self.seed = seed
+        #: multi-server deployment (§7 future work): actors are hashed
+        #: over this many silos, each with ``cores`` of its own; messages
+        #: between silos pay the cross-silo latency below.
+        self.num_silos = num_silos
+        self.cross_silo_latency = cross_silo_latency
+        self.cross_silo_jitter = cross_silo_jitter
+
+
+class _Envelope:
+    """One in-flight invocation."""
+
+    __slots__ = ("method", "args", "kwargs", "reply", "sent_at")
+
+    def __init__(self, method: str, args: tuple, kwargs: dict, reply: Future,
+                 sent_at: float):
+        self.method = method
+        self.args = args
+        self.kwargs = kwargs
+        self.reply = reply
+        self.sent_at = sent_at
+
+
+class _Activation:
+    """Runtime bookkeeping for one live actor instance."""
+
+    __slots__ = (
+        "actor", "state", "inbox", "turns_inflight", "turn_tasks",
+        "last_active_at",
+    )
+
+    ACTIVATING = "activating"
+    ACTIVE = "active"
+    DEAD = "dead"
+
+    def __init__(self, actor: Actor):
+        self.actor = actor
+        self.state = _Activation.ACTIVATING
+        self.inbox: Deque[_Envelope] = deque()
+        self.turns_inflight = 0
+        self.turn_tasks: set = set()
+        self.last_active_at = 0.0
+
+
+class ActorRuntime:
+    """A single simulated silo hosting virtual actors."""
+
+    def __init__(self, loop: SimLoop, config: Optional[SiloConfig] = None):
+        self.loop = loop
+        self.config = config or SiloConfig()
+        #: one CPU pool per silo; actors charge the pool of the silo
+        #: they are placed on (single-silo deployments have exactly one).
+        self.cpu_pools = [
+            CpuPool(self.config.cores, label=f"silo{i}.cpu")
+            for i in range(self.config.num_silos)
+        ]
+        self.cpu = self.cpu_pools[0]
+        #: optional placement override: actor_id -> silo index.  By
+        #: default actors are hashed across silos; pinning matters for
+        #: coordinator placement (§7 discusses its latency impact).
+        self.placement_overrides: Dict[ActorId, int] = {}
+        self._factories: Dict[str, Callable[..., Actor]] = {}
+        self._activations: Dict[ActorId, _Activation] = {}
+        self._incarnations: Dict[ActorId, int] = {}
+        #: in-memory singletons shared by all actors on the machine
+        #: (loggers, commit registry, ...), keyed by name.
+        self.services: Dict[str, Any] = {}
+        # message statistics for the experiment harness
+        self.messages_sent = 0
+        self.cross_silo_messages = 0
+        self.activations_created = 0
+        self._rng = loop.rng
+
+    # -- registration & refs ------------------------------------------------
+    def register(self, kind: str, factory: Callable[[], Actor]) -> None:
+        """Register an actor kind.
+
+        ``factory`` is a zero-argument callable returning a fresh actor
+        instance (typically the class itself, or ``lambda: Cls(args)``).
+        """
+        if kind in self._factories:
+            raise SimulationError(f"actor kind {kind!r} already registered")
+        self._factories[kind] = factory
+
+    def ref(self, kind: str, key: Hashable) -> ActorRef:
+        return ActorRef(self, ActorId(kind, key))
+
+    # -- placement (multi-silo, §7 future work) ----------------------------
+    def silo_of(self, actor_id: ActorId) -> int:
+        """The silo hosting ``actor_id`` (stable hash unless pinned)."""
+        if self.config.num_silos == 1:
+            return 0
+        override = self.placement_overrides.get(actor_id)
+        if override is not None:
+            return override % self.config.num_silos
+        return hash(actor_id) % self.config.num_silos
+
+    def pin_actor(self, actor_id: ActorId, silo: int) -> None:
+        """Pin an actor to a silo (placement policy knob)."""
+        self.placement_overrides[actor_id] = silo
+
+    def cpu_of(self, actor_id: ActorId) -> CpuPool:
+        return self.cpu_pools[self.silo_of(actor_id)]
+
+    def total_cpu_busy(self) -> float:
+        return sum(pool.busy_time for pool in self.cpu_pools)
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, target: ActorId, method: str, args: tuple,
+             kwargs: dict) -> Future:
+        """Send an asynchronous RPC; delivery happens after network delay."""
+        reply = Future(label=f"{target}.{method}")
+        if target.kind not in self._factories:
+            reply.set_exception(
+                SimulationError(f"unknown actor kind {target.kind!r}")
+            )
+            return reply
+        delay = self._message_delay(target)
+        envelope = _Envelope(method, args, kwargs, reply, self.loop.now)
+        self.messages_sent += 1
+        self.loop.call_later(delay, self._deliver, target, envelope)
+        return reply
+
+    def _message_delay(self, target: ActorId) -> float:
+        """One-way delay to ``target``: local silo messaging, or the
+        cross-silo network when sender and target live apart (§7)."""
+        if self.config.num_silos == 1:
+            return self.config.net_latency + self._rng.uniform(
+                0, self.config.net_jitter
+            )
+        current = self.loop.current_task
+        origin = getattr(current, "silo", None) if current else None
+        destination = self.silo_of(target)
+        if origin is not None and origin == destination:
+            return self.config.net_latency + self._rng.uniform(
+                0, self.config.net_jitter
+            )
+        # cross-silo (or external client) hop
+        self.cross_silo_messages += 1
+        return self.config.cross_silo_latency + self._rng.uniform(
+            0, self.config.cross_silo_jitter
+        )
+
+    def _deliver(self, target: ActorId, envelope: _Envelope) -> None:
+        activation = self._activations.get(target)
+        if activation is None or activation.state == _Activation.DEAD:
+            activation = self._activate(target)
+        activation.last_active_at = self.loop.now
+        activation.inbox.append(envelope)
+        self._pump(target, activation)
+
+    def _pump(self, actor_id: ActorId, activation: _Activation) -> None:
+        """Start turns from the inbox, respecting turn-based scheduling."""
+        if activation.state != _Activation.ACTIVE:
+            return  # still activating; pumped again once on_activate ends
+        actor = activation.actor
+        while activation.inbox:
+            if not actor.reentrant and activation.turns_inflight > 0:
+                return  # non-reentrant: one request at a time
+            envelope = activation.inbox.popleft()
+            activation.turns_inflight += 1
+            task = self.loop.create_task(
+                self._run_turn(actor_id, activation, envelope),
+                label=f"turn:{actor_id}.{envelope.method}",
+            )
+            task.silo = self.silo_of(actor_id)
+            activation.turn_tasks.add(task)
+            task.add_done_callback(activation.turn_tasks.discard)
+
+    async def _run_turn(self, actor_id: ActorId, activation: _Activation,
+                        envelope: _Envelope) -> None:
+        actor = activation.actor
+        incarnation = actor.incarnation
+        try:
+            await self.cpu_of(actor_id).execute(self.config.cpu_per_dispatch)
+            handler = getattr(actor, envelope.method, None)
+            if handler is None or not callable(handler):
+                raise UnknownActorMethodError(
+                    f"{actor_id} has no method {envelope.method!r}"
+                )
+            result = await handler(*envelope.args, **envelope.kwargs)
+        except GeneratorExit:  # interpreter teardown: never swallow
+            raise
+        except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+            if (isinstance(exc, CancelledError)
+                    and activation.state == _Activation.DEAD):
+                exc = ActorCrashedError(f"{actor_id} crashed mid-turn")
+            envelope.reply.try_set_exception(exc)
+        else:
+            if activation.state == _Activation.DEAD:
+                # The actor crashed while this turn was suspended: its state
+                # mutations are gone, so the caller must see a failure.
+                envelope.reply.try_set_exception(
+                    ActorCrashedError(f"{actor_id} crashed mid-turn")
+                )
+            else:
+                envelope.reply.try_set_result(result)
+        finally:
+            # A crash may have replaced the activation mid-turn; only touch
+            # the bookkeeping if this turn still belongs to the live one.
+            if activation.actor.incarnation == incarnation:
+                activation.turns_inflight -= 1
+                activation.last_active_at = self.loop.now
+                self._pump(actor_id, activation)
+
+    # -- activation lifecycle ---------------------------------------------------
+    def _activate(self, actor_id: ActorId) -> _Activation:
+        factory = self._factories.get(actor_id.kind)
+        if factory is None:
+            raise SimulationError(f"unknown actor kind {actor_id.kind!r}")
+        actor = factory()
+        actor.id = actor_id
+        actor.runtime = self
+        incarnation = self._incarnations.get(actor_id, 0) + 1
+        self._incarnations[actor_id] = incarnation
+        actor.incarnation = incarnation
+        activation = _Activation(actor)
+        self._activations[actor_id] = activation
+        self.activations_created += 1
+        self.loop.create_task(
+            self._finish_activation(actor_id, activation),
+            label=f"activate:{actor_id}",
+        )
+        if self.config.idle_deactivate_after is not None:
+            self.loop.call_later(
+                self.config.idle_deactivate_after,
+                self._maybe_deactivate, actor_id, activation,
+            )
+        return activation
+
+    async def _finish_activation(self, actor_id: ActorId,
+                                 activation: _Activation) -> None:
+        try:
+            await activation.actor.on_activate()
+        except BaseException as exc:  # noqa: BLE001 - fail queued requests
+            activation.state = _Activation.DEAD
+            self._activations.pop(actor_id, None)
+            while activation.inbox:
+                activation.inbox.popleft().reply.try_set_exception(
+                    ActorCrashedError(f"{actor_id} failed to activate: {exc!r}")
+                )
+            return
+        if activation.state == _Activation.ACTIVATING:
+            activation.state = _Activation.ACTIVE
+            self._pump(actor_id, activation)
+
+    def _maybe_deactivate(self, actor_id: ActorId,
+                          activation: _Activation) -> None:
+        idle_for = self.loop.now - activation.last_active_at
+        timeout = self.config.idle_deactivate_after
+        if self._activations.get(actor_id) is not activation:
+            return
+        if (activation.turns_inflight == 0 and not activation.inbox
+                and idle_for >= timeout):
+            self.deactivate(actor_id)
+        else:
+            self.loop.call_later(timeout, self._maybe_deactivate,
+                                 actor_id, activation)
+
+    def deactivate(self, actor_id: ActorId) -> None:
+        """Gracefully deactivate an idle actor (state is *not* recovered —
+        transactional actors persist through the WAL, not activation)."""
+        activation = self._activations.pop(actor_id, None)
+        if activation is None:
+            return
+        activation.state = _Activation.DEAD
+        self.loop.create_task(
+            activation.actor.on_deactivate(), label=f"deactivate:{actor_id}"
+        )
+
+    # -- failure injection ---------------------------------------------------
+    def kill(self, actor_id: ActorId) -> bool:
+        """Crash one actor: drop its in-memory state immediately.
+
+        In-flight turns observe the crash when they next touch the actor;
+        messages queued in its inbox fail with :class:`ActorCrashedError`.
+        Returns False when the actor was not active.
+        """
+        activation = self._activations.pop(actor_id, None)
+        if activation is None:
+            return False
+        activation.state = _Activation.DEAD
+        while activation.inbox:
+            activation.inbox.popleft().reply.try_set_exception(
+                ActorCrashedError(f"{actor_id} crashed")
+            )
+        # Turns suspended at an await never resume on a dead actor: cancel
+        # them so their callers observe the crash instead of hanging.
+        for task in list(activation.turn_tasks):
+            task.cancel(f"{actor_id} crashed")
+        return True
+
+    def kill_all(self) -> int:
+        """Crash the whole silo (every activation); returns count killed."""
+        ids = list(self._activations)
+        for actor_id in ids:
+            self.kill(actor_id)
+        return len(ids)
+
+    # -- introspection --------------------------------------------------------
+    def is_active(self, actor_id: ActorId) -> bool:
+        return actor_id in self._activations
+
+    def active_count(self) -> int:
+        return len(self._activations)
+
+    def service(self, name: str) -> Any:
+        try:
+            return self.services[name]
+        except KeyError:
+            raise SimulationError(f"no service {name!r} registered") from None

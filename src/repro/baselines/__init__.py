@@ -1,0 +1,31 @@
+"""Baselines the paper compares Snapper against (§5.1.3).
+
+* **NT** (:mod:`repro.baselines.nontransactional`) — plain actor calls
+  with no concurrency control and no logging; its throughput is the
+  upper bound for any transactional scheme on the same runtime (Fig. 12).
+* **OrleansTxn** (:mod:`repro.baselines.orleans_txn`) — a re-implementation
+  of Orleans Transactions' protocol: a TransactionAgent that assigns
+  tids and drives 2PC (with the extra Prepare round-trip of §5.2.3),
+  2PL with *early lock release* (higher concurrency, cascading aborts),
+  and timeout-based deadlock detection.  A per-operation overhead factor
+  models the implementation gap the paper measured in Fig. 15.
+
+Both expose the same ``start_txn`` / ``call_actor`` / ``get_state``
+surface as :class:`~repro.core.TransactionalActor`, so one workload
+actor class can run under all engines via mixins.
+"""
+
+from repro.baselines.nontransactional import NonTransactionalActor, NTSystem
+from repro.baselines.orleans_txn import (
+    OrleansTxnActor,
+    OrleansTxnConfig,
+    OrleansTxnSystem,
+)
+
+__all__ = [
+    "NonTransactionalActor",
+    "NTSystem",
+    "OrleansTxnActor",
+    "OrleansTxnConfig",
+    "OrleansTxnSystem",
+]

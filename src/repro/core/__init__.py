@@ -1,0 +1,45 @@
+"""Snapper: the actor transaction library (the paper's contribution).
+
+The package implements both transaction abstractions and the hybrid
+execution strategy of §3-§4:
+
+* :class:`TransactionalActor` — the base class user actors extend; it
+  provides the three-API surface of Table 1 (``start_txn``,
+  ``call_actor``, ``get_state``) and owns the per-actor machinery: the
+  hybrid local schedule, the S2PL lock table, state snapshots, 2PC
+  participation, and crash recovery.
+* :class:`CoordinatorActor` — Snapper coordinators in a token ring:
+  deterministic tid/bid assignment, epoch batching, the batch commit
+  protocol, and ACT tid-range pre-allocation.
+* :class:`SnapperSystem` — wiring facade: builds the silo, loggers,
+  commit registry, abort controller, and the coordinator ring; exposes
+  ``submit_pact`` / ``submit_act`` and failure/recovery controls.
+* :class:`SnapperConfig` — every cost constant and protocol switch
+  (ablations flip these).
+"""
+
+from repro.core.config import SnapperConfig
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    TxnContext,
+    TxnExeInfo,
+    TxnMode,
+)
+from repro.core.coordinator import CoordinatorActor
+from repro.core.registry import CommitRegistry
+from repro.core.transactional_actor import TransactionalActor
+from repro.core.system import SnapperSystem
+
+__all__ = [
+    "AccessMode",
+    "CommitRegistry",
+    "CoordinatorActor",
+    "FuncCall",
+    "SnapperConfig",
+    "SnapperSystem",
+    "TransactionalActor",
+    "TxnContext",
+    "TxnExeInfo",
+    "TxnMode",
+]

@@ -1,0 +1,106 @@
+"""Snapper configuration: protocol switches and the CC cost model.
+
+All CPU costs are in simulated seconds and are charged on the silo's
+core pool, so they contend with application work exactly like the
+library's bookkeeping contends with user code on a real silo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SnapperConfig:
+    """Tunables for the Snapper transaction library.
+
+    The defaults reproduce the paper's single-silo deployment (§5.1.2):
+    4 coordinators on a 4-core silo, logging enabled through a small
+    group of loggers, wait-die for ACT-ACT deadlocks and a timeout for
+    hybrid PACT-ACT deadlocks.
+    """
+
+    def __init__(
+        self,
+        num_coordinators: int = 4,
+        act_tid_range: int = 64,
+        token_cycle_time: float = 2e-3,
+        # -- logging ------------------------------------------------------
+        logging_enabled: bool = True,
+        num_loggers: int = 4,
+        io_base_latency: float = 125e-6,
+        io_per_byte: float = 5e-9,
+        group_commit: bool = True,
+        # -- CC cost model (CPU seconds per operation) ---------------------
+        cpu_txn_setup: float = 10e-6,
+        cpu_state_access: float = 5e-6,
+        cpu_lock_op: float = 5e-6,
+        cpu_schedule_op: float = 3e-6,
+        cpu_commit_op: float = 10e-6,
+        # -- deadlock handling -----------------------------------------------
+        deadlock_timeout: float = 0.05,
+        wait_die: bool = True,
+        # -- ablation switches -------------------------------------------------
+        batching_enabled: bool = True,
+        incomplete_after_set_optimization: bool = True,
+        # -- recovery ---------------------------------------------------------
+        batch_complete_timeout: Optional[float] = 1.0,
+        log_dir: Optional[str] = None,
+    ):
+        if num_coordinators < 1:
+            raise ValueError("need at least one coordinator")
+        if act_tid_range < 1:
+            raise ValueError("ACT tid range must be >= 1")
+        self.num_coordinators = num_coordinators
+        #: target duration of one full token circulation (§4.2.2): each
+        #: coordinator holds the token for cycle/num_coordinators while
+        #: it performs its other duties.  The cycle sets the batching
+        #: epoch — PACTs accumulated during one cycle form one batch —
+        #: and thus trades PACT latency for amortization.
+        self.token_cycle_time = token_cycle_time
+        #: contiguous tids pre-allocated for ACTs at each token visit (§4.3.1).
+        self.act_tid_range = act_tid_range
+
+        self.logging_enabled = logging_enabled
+        self.num_loggers = num_loggers
+        self.io_base_latency = io_base_latency
+        self.io_per_byte = io_per_byte
+        self.group_commit = group_commit
+
+        #: coordinator work to register a transaction and build contexts.
+        self.cpu_txn_setup = cpu_txn_setup
+        #: GetState body: copy/refcount handling of the state blob.
+        self.cpu_state_access = cpu_state_access
+        #: one lock-table operation (acquire attempt or release).
+        self.cpu_lock_op = cpu_lock_op
+        #: one local-schedule operation (admit, advance, append).
+        self.cpu_schedule_op = cpu_schedule_op
+        #: per-transaction commit bookkeeping on coordinators/actors.
+        self.cpu_commit_op = cpu_commit_op
+
+        #: time an ACT may block (admission or lock wait) before it is
+        #: presumed deadlocked and aborted (§4.4.2).
+        self.deadlock_timeout = deadlock_timeout
+        #: use wait-die between ACTs (§4.3.2); False = timeout only,
+        #: which is what Orleans Transactions does.
+        self.wait_die = wait_die
+
+        #: deliver sub-batches as one message per batch (True, §4.2.2) or
+        #: one message per transaction (False; ablation).
+        self.batching_enabled = batching_enabled
+        #: pass the serializability check when the AfterSet is incomplete
+        #: but every BeforeSet batch has committed (§4.4.3).
+        self.incomplete_after_set_optimization = incomplete_after_set_optimization
+
+        #: how long a coordinator waits for BatchComplete votes before
+        #: presuming a participant failed and aborting the batch.
+        self.batch_complete_timeout = batch_complete_timeout
+
+        #: directory for file-backed WALs (None keeps them in memory,
+        #: which still survives simulated crashes — the WAL object *is*
+        #: the durable device).  Set a path to survive process restarts.
+        self.log_dir = log_dir
+
+        #: multi-silo coordinator placement (§7 future work): "spread"
+        #: round-robins the ring across silos; an integer pins the whole
+        #: ring to that silo.  Ignored in single-silo deployments.
+        self.coordinator_placement = "spread"

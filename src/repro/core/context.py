@@ -1,0 +1,154 @@
+"""Transaction contexts and the data passed along actor calls (Fig. 5).
+
+``TxnContext`` is the read-only context Snapper generates when a
+transaction is registered; it rides along every ``call_actor`` /
+``get_state`` call (§3.2.2).  ``TxnExeInfo`` is the execution information
+accumulated on each actor and propagated back up the call chain inside
+``ResultObj`` — for ACTs it carries the participant set and the
+BeforeSet/AfterSet evidence the hybrid serializability check needs
+(§4.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.actors.ref import ActorId
+
+
+class TxnMode:
+    """Transaction modes (§3.1)."""
+
+    PACT = "PACT"
+    ACT = "ACT"
+
+
+class AccessMode:
+    """State access modes for ``get_state`` (§3.2.2)."""
+
+    READ = "Read"
+    READ_WRITE = "ReadWrite"
+
+
+@dataclass(frozen=True)
+class TxnContext:
+    """Read-only context identifying one transaction.
+
+    ``tid`` orders transactions globally; for PACTs ``bid`` is the batch
+    the transaction belongs to, assigned by the coordinators.
+    """
+
+    tid: int
+    mode: str
+    start_actor: ActorId
+    coordinator_key: int
+    bid: Optional[int] = None
+
+    @property
+    def is_pact(self) -> bool:
+        return self.mode == TxnMode.PACT
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A named method invocation with its input (§3.2.2, Fig. 2)."""
+
+    method: str
+    func_input: Any = None
+
+
+@dataclass
+class TxnExeInfo:
+    """Execution info accumulated per ACT and merged up the call chain.
+
+    * ``participants`` — every actor accessed under the transaction.
+    * ``writers`` — the subset that acquired a write lock.
+    * ``max_bs`` — max bid over the BeforeSet evidence observed so far.
+    * ``min_as`` — min bid over the AfterSet evidence observed so far.
+    * ``as_incomplete_on`` — actors where no following batch was found,
+      leaving the AfterSet incomplete there (§4.4.3).
+    """
+
+    participants: Set[ActorId] = field(default_factory=set)
+    writers: Set[ActorId] = field(default_factory=set)
+    max_bs: Optional[int] = None
+    min_as: Optional[int] = None
+    as_incomplete_on: Set[ActorId] = field(default_factory=set)
+    #: actors a call was *sent* to (superset of participants); the abort
+    #: path notifies these so in-flight invocations cannot leak locks.
+    attempted: Set[ActorId] = field(default_factory=set)
+
+    def merge(self, other: "TxnExeInfo") -> None:
+        """Fold a callee's execution info into this accumulation."""
+        self.participants |= other.participants
+        self.writers |= other.writers
+        self.max_bs = _max_opt(self.max_bs, other.max_bs)
+        self.min_as = _min_opt(self.min_as, other.min_as)
+        self.as_incomplete_on |= other.as_incomplete_on
+        self.attempted |= other.attempted
+
+    def observe_before(self, bid: Optional[int]) -> None:
+        self.max_bs = _max_opt(self.max_bs, bid)
+
+    def observe_after(self, actor: ActorId, bid: Optional[int]) -> None:
+        if bid is None:
+            self.as_incomplete_on.add(actor)
+        else:
+            self.min_as = _min_opt(self.min_as, bid)
+
+    @property
+    def after_set_complete(self) -> bool:
+        return not self.as_incomplete_on
+
+    def snapshot(self) -> "TxnExeInfo":
+        return TxnExeInfo(
+            participants=set(self.participants),
+            writers=set(self.writers),
+            max_bs=self.max_bs,
+            min_as=self.min_as,
+            as_incomplete_on=set(self.as_incomplete_on),
+            attempted=set(self.attempted),
+        )
+
+
+@dataclass
+class ResultObj:
+    """What a callee returns to its caller: result plus execution info."""
+
+    result: Any
+    exe_info: Optional[TxnExeInfo] = None
+
+
+@dataclass(frozen=True)
+class SubBatch:
+    """The per-actor slice of a batch (Fig. 4), sent as one BatchMsg.
+
+    ``plans`` maps each tid in this sub-batch to the declared number of
+    accesses on the target actor; tids execute in ascending order.
+    """
+
+    bid: int
+    prev_bid: Optional[int]
+    coordinator_key: int
+    plans: Tuple[Tuple[int, int], ...]  # ((tid, access_count), ...) ascending
+
+    @property
+    def tids(self) -> Tuple[int, ...]:
+        return tuple(tid for tid, _count in self.plans)
+
+
+def _max_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_opt(a: Optional[int], b: Optional[int]) -> Optional[int]:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

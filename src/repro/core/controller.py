@@ -1,0 +1,89 @@
+"""The cascading-abort controller (§4.2.4).
+
+When a PACT throws, the batch it belongs to must abort — and because
+batches execute speculatively (§4.2.3), every batch that may have read
+its writes must abort too.  The paper deliberately avoids tracking exact
+dependencies: Snapper *stops emitting new batches* and *aborts every
+uncommitted batch in the system*, then resumes.  This controller is the
+per-silo singleton that runs that procedure:
+
+1. bump the abort generation (in-flight ACTs started under the old
+   generation are doomed — they may have read speculative state);
+2. pause batch emission on all coordinators;
+3. mark every uncommitted batch aborted in the commit registry (which
+   unblocks coordinators waiting to commit them, with an error);
+4. tell every participating actor to roll back to its last committed
+   state and drop its uncommitted schedule;
+5. resume emission.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.actors.ref import ActorId
+from repro.core.registry import CommitRegistry
+from repro.sim.loop import gather, spawn
+from repro.sim.sync import Condition
+
+
+class AbortController:
+    """Coordinates system-wide cascading aborts of PACT batches."""
+
+    def __init__(self, registry: CommitRegistry):
+        self.registry = registry
+        #: generation counter; ACTs snapshot it at start and abort if it
+        #: moved by commit time (they may have observed rolled-back state).
+        self.generation = 0
+        self._aborting = False
+        self._emission_paused = False
+        self._resumed = Condition(label="abort-controller")
+        #: set by SnapperSystem after wiring: callable(actor_id) -> ActorRef.
+        self.actor_ref = None
+        self.cascades = 0
+
+    @property
+    def emission_paused(self) -> bool:
+        return self._emission_paused
+
+    def report_pact_failure(self, bid: int, error: BaseException) -> None:
+        """Entry point for actors that caught a PACT exception.
+
+        Fire-and-forget: spawns the cascade unless one is in progress or
+        the batch is already resolved.
+        """
+        if self._aborting:
+            return
+        info = self.registry.batch(bid)
+        if info is None or info.status != info.EMITTED:
+            return
+        spawn(self._cascade(), label="cascading-abort")
+
+    async def _cascade(self) -> None:
+        if self._aborting:
+            return
+        self._aborting = True
+        self._emission_paused = True
+        self.generation += 1
+        self.cascades += 1
+        try:
+            doomed = self.registry.uncommitted_batches()
+            participants: Set[ActorId] = set()
+            for batch in doomed:
+                participants.update(batch.participants)
+            for batch in doomed:
+                self.registry.mark_aborted(batch.bid)
+            if participants and self.actor_ref is not None:
+                await gather(
+                    *[
+                        self.actor_ref(actor).call("rollback_uncommitted")
+                        for actor in sorted(participants)
+                    ]
+                )
+        finally:
+            self._aborting = False
+            self._emission_paused = False
+            self._resumed.notify_all()
+
+    async def wait_resumed(self) -> None:
+        await self._resumed.wait_until(lambda: not self._emission_paused)

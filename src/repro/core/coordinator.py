@@ -1,0 +1,302 @@
+"""Snapper coordinator actors and the token ring (§4.1.1, §4.2).
+
+Coordinators assign transaction IDs and drive the PACT batch protocol:
+
+* **Token ring ordering** (§4.2.1): coordinators form a logical ring and
+  circulate a token carrying ``last_tid``, the per-actor ``prev_bid``
+  map, and the global batch chain tail.  A coordinator accumulates PACT
+  requests while waiting; on token receipt it assigns their tids (the
+  first becomes the ``bid``), builds one sub-batch per accessed actor,
+  updates the token, and forwards it *immediately* — logging and batch
+  emission happen after the token has moved on.
+* **ACT tid ranges** (§4.3.1): on each token visit a coordinator tops up
+  a pool of contiguous tids so ACTs get ids without waiting.
+* **Batch commit** (§4.2.4): BatchComplete votes are collected here; the
+  batch commits once every participant voted *and* all earlier batches
+  committed (enforced through the commit registry), then BatchCommit
+  messages fan out.  A vote timeout triggers the cascading abort path,
+  covering participant failures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from collections import deque
+
+from repro.actors.actor import Actor
+from repro.actors.ref import ActorId, ActorRef
+from repro.errors import TransactionAbortedError
+from repro.core.config import SnapperConfig
+from repro.core.context import SubBatch, TxnContext, TxnMode
+from repro.persistence.records import BatchCommitRecord, BatchInfoRecord
+from repro.sim.future import Future
+from repro.sim.loop import current_loop, spawn
+
+
+class Token:
+    """The state circulated around the coordinator ring (§4.2.1)."""
+
+    __slots__ = ("last_tid", "prev_bids", "last_emitted_bid", "epoch")
+
+    def __init__(self, epoch: int = 0):
+        #: the latest transaction id handed out (PACT or ACT range).
+        self.last_tid = -1
+        #: per-actor bid of the last batch that accessed it (pruned once
+        #: that batch commits, §4.2.2).
+        self.prev_bids: Dict[ActorId, int] = {}
+        #: bid of the most recently created batch (global chain tail).
+        self.last_emitted_bid: Optional[int] = None
+        #: fencing epoch: a token from before a crash must not resume
+        #: circulating next to the re-initiated one (§4.2.5).
+        self.epoch = epoch
+
+
+class _PendingPact:
+    __slots__ = ("start_actor", "access", "reply")
+
+    def __init__(self, start_actor: ActorId, access: Dict[ActorId, int]):
+        self.start_actor = start_actor
+        self.access = access
+        self.reply: Future = Future(label="pact-ctx")
+
+
+class _PendingBatch:
+    __slots__ = ("bid", "participants", "votes", "emitted_at", "committing")
+
+    def __init__(self, bid: int, participants: Tuple[ActorId, ...],
+                 emitted_at: float):
+        self.bid = bid
+        self.participants = participants
+        self.votes: Set[ActorId] = set()
+        self.emitted_at = emitted_at
+        self.committing = False
+
+
+class CoordinatorActor(Actor):
+    """One member of the coordinator ring."""
+
+    reentrant = True
+
+    def __init__(self):
+        self._pending_pacts: List[_PendingPact] = []
+        self._act_tid_pool: Deque[int] = deque()
+        self._act_waiters: Deque[Future] = deque()
+        self._pending_batches: Dict[int, _PendingBatch] = {}
+        # statistics
+        self.batches_emitted = 0
+        self.pacts_scheduled = 0
+        self.acts_registered = 0
+
+    async def on_activate(self) -> None:
+        #: the coordinator's position in the ring is its actor key.
+        self.key: int = self.id.key
+        self._config: SnapperConfig = self.runtime.service("snapper_config")
+        self.num_coordinators = self._config.num_coordinators
+        self._loggers = self.runtime.service("loggers")
+        self._registry = self.runtime.service("registry")
+        self._controller = self.runtime.service("abort_controller")
+
+    # -- client-facing registration ----------------------------------------
+    async def new_pact(
+        self, start_actor: ActorId, access: Dict[ActorId, int]
+    ) -> TxnContext:
+        """Register a PACT; replies with its context once the batch that
+        contains it is formed (at the next token visit)."""
+        await self.charge(self._config.cpu_txn_setup)
+        pending = _PendingPact(start_actor, access)
+        self._pending_pacts.append(pending)
+        self.pacts_scheduled += 1
+        return await pending.reply
+
+    async def new_act(self, start_actor: ActorId) -> TxnContext:
+        """Register an ACT; tids come from the pre-allocated range so the
+        reply is immediate (§4.3.1)."""
+        await self.charge(self._config.cpu_txn_setup)
+        self.acts_registered += 1
+        if self._act_tid_pool and not self._act_waiters:
+            tid = self._act_tid_pool.popleft()
+        else:
+            # pool exhausted: the next token visit refills it and hands
+            # tids to waiters directly, in FIFO order
+            waiter = Future(label="act-tid")
+            self._act_waiters.append(waiter)
+            tid = await waiter
+        return TxnContext(
+            tid=tid,
+            mode=TxnMode.ACT,
+            start_actor=start_actor,
+            coordinator_key=self.key,
+        )
+
+    # -- the token ring ------------------------------------------------------
+    async def receive_token(self, token: Token) -> None:
+        """Handle a token visit: allot ACT tids, form a batch, pass on."""
+        if not self.runtime.service("token_active")():
+            return  # system shut down (or crashed): the token dies here
+        if token.epoch != self.runtime.service("token_epoch")():
+            return  # a stale pre-crash token: fence it off (§4.2.5)
+        self._refill_act_pool(token)
+        batches = []
+        if self._pending_pacts and not self._controller.emission_paused:
+            pacts, self._pending_pacts = self._pending_pacts, []
+            if self._config.batching_enabled:
+                groups = [pacts]
+            else:
+                # ablation (§4.2.2): one batch — hence one message per
+                # accessed actor — per transaction.
+                groups = [[p] for p in pacts]
+            batches = [self._form_batch(token, group) for group in groups]
+        # Hold the token for this coordinator's share of the cycle (the
+        # batching epoch, §4.2.2), then forward it — emission and logging
+        # proceed while the token travels on (§4.2.1).
+        hold = self._config.token_cycle_time / self.num_coordinators
+        next_key = (self.key + 1) % self.num_coordinators
+        if hold > 0:
+            current_loop().call_later(
+                hold,
+                lambda: self.runtime.service("coordinator_by_key")(
+                    next_key
+                ).call("receive_token", token),
+            )
+        else:
+            self.runtime.service("coordinator_by_key")(next_key).call(
+                "receive_token", token
+            )
+        for batch_work in batches:
+            await self._emit_batch(*batch_work)
+
+    def _refill_act_pool(self, token: Token) -> None:
+        if (not self._act_waiters
+                and len(self._act_tid_pool) >= self._config.act_tid_range // 2):
+            return
+        start = token.last_tid + 1
+        token.last_tid += self._config.act_tid_range
+        self._act_tid_pool.extend(range(start, token.last_tid + 1))
+        while self._act_waiters and self._act_tid_pool:
+            waiter = self._act_waiters.popleft()
+            tid = self._act_tid_pool.popleft()
+            if not waiter.try_set_result(tid):
+                self._act_tid_pool.appendleft(tid)  # waiter abandoned
+
+    def _form_batch(self, token: Token, pacts: List[_PendingPact]):
+        """Assign tids to a group of PACTs and slice them into per-actor
+        sub-batches (Fig. 4a).  Runs while holding the token."""
+        contexts: List[Tuple[_PendingPact, TxnContext]] = []
+        bid = token.last_tid + 1
+        per_actor: Dict[ActorId, List[Tuple[int, int]]] = {}
+        for pending in pacts:
+            token.last_tid += 1
+            tid = token.last_tid
+            contexts.append(
+                (
+                    pending,
+                    TxnContext(
+                        tid=tid,
+                        mode=TxnMode.PACT,
+                        start_actor=pending.start_actor,
+                        coordinator_key=self.key,
+                        bid=bid,
+                    ),
+                )
+            )
+            for actor, count in pending.access.items():
+                per_actor.setdefault(actor, []).append((tid, count))
+        def live_prev(actor: ActorId) -> Optional[int]:
+            # A prev_bid pointing at a batch killed by a cascading abort
+            # must be dropped: that batch will never complete (§4.2.4).
+            prev = token.prev_bids.get(actor)
+            if prev is not None and self._registry.is_aborted(prev):
+                return None
+            return prev
+
+        sub_batches = {
+            actor: SubBatch(
+                bid=bid,
+                prev_bid=live_prev(actor),
+                coordinator_key=self.key,
+                plans=tuple(sorted(plans)),
+            )
+            for actor, plans in per_actor.items()
+        }
+        participants = tuple(sorted(per_actor))
+        for actor in participants:
+            token.prev_bids[actor] = bid
+        token.last_emitted_bid = bid
+        self._registry.register_batch(bid, self.key, participants)
+        # prune prev_bids of resolved (committed or aborted) batches (§4.2.2)
+        for actor in [
+            a for a, b in token.prev_bids.items()
+            if self._registry.is_committed(b) or self._registry.is_aborted(b)
+        ]:
+            del token.prev_bids[actor]
+        return bid, participants, sub_batches, contexts
+
+    async def _emit_batch(
+        self,
+        bid: int,
+        participants: Tuple[ActorId, ...],
+        sub_batches: Dict[ActorId, SubBatch],
+        contexts: List[Tuple[_PendingPact, TxnContext]],
+    ) -> None:
+        """Persist BatchInfo, send BatchMsgs, release client contexts."""
+        await self._loggers.persist(
+            self.id,
+            BatchInfoRecord(bid=bid, coordinator=self.key,
+                            participants=participants),
+        )
+        self.batches_emitted += 1
+        self._pending_batches[bid] = _PendingBatch(
+            bid, participants, current_loop().now
+        )
+        actor_ref = self.runtime.service("actor_ref")
+        for actor, sub_batch in sub_batches.items():
+            actor_ref(actor).call("receive_batch", sub_batch)
+        for pending, ctx in contexts:
+            pending.reply.try_set_result(ctx)
+        if self._config.batch_complete_timeout is not None:
+            current_loop().call_later(
+                self._config.batch_complete_timeout,
+                self._check_batch_timeout, bid,
+            )
+
+    def _check_batch_timeout(self, bid: int) -> None:
+        pending = self._pending_batches.get(bid)
+        if pending is None:
+            return  # already committed or aborted
+        # A participant failed to vote in time (likely crashed): abort.
+        self._controller.report_pact_failure(
+            bid,
+            TransactionAbortedError(
+                f"batch {bid} missed votes from "
+                f"{set(pending.participants) - pending.votes}",
+                "failure",
+            ),
+        )
+        self._pending_batches.pop(bid, None)
+
+    # -- batch commit (§4.2.4) -------------------------------------------------
+    async def batch_complete(self, bid: int, actor: ActorId) -> None:
+        """A participant finished its sub-batch and voted to commit."""
+        pending = self._pending_batches.get(bid)
+        if pending is None:
+            return  # aborted meanwhile (stale vote)
+        pending.votes.add(actor)
+        if not pending.committing and pending.votes >= set(pending.participants):
+            pending.committing = True
+            spawn(self._commit_batch(pending), label=f"commit-batch:{bid}")
+
+    async def _commit_batch(self, pending: _PendingBatch) -> None:
+        await self.charge(self._config.cpu_commit_op)
+        try:
+            await self._registry.wait_turn_to_commit(pending.bid)
+        except TransactionAbortedError:
+            self._pending_batches.pop(pending.bid, None)
+            return  # cascading abort took this batch down
+        if self._pending_batches.pop(pending.bid, None) is None:
+            return
+        await self._loggers.persist(self.id, BatchCommitRecord(bid=pending.bid))
+        self._registry.mark_committed(pending.bid)
+        actor_ref = self.runtime.service("actor_ref")
+        for actor in pending.participants:
+            actor_ref(actor).call("batch_committed", pending.bid)

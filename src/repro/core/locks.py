@@ -1,0 +1,171 @@
+"""Per-actor S2PL lock table with wait-die deadlock avoidance (§4.3.2).
+
+Actor state is a single value blob (§5.4.2), so each transactional actor
+has exactly one read/write lock.  ACTs acquire it through ``get_state``
+and hold it until the second phase of 2PC (strict two-phase locking).
+
+Wait-die (§4.3.2): an older requester (smaller tid) is allowed to wait
+for a younger holder; a younger requester dies immediately.  This keeps
+ACT-ACT deadlocks impossible while letting the hybrid layer use timeouts
+only for PACT-ACT cycles.  ``wait_die=False`` switches to pure timeout
+waiting, which is what the OrleansTxn baseline uses.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Set
+
+from repro.errors import AbortReason, DeadlockError, SimulationError
+from repro.core.context import AccessMode
+from repro.sim.future import Future
+from repro.sim.loop import current_loop
+
+
+class _Request:
+    __slots__ = ("tid", "mode", "future")
+
+    def __init__(self, tid: int, mode: str):
+        self.tid = tid
+        self.mode = mode
+        self.future: Future = Future(label=f"lock:{tid}:{mode}")
+
+
+class ActorLock:
+    """One read/write lock guarding an actor's state blob."""
+
+    def __init__(self, wait_die: bool = True, label: str = "actor"):
+        self.wait_die = wait_die
+        self.label = label
+        self._holders: Dict[int, str] = {}  # tid -> mode held
+        self._queue: Deque[_Request] = deque()
+        # statistics for the experiment harness
+        self.wait_die_aborts = 0
+        self.timeout_aborts = 0
+
+    # -- queries -----------------------------------------------------------
+    def held_by(self, tid: int) -> Optional[str]:
+        return self._holders.get(tid)
+
+    @property
+    def holders(self) -> Set[int]:
+        return set(self._holders)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _compatible(self, tid: int, mode: str) -> bool:
+        """Can ``tid`` acquire ``mode`` given current holders?"""
+        others = {t: m for t, m in self._holders.items() if t != tid}
+        if not others:
+            return True
+        if mode == AccessMode.READ:
+            return all(m == AccessMode.READ for m in others.values())
+        return False  # write needs exclusivity over other holders
+
+    # -- acquire/release -----------------------------------------------------
+    async def acquire(self, tid: int, mode: str,
+                      timeout: Optional[float] = None) -> None:
+        """Acquire (or upgrade to) ``mode`` for transaction ``tid``.
+
+        Raises :class:`DeadlockError` when wait-die kills the requester
+        or the timeout expires.
+        """
+        if mode not in (AccessMode.READ, AccessMode.READ_WRITE):
+            raise SimulationError(f"bad lock mode {mode!r}")
+        held = self._holders.get(tid)
+        if held == AccessMode.READ_WRITE or held == mode:
+            return  # re-entrant / already sufficient
+        if self._compatible(tid, mode) and not self._blocked_by_queue(tid, mode):
+            self._holders[tid] = mode
+            self._enforce_wait_die()
+            return
+        if self.wait_die and any(t < tid for t in self._holders if t != tid):
+            # A younger transaction never waits for an older holder: die.
+            self.wait_die_aborts += 1
+            raise DeadlockError(
+                f"{self.label}: txn {tid} died (wait-die) waiting for "
+                f"{sorted(self._holders)}",
+                AbortReason.ACT_CONFLICT,
+            )
+        request = _Request(tid, mode)
+        self._queue.append(request)
+        if timeout is None:
+            await request.future
+            return
+        timer = current_loop().sleep(timeout)
+        race = Future(label=f"lockrace:{tid}")
+        request.future.add_done_callback(
+            lambda f: race.try_set_result("granted")
+        )
+        timer.add_done_callback(lambda f: race.try_set_result("timeout"))
+        winner = await race
+        if winner == "timeout" and not request.future.done():
+            self._queue.remove(request)
+            self.timeout_aborts += 1
+            raise DeadlockError(
+                f"{self.label}: txn {tid} timed out waiting for lock",
+                AbortReason.HYBRID_DEADLOCK,
+            )
+        await request.future  # surfaces grant (or a cancellation)
+
+    def _blocked_by_queue(self, tid: int, mode: str) -> bool:
+        """FIFO fairness: a read cannot jump over a queued write, except
+        that lock *upgrades* by existing holders bypass the queue."""
+        if tid in self._holders:
+            return False
+        return bool(self._queue)
+
+    def release(self, tid: int) -> None:
+        """Release ``tid``'s lock and grant to queued compatible waiters."""
+        self._holders.pop(tid, None)
+        self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        granted = True
+        while granted and self._queue:
+            granted = False
+            head = self._queue[0]
+            if head.future.done():  # abandoned (timed out / cancelled)
+                self._queue.popleft()
+                granted = True
+                continue
+            if self._compatible(head.tid, head.mode):
+                self._queue.popleft()
+                self._holders[head.tid] = head.mode
+                head.future.try_set_result(None)
+                granted = True
+        self._enforce_wait_die()
+
+    def _enforce_wait_die(self) -> None:
+        """Wait-die invariant: nobody may *wait* for an older holder.
+
+        Checked whenever the holder set changes — a queued request that
+        arrived while the (younger) previous holder was active can find
+        itself behind an older one after a grant, and must die then."""
+        if not self.wait_die or not self._queue or not self._holders:
+            return
+        oldest_holder = min(self._holders)
+        victims = [r for r in self._queue
+                   if r.tid > oldest_holder and not r.future.done()]
+        for request in victims:
+            self._queue.remove(request)
+            self.wait_die_aborts += 1
+            request.future.try_set_exception(
+                DeadlockError(
+                    f"{self.label}: txn {request.tid} died (wait-die) "
+                    f"waiting behind older holder {oldest_holder}",
+                    AbortReason.ACT_CONFLICT,
+                )
+            )
+
+    def abort_waiter(self, tid: int, reason: str, message: str = "") -> None:
+        """Fail a queued request for ``tid`` (cascading abort path)."""
+        for request in list(self._queue):
+            if request.tid == tid and not request.future.done():
+                self._queue.remove(request)
+                request.future.try_set_exception(
+                    DeadlockError(message or f"txn {tid} evicted", reason)
+                )
+        self._drain_queue()

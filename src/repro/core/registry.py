@@ -1,0 +1,145 @@
+"""Commit registry: the global batch chain and commit watermark.
+
+Snapper forces batches to commit in ``bid`` order (§4.2.4): a batch
+logically depends on every batch with a smaller bid, so the commit state
+of the whole system is summarized by a single watermark.  Coordinators
+register every batch at creation time (they hold the token then, so
+registration order equals bid order), wait for their batch to reach the
+head of the uncommitted chain before committing it, and ACTs under
+hybrid execution wait on the watermark before their 2PC (§4.4.4).
+
+The registry is an in-memory per-silo singleton, like the paper's logger
+objects (§4.1.1); it is rebuilt from the WAL on recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.actors.ref import ActorId
+from repro.errors import SimulationError, TransactionAbortedError, AbortReason
+from repro.sim.sync import Condition
+
+
+class BatchInfo:
+    """Registry entry for one emitted batch."""
+
+    __slots__ = ("bid", "coordinator_key", "participants", "status")
+
+    EMITTED = "emitted"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    def __init__(self, bid: int, coordinator_key: int,
+                 participants: Tuple[ActorId, ...]):
+        self.bid = bid
+        self.coordinator_key = coordinator_key
+        self.participants = participants
+        self.status = BatchInfo.EMITTED
+
+
+class CommitRegistry:
+    """Tracks emitted batches, enforces bid-order commit, exposes the
+    commit watermark used by the hybrid serializability check."""
+
+    def __init__(self):
+        self._batches: Dict[int, BatchInfo] = {}
+        self._chain: List[int] = []  # uncommitted bids, ascending
+        self.last_committed_bid: int = -1
+        self._changed = Condition(label="registry")
+        self.batches_committed = 0
+        self.batches_aborted = 0
+
+    # -- batch lifecycle -------------------------------------------------
+    def register_batch(self, bid: int, coordinator_key: int,
+                       participants: Tuple[ActorId, ...]) -> None:
+        if self._chain and bid <= self._chain[-1]:
+            raise SimulationError(
+                f"batch {bid} registered out of order (tail {self._chain[-1]})"
+            )
+        if bid <= self.last_committed_bid:
+            raise SimulationError(f"batch {bid} below watermark")
+        self._batches[bid] = BatchInfo(bid, coordinator_key, participants)
+        self._chain.append(bid)
+
+    async def wait_turn_to_commit(self, bid: int) -> None:
+        """Block until ``bid`` is the oldest uncommitted batch (§4.2.4).
+
+        Raises if the batch was aborted by a cascading abort meanwhile.
+        """
+        def at_head() -> bool:
+            info = self._batches.get(bid)
+            if info is None or info.status == BatchInfo.ABORTED:
+                return True  # unblock; the raise below reports the abort
+            return bool(self._chain) and self._chain[0] == bid
+        await self._changed.wait_until(at_head)
+        info = self._batches.get(bid)
+        if info is None or info.status == BatchInfo.ABORTED:
+            raise TransactionAbortedError(
+                f"batch {bid} aborted before commit", AbortReason.CASCADING
+            )
+
+    def mark_committed(self, bid: int) -> None:
+        info = self._batches.get(bid)
+        if info is None:
+            raise SimulationError(f"unknown batch {bid}")
+        if not self._chain or self._chain[0] != bid:
+            raise SimulationError(
+                f"batch {bid} committed out of bid order (head "
+                f"{self._chain[0] if self._chain else None})"
+            )
+        self._chain.pop(0)
+        info.status = BatchInfo.COMMITTED
+        self.last_committed_bid = bid
+        self.batches_committed += 1
+        self._changed.notify_all()
+
+    def mark_aborted(self, bid: int) -> None:
+        info = self._batches.get(bid)
+        if info is None or info.status != BatchInfo.EMITTED:
+            return
+        info.status = BatchInfo.ABORTED
+        self._chain.remove(bid)
+        self.batches_aborted += 1
+        self._changed.notify_all()
+
+    # -- queries -----------------------------------------------------------
+    def is_committed(self, bid: int) -> bool:
+        info = self._batches.get(bid)
+        if info is not None:
+            return info.status == BatchInfo.COMMITTED
+        # Batches below the watermark may have been garbage collected.
+        return bid <= self.last_committed_bid
+
+    def is_aborted(self, bid: int) -> bool:
+        info = self._batches.get(bid)
+        return info is not None and info.status == BatchInfo.ABORTED
+
+    def uncommitted_batches(self) -> List[BatchInfo]:
+        return [self._batches[bid] for bid in self._chain]
+
+    def batch(self, bid: int) -> Optional[BatchInfo]:
+        return self._batches.get(bid)
+
+    # -- waiting (ACT side, §4.4.4) ------------------------------------------
+    async def wait_until_committed(self, bid: int,
+                                   timeout: Optional[float] = None) -> None:
+        """Block until batch ``bid`` commits.
+
+        Raises :class:`TransactionAbortedError` (cascading) if the batch
+        aborts instead, and :class:`TimeoutError` on timeout.
+        """
+        def resolved() -> bool:
+            return self.is_committed(bid) or self.is_aborted(bid)
+        await self._changed.wait_until(resolved, timeout=timeout)
+        if self.is_aborted(bid):
+            raise TransactionAbortedError(
+                f"batch {bid} in BeforeSet aborted", AbortReason.CASCADING
+            )
+
+    def reset(self) -> None:
+        """Forget everything (system restart during recovery)."""
+        self._batches.clear()
+        self._chain.clear()
+        self.last_committed_bid = -1
+        self._changed.notify_all()

@@ -1,0 +1,242 @@
+"""``SnapperSystem``: wiring facade for one Snapper deployment.
+
+Builds the silo (actor runtime + CPU pool), the logger group, the commit
+registry, the abort controller, and the coordinator ring; registers the
+shared services actors look up; starts and stops the token; exposes the
+client-side submission helpers; and implements whole-system crash and
+recovery for the durability tests and examples.
+
+Typical use::
+
+    system = SnapperSystem(seed=42)
+    system.register_actor("account", AccountActor)
+    system.start()
+    balance = system.run(
+        system.submit_pact(
+            "account", 1, "transfer", (100.0, 2),
+            access={1: 1, 2: 1},
+        )
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Set
+
+from repro.actors.ref import ActorId, ActorRef
+from repro.actors.runtime import ActorRuntime, SiloConfig
+from repro.core.config import SnapperConfig
+from repro.core.controller import AbortController
+from repro.core.coordinator import CoordinatorActor, Token
+from repro.core.registry import CommitRegistry
+from repro.persistence.logger import LoggerGroup
+from repro.persistence.records import (
+    ActPrepareRecord,
+    BatchCommitRecord,
+    BatchCompleteRecord,
+    BatchInfoRecord,
+    CoordCommitRecord,
+    CoordPrepareRecord,
+)
+from repro.sim.loop import SimLoop
+
+COORDINATOR_KIND = "snapper-coordinator"
+
+
+class SnapperSystem:
+    """One single-silo Snapper deployment (the paper's setting, §1)."""
+
+    def __init__(
+        self,
+        config: Optional[SnapperConfig] = None,
+        silo: Optional[SiloConfig] = None,
+        loop: Optional[SimLoop] = None,
+        seed: int = 0,
+    ):
+        self.config = config or SnapperConfig()
+        self.loop = loop or SimLoop(seed=seed)
+        self.runtime = ActorRuntime(self.loop, silo or SiloConfig(seed=seed))
+        self.registry = CommitRegistry()
+        self.controller = AbortController(self.registry)
+        self.controller.actor_ref = self._actor_ref_by_id
+        self.loggers = LoggerGroup(
+            num_loggers=self.config.num_loggers,
+            io_base_latency=self.config.io_base_latency,
+            io_per_byte=self.config.io_per_byte,
+            group_commit=self.config.group_commit,
+            enabled=self.config.logging_enabled,
+            cpu=self.runtime.cpu_of,
+            log_dir=self.config.log_dir,
+        )
+        self._token_active = False
+        self._token_epoch = 0
+
+        services = self.runtime.services
+        services["snapper_config"] = self.config
+        services["loggers"] = self.loggers
+        services["registry"] = self.registry
+        services["abort_controller"] = self.controller
+        services["actor_ref"] = self._actor_ref_by_id
+        services["coordinator_by_key"] = self._coordinator_by_key
+        services["coordinator_for"] = self._coordinator_for
+        services["token_active"] = lambda: self._token_active
+        services["token_epoch"] = lambda: self._token_epoch
+
+        self.runtime.register(COORDINATOR_KIND, CoordinatorActor)
+        self._place_coordinators()
+
+    def _place_coordinators(self) -> None:
+        """Pin coordinators per the placement policy (multi-silo, §7).
+
+        ``SnapperConfig.coordinator_placement`` is either ``"spread"``
+        (round-robin across silos — short hops for the actors, longer
+        token circulation) or a silo index (token circulates within one
+        silo, but remote actors pay cross-silo batch messaging).
+        """
+        if self.runtime.config.num_silos == 1:
+            return
+        placement = self.config.coordinator_placement
+        for key in range(self.config.num_coordinators):
+            actor_id = ActorId(COORDINATOR_KIND, key)
+            if placement == "spread":
+                self.runtime.pin_actor(
+                    actor_id, key % self.runtime.config.num_silos
+                )
+            else:
+                self.runtime.pin_actor(actor_id, int(placement))
+
+    # -- wiring helpers -----------------------------------------------------
+    def _actor_ref_by_id(self, actor_id: ActorId) -> ActorRef:
+        return ActorRef(self.runtime, actor_id)
+
+    def _coordinator_by_key(self, key: int) -> ActorRef:
+        return self.runtime.ref(COORDINATOR_KIND, key)
+
+    def _coordinator_for(self, actor_id: ActorId) -> ActorRef:
+        """The coordinator serving ``actor_id``: a stable hash (§4.1.2)."""
+        key = hash(actor_id) % self.config.num_coordinators
+        return self._coordinator_by_key(key)
+
+    # -- public surface --------------------------------------------------------
+    def register_actor(self, kind: str, factory: Callable[[], Any]) -> None:
+        """Register a user-defined transactional actor kind."""
+        self.runtime.register(kind, factory)
+
+    def actor(self, kind: str, key: Hashable) -> ActorRef:
+        return self.runtime.ref(kind, key)
+
+    def start(self) -> None:
+        """Inject the token into the coordinator ring."""
+        if self._token_active:
+            return
+        self._token_active = True
+        self._coordinator_by_key(0).call(
+            "receive_token", Token(epoch=self._token_epoch)
+        )
+
+    def shutdown(self) -> None:
+        """Stop the token (and close file-backed logs, if any); the
+        simulation can then drain naturally."""
+        self._token_active = False
+        self.loggers.close()
+
+    async def submit_pact(
+        self,
+        kind: str,
+        key: Hashable,
+        method: str,
+        func_input: Any = None,
+        access: Optional[Dict[Any, int]] = None,
+    ) -> Any:
+        """Submit a PACT starting on actor ``(kind, key)`` (Fig. 1)."""
+        if access is None:
+            raise ValueError("a PACT needs actorAccessInfo")
+        return await self.actor(kind, key).call(
+            "start_txn", method, func_input, access
+        )
+
+    async def submit_act(
+        self, kind: str, key: Hashable, method: str, func_input: Any = None
+    ) -> Any:
+        """Submit an ACT starting on actor ``(kind, key)`` (Fig. 1)."""
+        return await self.actor(kind, key).call("start_txn", method, func_input)
+
+    def run(self, coro_or_future, until: Optional[float] = None):
+        """Drive the simulation until the given work completes."""
+        return self.loop.run_until_complete(coro_or_future, until=until)
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` simulated seconds."""
+        self.loop.run(until=self.loop.now + duration)
+
+    # -- failure & recovery (§4.2.5, §4.3.4, §4.4.5) ------------------------------
+    def crash_actor(self, kind: str, key: Hashable) -> bool:
+        """Crash one actor, losing its in-memory state."""
+        return self.runtime.kill(ActorId(kind, key))
+
+    def crash_silo(self) -> int:
+        """Crash everything (actors *and* coordinators); the token dies.
+
+        Durable state — the logger group's WALs — survives, exactly like
+        the SSD in the paper's deployment.
+        """
+        self._token_active = False
+        return self.runtime.kill_all()
+
+    async def recover(self) -> None:
+        """Bring the system back after :meth:`crash_silo`.
+
+        Applies the paper's commit rule for in-doubt batches — a batch
+        whose every participant logged BatchComplete can commit; others
+        abort (§4.2.4) — resolves in-doubt ACTs by presumed abort
+        (§4.3.4), resets the in-memory registry, and re-initiates a
+        fresh token (§4.2.5).  Actors lazily restore their last
+        committed state from the WAL on next activation.
+        """
+        committed_bids: Set[int] = set()
+        complete_votes: Dict[int, Set[Any]] = {}
+        batch_infos: Dict[int, BatchInfoRecord] = {}
+        max_tid = -1
+        for record in self.loggers.all_records():
+            if isinstance(record, BatchInfoRecord):
+                batch_infos[record.bid] = record
+                max_tid = max(max_tid, record.bid)
+            elif isinstance(record, BatchCommitRecord):
+                committed_bids.add(record.bid)
+            elif isinstance(record, BatchCompleteRecord):
+                complete_votes.setdefault(record.bid, set()).add(record.actor)
+            elif isinstance(record, (CoordPrepareRecord, CoordCommitRecord)):
+                max_tid = max(max_tid, record.tid)
+        for bid, info in sorted(batch_infos.items()):
+            if bid in committed_bids:
+                continue
+            votes = complete_votes.get(bid, set())
+            if votes >= set(info.participants):
+                # every participant voted before the crash: commit (§4.2.4)
+                await self.loggers.persist(
+                    ("recovery", bid), BatchCommitRecord(bid=bid)
+                )
+            # else: presumed abort — actors will not restore its state.
+        # fresh in-memory protocol state + a new token (§4.2.5).  The new
+        # token starts above every tid ever logged, plus the ACT ranges
+        # that may have been handed out without leaving log records.
+        self.registry.reset()
+        self._token_epoch += 1
+        token = Token(epoch=self._token_epoch)
+        token.last_tid = max_tid + self.config.act_tid_range * (
+            self.config.num_coordinators + 1
+        )
+        self._token_active = True
+        self._coordinator_by_key(0).call("receive_token", token)
+
+    # -- statistics ---------------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "messages_sent": self.runtime.messages_sent,
+            "cpu_busy_time": self.runtime.cpu.busy_time,
+            "log_records": self.loggers.records_persisted(),
+            "log_bytes": self.loggers.bytes_written(),
+            "batches_committed": self.registry.batches_committed,
+            "batches_aborted": self.registry.batches_aborted,
+            "cascading_aborts": self.controller.cascades,
+        }

@@ -1,0 +1,93 @@
+"""Exception hierarchy shared across the repro library.
+
+The hierarchy mirrors the failure modes described in the Snapper paper:
+transactions abort either because of concurrency control (ACTs only),
+because user code raised (both PACTs and ACTs), or because of injected
+actor/runtime failures.  Simulation-level misuse (e.g. awaiting outside a
+running loop) raises :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the simulation kernel (no running loop, bad event, ...)."""
+
+
+class CancelledError(ReproError):
+    """A simulation task or future was cancelled."""
+
+
+class ActorError(ReproError):
+    """Base class for actor-runtime errors."""
+
+
+class ActorCrashedError(ActorError):
+    """The target actor activation crashed while processing the request."""
+
+
+class UnknownActorMethodError(ActorError):
+    """An RPC named a method the target actor does not define."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction failures surfaced to clients."""
+
+
+class TransactionAbortedError(TransactionError):
+    """The transaction was aborted and rolled back.
+
+    ``reason`` is one of the :class:`AbortReason` constants so benchmark
+    harnesses can break down abort rates the way Fig. 16c does.
+    """
+
+    def __init__(self, message: str, reason: str = "unknown"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class AbortReason:
+    """Symbolic abort reasons used for the Fig. 16c breakdown."""
+
+    #: read/write conflict between ACTs (wait-die victim).
+    ACT_CONFLICT = "act_conflict"
+    #: deadlock (timeout) between PACTs and ACTs under hybrid execution.
+    HYBRID_DEADLOCK = "hybrid_deadlock"
+    #: aborted because the AfterSet was incomplete (conservative check).
+    INCOMPLETE_AFTER_SET = "incomplete_after_set"
+    #: the serializability check max(BS) < min(AS) definitively failed.
+    SERIALIZABILITY = "serializability"
+    #: user code raised an exception inside the transaction.
+    USER_ABORT = "user_abort"
+    #: cascading abort triggered by an aborted PACT batch.
+    CASCADING = "cascading"
+    #: actor or silo failure while the transaction was in flight.
+    FAILURE = "failure"
+
+    ALL = (
+        ACT_CONFLICT,
+        HYBRID_DEADLOCK,
+        INCOMPLETE_AFTER_SET,
+        SERIALIZABILITY,
+        USER_ABORT,
+        CASCADING,
+        FAILURE,
+    )
+
+
+class SerializabilityError(TransactionAbortedError):
+    """The hybrid serializability check failed for an ACT."""
+
+    def __init__(self, message: str, reason: str = AbortReason.SERIALIZABILITY):
+        super().__init__(message, reason)
+
+
+class DeadlockError(TransactionAbortedError):
+    """The transaction was chosen as a deadlock victim."""
+
+    def __init__(self, message: str, reason: str = AbortReason.HYBRID_DEADLOCK):
+        super().__init__(message, reason)

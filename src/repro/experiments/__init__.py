@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of §5.
+
+Every module exposes ``run(scale)`` returning structured rows and a
+``print_table(rows)`` (or similar) that renders them the way the paper
+reports them.  ``benchmarks/`` wraps these under pytest-benchmark; the
+modules are also directly runnable::
+
+    python -m repro.experiments.fig14_skew
+
+``ExperimentScale`` trades fidelity for wall-clock time — simulated
+epochs are seconds, but driving millions of simulated transactions
+through a pure-Python event loop is not free.  ``quick`` (the default
+for benches) keeps every run under a couple of minutes; ``paper``
+matches the paper's parameters (10 s epochs, 10K actors) at the price
+of long wall-clock runs.
+"""
+
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.experiments.tables import format_table
+
+__all__ = ["ExperimentScale", "PIPELINE_SIZES", "format_table"]

@@ -1,0 +1,64 @@
+"""Run every experiment and print the full set of paper tables.
+
+Usage::
+
+    python -m repro.experiments                 # quick scale
+    REPRO_SCALE=paper python -m repro.experiments
+
+Results are also written under ``results/`` next to the repository
+root, mirroring what ``pytest benchmarks/ --benchmark-only`` produces.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.experiments.settings import ExperimentScale, print_settings
+from repro.experiments import (
+    ablations,
+    fig12_overhead,
+    fig13_latency,
+    fig14_skew,
+    fig15_breakdown,
+    fig16_hybrid,
+    fig17_scalability,
+)
+
+
+def main() -> int:
+    scale = ExperimentScale.from_env()
+    results_dir = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(results_dir, exist_ok=True)
+    print(f"running all experiments at scale {scale.name!r}\n")
+
+    jobs = [
+        ("fig11_fig18_settings", lambda: print_settings()),
+        ("fig12_overhead",
+         lambda: fig12_overhead.print_table(fig12_overhead.run(scale))),
+        ("fig13_latency",
+         lambda: fig13_latency.print_table(fig13_latency.run(scale))),
+        ("fig14_skew",
+         lambda: fig14_skew.print_table(fig14_skew.run(scale))),
+        ("fig15_breakdown",
+         lambda: fig15_breakdown.print_table(fig15_breakdown.run(scale))),
+        ("fig16_hybrid",
+         lambda: fig16_hybrid.print_table(fig16_hybrid.run(scale))),
+        ("fig17_scalability",
+         lambda: fig17_scalability.print_table(fig17_scalability.run(scale))),
+        ("ablations", lambda: ablations.print_table(ablations.run(scale))),
+    ]
+    for name, job in jobs:
+        started = time.time()
+        text = job()
+        elapsed = time.time() - started
+        print(text)
+        print(f"[{name}: {elapsed:.0f}s]\n")
+        with open(os.path.join(results_dir, f"{name}.txt"), "w") as f:
+            f.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

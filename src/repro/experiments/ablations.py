@@ -1,0 +1,167 @@
+"""Ablations of Snapper's design choices (DESIGN.md §4).
+
+Each ablation flips exactly one mechanism the paper motivates and
+measures the SmallBank throughput impact:
+
+* **coordinators** — 1 vs 4 vs 8 coordinators in the token ring
+  (§4.2.1 argues a single coordinator cannot scale);
+* **batching** — sub-batch messages vs one batch per transaction
+  (§4.2.2: batching is where PACT's skew advantage comes from);
+* **group commit** — logger flush batching on/off (§4.1.1);
+* **incomplete-AfterSet optimization** — on/off (§4.4.3: without it,
+  tail ACTs abort spuriously under hybrid load);
+* **wait-die** — wait-die vs timeout-only deadlock handling for ACTs
+  (§4.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import run_smallbank
+from repro.experiments.settings import ExperimentScale
+from repro.experiments.tables import format_table
+
+
+def run(scale: ExperimentScale) -> List[Dict]:
+    rows: List[Dict] = []
+
+    for coordinators in (1, 4, 8):
+        result = run_smallbank(
+            "pact", scale, skew="uniform",
+            snapper_overrides={"num_coordinators": coordinators},
+        )
+        rows.append({
+            "ablation": "coordinators",
+            "setting": str(coordinators),
+            "engine": "pact",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+        })
+
+    for batching in (True, False):
+        result = run_smallbank(
+            "pact", scale, skew="high",
+            snapper_overrides={"batching_enabled": batching},
+        )
+        rows.append({
+            "ablation": "batching(high skew)",
+            "setting": "on" if batching else "off",
+            "engine": "pact",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+        })
+
+    for group_commit in (True, False):
+        result = run_smallbank(
+            "pact", scale, skew="uniform",
+            snapper_overrides={"group_commit": group_commit},
+        )
+        rows.append({
+            "ablation": "group commit",
+            "setting": "on" if group_commit else "off",
+            "engine": "pact",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+        })
+
+    for optimization in (True, False):
+        result = run_smallbank(
+            "hybrid", scale, skew="medium", pact_fraction=0.75,
+            num_clients=2, pipeline=8,
+            snapper_overrides={
+                "incomplete_after_set_optimization": optimization
+            },
+        )
+        rows.append({
+            "ablation": "incomplete-AS opt",
+            "setting": "on" if optimization else "off",
+            "engine": "hybrid",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+        })
+
+    for wait_die in (True, False):
+        result = run_smallbank(
+            "act", scale, skew="medium", pipeline=8,
+            snapper_overrides={"wait_die": wait_die},
+        )
+        rows.append({
+            "ablation": "wait-die",
+            "setting": "wait-die" if wait_die else "timeout",
+            "engine": "act",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+        })
+
+    for cycle_ms in (0.5, 2.0, 8.0):
+        result = run_smallbank(
+            "pact", scale, skew="uniform",
+            snapper_overrides={"token_cycle_time": cycle_ms / 1000.0},
+        )
+        committed = max(result.metrics.committed, 1)
+        batches = max(result.stats.get("batches_committed", 1), 1)
+        rows.append({
+            "ablation": "token cycle",
+            "setting": f"{cycle_ms:g}ms",
+            "engine": "pact",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+            "p50_ms":
+                result.metrics.latency_percentiles((50,))[50] * 1000,
+            "batch_size": committed / batches,
+        })
+
+    rows.extend(_tpcc_incremental_logging(scale))
+    return rows
+
+
+def _tpcc_incremental_logging(scale: ExperimentScale) -> List[Dict]:
+    """The §5.4.2 extension: delta-logging the insertion-only Order
+    tables vs whole-state logging."""
+    import random
+
+    from repro.workloads.runner import EngineRunner, run_epochs
+    from repro.workloads.tpcc import TpccLayout, TpccWorkload, tpcc_actor_families
+
+    rows: List[Dict] = []
+    for incremental in (False, True):
+        runner = EngineRunner(
+            "pact", tpcc_actor_families(incremental_orders=incremental),
+            seed=3,
+        )
+        workload = TpccWorkload(TpccLayout(num_warehouses=2),
+                                rng=random.Random(7))
+        result = run_epochs(
+            runner, workload.next_txn,
+            num_clients=1, pipeline_size=32,
+            epochs=scale.epochs, epoch_duration=scale.epoch_duration,
+            warmup_epochs=scale.warmup_epochs,
+        )
+        rows.append({
+            "ablation": "tpcc order logging",
+            "setting": "incremental" if incremental else "full-state",
+            "engine": "pact",
+            "throughput": result.metrics.throughput,
+            "abort_rate": result.metrics.abort_rate,
+            "log_bytes": result.stats.get("log_bytes", 0),
+        })
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    table = format_table(
+        ["ablation", "setting", "engine", "tps", "abort%", "p50 ms",
+         "batch size", "log MB"],
+        [[r["ablation"], r["setting"], r["engine"], r["throughput"],
+          f"{r['abort_rate']:.1%}",
+          f"{r['p50_ms']:.2f}" if "p50_ms" in r else "",
+          f"{r['batch_size']:.1f}" if "batch_size" in r else "",
+          f"{r.get('log_bytes', 0) / 1e6:.1f}" if "log_bytes" in r else ""]
+         for r in rows],
+    )
+    return "Ablations (SmallBank txnsize 4; TPC-C logging extension)\n" + table
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

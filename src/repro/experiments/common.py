@@ -1,0 +1,86 @@
+"""Shared helpers for the per-figure experiment modules."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional
+
+from repro.actors.runtime import SiloConfig
+from repro.core.config import SnapperConfig
+from repro.baselines.orleans_txn import OrleansTxnConfig
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.workloads.distributions import make_distribution
+from repro.workloads.runner import EngineRunner, EpochResult, run_epochs
+from repro.workloads.smallbank import (
+    ACCOUNT_KIND,
+    NTAccountActor,
+    OrleansAccountActor,
+    SmallBankWorkload,
+    SnapperAccountActor,
+)
+
+SMALLBANK_FAMILIES = {
+    "snapper": {ACCOUNT_KIND: SnapperAccountActor},
+    "nt": {ACCOUNT_KIND: NTAccountActor},
+    "orleans": {ACCOUNT_KIND: OrleansAccountActor},
+}
+
+
+def run_smallbank(
+    engine: str,
+    scale: ExperimentScale,
+    skew: str = "uniform",
+    txn_size: int = 4,
+    pipeline: Optional[int] = None,
+    pact_fraction: float = 1.0,
+    num_clients: int = 1,
+    seed: int = 1,
+    cores: int = 4,
+    logging_enabled: bool = True,
+    ordered_access: bool = False,
+    snapper_overrides: Optional[Dict[str, Any]] = None,
+    orleans_overrides: Optional[Dict[str, Any]] = None,
+    num_actors: Optional[int] = None,
+    hotspot: bool = False,
+) -> EpochResult:
+    """One SmallBank MultiTransfer configuration, run to completion."""
+    snapper_kwargs: Dict[str, Any] = {
+        "logging_enabled": logging_enabled,
+        "num_coordinators": cores,
+        "num_loggers": cores,
+    }
+    snapper_kwargs.update(snapper_overrides or {})
+    orleans_kwargs: Dict[str, Any] = {
+        "logging_enabled": logging_enabled,
+        "num_loggers": cores,
+    }
+    orleans_kwargs.update(orleans_overrides or {})
+    runner = EngineRunner(
+        engine,
+        SMALLBANK_FAMILIES,
+        seed=seed,
+        silo=SiloConfig(cores=cores, seed=seed),
+        snapper_config=SnapperConfig(**snapper_kwargs),
+        orleans_config=OrleansTxnConfig(**orleans_kwargs),
+    )
+    actors = num_actors if num_actors is not None else scale.num_actors
+    dist_kind = "hotspot" if hotspot else skew
+    dist = make_distribution(dist_kind, actors, runner.loop.rng)
+    workload = SmallBankWorkload(
+        dist,
+        txn_size=txn_size,
+        pact_fraction=pact_fraction,
+        rng=random.Random(seed + 100),
+        ordered_access=ordered_access,
+    )
+    if pipeline is None:
+        pipeline = PIPELINE_SIZES.get(engine, 16)
+    return run_epochs(
+        runner,
+        workload.next_txn,
+        num_clients=num_clients,
+        pipeline_size=pipeline,
+        epochs=scale.epochs,
+        epoch_duration=scale.epoch_duration,
+        warmup_epochs=scale.warmup_epochs,
+    )

@@ -1,0 +1,125 @@
+"""Extension experiment — multi-server deployment (paper §7).
+
+The paper's future-work section raises two questions this experiment
+answers on our substrate:
+
+1. **How do the execution strategies behave as actors spread over
+   multiple silos?**  Every transaction that touches two silos pays
+   cross-silo messaging; batch messages, votes, and 2PC rounds all
+   stretch.
+2. **Does coordinator placement matter?**  §7: "the placement of
+   coordinators may significantly influence the token circulation
+   latency, which will also have impact on transaction latency."  We
+   compare a ring spread over all silos against a ring pinned to one.
+
+Rows report throughput, PACT median latency, and the cross-silo message
+share for SmallBank MultiTransfer (txnsize 4, uniform).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.actors.runtime import SiloConfig
+from repro.core.config import SnapperConfig
+from repro.experiments.common import SMALLBANK_FAMILIES
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.experiments.tables import format_table
+from repro.workloads.distributions import make_distribution
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.smallbank import SmallBankWorkload
+
+
+def _run_one(
+    scale: ExperimentScale,
+    engine: str,
+    num_silos: int,
+    placement,
+    pipeline: int,
+    seed: int = 1,
+):
+    config = SnapperConfig(num_coordinators=4, num_loggers=4)
+    config.coordinator_placement = placement
+    runner = EngineRunner(
+        engine,
+        SMALLBANK_FAMILIES,
+        seed=seed,
+        silo=SiloConfig(cores=4, num_silos=num_silos, seed=seed),
+        snapper_config=config,
+    )
+    distribution = make_distribution(
+        "uniform", scale.num_actors, runner.loop.rng
+    )
+    workload = SmallBankWorkload(
+        distribution, txn_size=4, rng=random.Random(seed + 100)
+    )
+    return run_epochs(
+        runner,
+        workload.next_txn,
+        num_clients=1,
+        pipeline_size=pipeline,
+        epochs=scale.epochs,
+        epoch_duration=scale.epoch_duration,
+        warmup_epochs=scale.warmup_epochs,
+    )
+
+
+def run(scale: ExperimentScale, silo_counts=(1, 2, 4)) -> List[Dict]:
+    rows: List[Dict] = []
+    for num_silos in silo_counts:
+        for engine in ("pact", "act"):
+            pipeline = PIPELINE_SIZES[engine] * num_silos
+            result = _run_one(scale, engine, num_silos, "spread", pipeline)
+            metrics = result.metrics
+            total_msgs = max(result.stats["messages_sent"], 1)
+            rows.append({
+                "experiment": "scale-out",
+                "silos": num_silos,
+                "engine": engine,
+                "placement": "spread",
+                "tps": metrics.throughput,
+                "p50_ms": metrics.latency_percentiles((50,))[50] * 1000,
+                "cross_share":
+                    result.stats["cross_silo_messages"] / total_msgs,
+            })
+    # coordinator placement study on the largest deployment
+    largest = silo_counts[-1]
+    if largest > 1:
+        for placement in ("spread", 0):
+            result = _run_one(
+                scale, "pact", largest, placement,
+                PIPELINE_SIZES["pact"] * largest,
+            )
+            metrics = result.metrics
+            total_msgs = max(result.stats["messages_sent"], 1)
+            rows.append({
+                "experiment": "coordinator-placement",
+                "silos": largest,
+                "engine": "pact",
+                "placement": str(placement),
+                "tps": metrics.throughput,
+                "p50_ms": metrics.latency_percentiles((50,))[50] * 1000,
+                "cross_share":
+                    result.stats["cross_silo_messages"] / total_msgs,
+            })
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    table = format_table(
+        ["experiment", "silos", "engine", "coordinators", "tps", "p50 ms",
+         "cross-silo msg share"],
+        [
+            [r["experiment"], r["silos"], r["engine"], r["placement"],
+             r["tps"], f"{r['p50_ms']:.2f}", f"{r['cross_share']:.1%}"]
+            for r in rows
+        ],
+    )
+    return (
+        "Extension (§7 future work) — multi-server deployment\n" + table
+    )
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

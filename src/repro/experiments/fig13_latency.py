@@ -1,0 +1,58 @@
+"""Fig. 13 — 50/90/99th percentile latency vs transaction size (§5.2.1).
+
+PACT and ACT with CC + logging, uniform workload, pipeline 64.
+
+Expected shapes (paper): PACT's median tracks ACT's until batching
+dominates at large txnsize (then PACT's median exceeds ACT's), while
+ACT's 90th/99th percentiles blow up far beyond PACT's — deterministic
+scheduling gives PACT a short, predictable tail (~1.3x of its p90).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import run_smallbank
+from repro.experiments.settings import ExperimentScale
+from repro.experiments.tables import format_table
+
+TXN_SIZES = (2, 4, 8, 16, 32, 64)
+
+
+def run(scale: ExperimentScale, txn_sizes=TXN_SIZES) -> List[Dict]:
+    rows: List[Dict] = []
+    for txn_size in txn_sizes:
+        row: Dict = {"txn_size": txn_size}
+        for engine in ("pact", "act"):
+            result = run_smallbank(
+                engine, scale, txn_size=txn_size, pipeline=64
+            )
+            pcts = result.metrics.latency_percentiles((50, 90, 99))
+            for p, value in pcts.items():
+                row[f"{engine}_p{p}_ms"] = value * 1000
+        rows.append(row)
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    table = format_table(
+        ["txnsize", "PACT p50", "PACT p90", "PACT p99",
+         "ACT p50", "ACT p90", "ACT p99"],
+        [
+            [
+                r["txn_size"],
+                f"{r['pact_p50_ms']:.1f}",
+                f"{r['pact_p90_ms']:.1f}",
+                f"{r['pact_p99_ms']:.1f}",
+                f"{r['act_p50_ms']:.1f}",
+                f"{r['act_p90_ms']:.1f}",
+                f"{r['act_p99_ms']:.1f}",
+            ]
+            for r in rows
+        ],
+    )
+    return "Fig. 13 — percentile latency in ms (uniform, CC+logging)\n" + table
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

@@ -1,0 +1,78 @@
+"""Fig. 14 — throughput vs workload skewness (§5.2.2).
+
+PACT, ACT, OrleansTxn, and OrleansTxn on a deadlock-free workload
+(actors accessed in ID order), across the five skew levels; SmallBank
+MultiTransfer, txnsize 4, CC + logging.
+
+Expected shapes (paper):
+* PACT throughput *increases* with skew (batch amortization);
+* ACT and OrleansTxn decrease with skew (blocking + aborts);
+* OrleansTxn < ACT everywhere; the deadlock-free variant improves
+  OrleansTxn (0% aborts) but it still trails ACT;
+* PACT reaches ~2x ACT under skew.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.common import run_smallbank
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES, SKEW_ORDER
+from repro.experiments.tables import format_table
+
+
+def run(scale: ExperimentScale, skews=tuple(SKEW_ORDER)) -> List[Dict]:
+    rows: List[Dict] = []
+    for skew in skews:
+        act_pipeline = (
+            PIPELINE_SIZES["act"]
+            if skew in ("uniform", "low")
+            else PIPELINE_SIZES["act_skewed"]
+        )
+        row: Dict = {"skew": skew}
+        pact = run_smallbank("pact", scale, skew=skew,
+                             pipeline=PIPELINE_SIZES["pact"])
+        act = run_smallbank("act", scale, skew=skew, pipeline=act_pipeline)
+        orleans = run_smallbank("orleans", scale, skew=skew,
+                                pipeline=PIPELINE_SIZES["orleans"])
+        orleans_df = run_smallbank(
+            "orleans", scale, skew=skew, pipeline=PIPELINE_SIZES["orleans"],
+            ordered_access=True,
+        )
+        row["pact_tps"] = pact.metrics.throughput
+        row["act_tps"] = act.metrics.throughput
+        row["act_abort"] = act.metrics.abort_rate
+        row["orleans_tps"] = orleans.metrics.throughput
+        row["orleans_abort"] = orleans.metrics.abort_rate
+        row["orleans_df_tps"] = orleans_df.metrics.throughput
+        row["orleans_df_abort"] = orleans_df.metrics.abort_rate
+        rows.append(row)
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    table = format_table(
+        ["skew", "PACT tps", "ACT tps", "ACT abort%", "OrleansTxn tps",
+         "OrleansTxn abort%", "Orleans df tps", "Orleans df abort%"],
+        [
+            [
+                r["skew"],
+                r["pact_tps"],
+                r["act_tps"],
+                f"{r['act_abort']:.1%}",
+                r["orleans_tps"],
+                f"{r['orleans_abort']:.1%}",
+                r["orleans_df_tps"],
+                f"{r['orleans_df_abort']:.1%}",
+            ]
+            for r in rows
+        ],
+    )
+    return (
+        "Fig. 14 — throughput vs skew (SmallBank, txnsize 4, CC+logging)\n"
+        + table
+    )
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

@@ -1,0 +1,145 @@
+"""Fig. 15 — latency breakdown microbenchmark: ACT vs OrleansTxn (§5.2.3).
+
+A conflict-free workload (4 actors, pipeline 1) built from the
+``xW + yN`` MultiTransfer variant: the first ``x`` accessed actors each
+perform a read-write operation, the next ``y`` perform a no-op call.
+We run 0W+1N, 0W+4N, 1W+3N, and 4W+0N under Snapper's ACT and under the
+OrleansTxn baseline, and break transaction latency into phases:
+
+* ``tid_assign`` — coordinator/TA assigns the tid (paper's I2);
+* ``execute``   — serial actor calls (paper's I6);
+* ``commit``    — the commit protocol (paper's I8);
+* ``client``    — the client <-> first-actor round trip (I1/I9).
+
+(The paper uses nine intervals; the four above aggregate them into the
+phases its analysis actually discusses.)
+
+Expected shapes (paper): totals match for 0W+1N; OrleansTxn pays ~1.6x
+on execute for serial no-op calls; its commit is far more expensive —
+0.2 ms vs ~0.01 ms for 1W+3N, because the TA sends a Prepare message
+even when the first actor is the only participant, and the gap grows
+with the number of write participants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.actors.runtime import SiloConfig
+from repro.core.config import SnapperConfig
+from repro.baselines.orleans_txn import OrleansTxnConfig
+from repro.experiments.common import SMALLBANK_FAMILIES
+from repro.experiments.settings import ExperimentScale
+from repro.experiments.tables import format_table
+from repro.workloads.runner import EngineRunner
+from repro.workloads.smallbank import TxnSpec
+
+VARIANTS = (
+    ("0W+1N", 0, 1),
+    ("0W+4N", 0, 4),
+    ("1W+3N", 1, 3),
+    ("4W+0N", 4, 0),
+)
+
+
+class _Recorder:
+    """Collects per-phase durations from the engine hooks."""
+
+    def __init__(self):
+        self.samples: Dict[str, List[float]] = {}
+
+    def record(self, phase: str, duration: float) -> None:
+        self.samples.setdefault(phase, []).append(duration)
+
+    def mean_ms(self, phase: str) -> float:
+        values = self.samples.get(phase, [])
+        if not values:
+            return 0.0
+        return sum(values) / len(values) * 1000
+
+
+def _spec(writes: int, noops: int) -> TxnSpec:
+    """xW+yN: first actor writes iff x > 0; x-1 further writers; y no-ops."""
+    write_self = writes > 0
+    write_keys = list(range(1, writes))  # actors 1..writes-1
+    noop_start = max(1, writes)
+    noop_keys = list(range(noop_start, noop_start + noops))
+    return TxnSpec(
+        kind="account",
+        start_key=0,
+        method="multi_transfer_noop",
+        func_input=(1.0, write_keys, noop_keys, write_self),
+        access=None,
+        is_pact=False,
+    )
+
+
+def run(scale: ExperimentScale, iterations: int = 200) -> List[Dict]:
+    rows: List[Dict] = []
+    for name, writes, noops in VARIANTS:
+        row: Dict = {"variant": name}
+        for engine in ("act", "orleans"):
+            runner = EngineRunner(
+                engine,
+                SMALLBANK_FAMILIES,
+                seed=5,
+                silo=SiloConfig(cores=4, net_jitter=0.0, seed=5),
+                snapper_config=SnapperConfig(num_coordinators=4),
+                orleans_config=OrleansTxnConfig(),
+            )
+            recorder = _Recorder()
+            runner.system.runtime.services["breakdown_recorder"] = recorder
+            spec = _spec(writes, noops)
+            totals: List[float] = []
+
+            async def main():
+                for _ in range(iterations):
+                    start = runner.loop.now
+                    await runner.submit(spec)
+                    totals.append(runner.loop.now - start)
+
+            runner.loop.run_until_complete(main())
+            total_ms = sum(totals) / len(totals) * 1000
+            internals = (
+                recorder.mean_ms("tid_assign")
+                + recorder.mean_ms("execute")
+                + recorder.mean_ms("commit")
+            )
+            row[f"{engine}_tid_ms"] = recorder.mean_ms("tid_assign")
+            row[f"{engine}_exec_ms"] = recorder.mean_ms("execute")
+            row[f"{engine}_commit_ms"] = recorder.mean_ms("commit")
+            row[f"{engine}_client_ms"] = max(0.0, total_ms - internals)
+            row[f"{engine}_total_ms"] = total_ms
+        rows.append(row)
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    table = format_table(
+        ["variant", "engine", "tid (I2)", "execute (I6)", "commit (I8)",
+         "client (I1/I9)", "total ms"],
+        [
+            line
+            for r in rows
+            for line in (
+                [r["variant"], "ACT",
+                 f"{r['act_tid_ms']:.3f}", f"{r['act_exec_ms']:.3f}",
+                 f"{r['act_commit_ms']:.3f}", f"{r['act_client_ms']:.3f}",
+                 f"{r['act_total_ms']:.3f}"],
+                ["", "OrleansTxn",
+                 f"{r['orleans_tid_ms']:.3f}", f"{r['orleans_exec_ms']:.3f}",
+                 f"{r['orleans_commit_ms']:.3f}",
+                 f"{r['orleans_client_ms']:.3f}",
+                 f"{r['orleans_total_ms']:.3f}"],
+            )
+        ],
+    )
+    return (
+        "Fig. 15 — latency breakdown, conflict-free xW+yN (pipeline 1)\n"
+        + table
+    )
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

@@ -1,0 +1,110 @@
+"""Fig. 16 — hybrid execution: throughput, latency, abort breakdown (§5.3).
+
+Across skew levels and PACT percentages {100, 99, 90, 75, 50, 25, 0},
+using SmallBank with txnsize 4, CC + logging, and two client threads
+(one per mode, as in §5.3):
+
+* **16a** — total throughput, stacked into the PACT and ACT shares;
+* **16b** — 50th/90th percentile latency per mode;
+* **16c** — abort-rate breakdown into the four reasons of §5.3.3:
+  (1) ACT-ACT conflicts, (2) PACT-ACT deadlocks, (3) incomplete
+  AfterSet, (4) definite serializability violations.
+
+Expected shapes (paper): throughput falls as PACT% falls; under high
+skew a sharp drop appears between 100% and 99% PACT; hybrid sits
+between pure PACT and pure ACT, and approaches PACT when ACT% is small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import AbortReason
+from repro.experiments.common import run_smallbank
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.experiments.tables import format_table
+
+PACT_PERCENTAGES = (100, 99, 90, 75, 50, 25, 0)
+SKEWS = ("uniform", "medium", "high", "very_high")
+
+
+def run(scale: ExperimentScale, skews=SKEWS,
+        pact_percentages=PACT_PERCENTAGES) -> List[Dict]:
+    rows: List[Dict] = []
+    for skew in skews:
+        for pact_pct in pact_percentages:
+            result = run_smallbank(
+                "hybrid",
+                scale,
+                skew=skew,
+                pact_fraction=pact_pct / 100.0,
+                num_clients=2,
+                pipeline=max(
+                    4,
+                    (PIPELINE_SIZES["hybrid_pact"] * pact_pct
+                     + PIPELINE_SIZES["hybrid_act"] * (100 - pact_pct))
+                    // 200,
+                ),
+            )
+            metrics = result.metrics
+            breakdown = metrics.abort_breakdown()
+            rows.append({
+                "skew": skew,
+                "pact_pct": pact_pct,
+                "total_tps": metrics.throughput,
+                "pact_tps": metrics.throughput_of("pact"),
+                "act_tps": metrics.throughput_of("act"),
+                "pact_p50_ms":
+                    metrics.latency_percentiles((50,), "pact")[50] * 1000,
+                "pact_p90_ms":
+                    metrics.latency_percentiles((90,), "pact")[90] * 1000,
+                "act_p50_ms":
+                    metrics.latency_percentiles((50,), "act")[50] * 1000,
+                "act_p90_ms":
+                    metrics.latency_percentiles((90,), "act")[90] * 1000,
+                "abort_act_conflict":
+                    breakdown.get(AbortReason.ACT_CONFLICT, 0.0),
+                "abort_deadlock":
+                    breakdown.get(AbortReason.HYBRID_DEADLOCK, 0.0),
+                "abort_incomplete_as":
+                    breakdown.get(AbortReason.INCOMPLETE_AFTER_SET, 0.0),
+                "abort_serializability":
+                    breakdown.get(AbortReason.SERIALIZABILITY, 0.0),
+                "abort_other":
+                    breakdown.get(AbortReason.CASCADING, 0.0)
+                    + breakdown.get(AbortReason.USER_ABORT, 0.0),
+            })
+    return rows
+
+
+def print_table(rows: List[Dict]) -> str:
+    throughput = format_table(
+        ["skew", "PACT%", "total tps", "PACT tps", "ACT tps"],
+        [[r["skew"], r["pact_pct"], r["total_tps"], r["pact_tps"],
+          r["act_tps"]] for r in rows],
+    )
+    latency = format_table(
+        ["skew", "PACT%", "PACT p50", "PACT p90", "ACT p50", "ACT p90"],
+        [[r["skew"], r["pact_pct"], f"{r['pact_p50_ms']:.1f}",
+          f"{r['pact_p90_ms']:.1f}", f"{r['act_p50_ms']:.1f}",
+          f"{r['act_p90_ms']:.1f}"] for r in rows],
+    )
+    aborts = format_table(
+        ["skew", "PACT%", "(1) ACT-ACT", "(2) deadlock", "(3) incompl. AS",
+         "(4) serializab.", "other"],
+        [[r["skew"], r["pact_pct"],
+          f"{r['abort_act_conflict']:.1%}", f"{r['abort_deadlock']:.1%}",
+          f"{r['abort_incomplete_as']:.1%}",
+          f"{r['abort_serializability']:.1%}", f"{r['abort_other']:.1%}"]
+         for r in rows],
+    )
+    return (
+        "Fig. 16a — hybrid throughput (SmallBank, txnsize 4)\n" + throughput
+        + "\n\nFig. 16b — hybrid latency (ms)\n" + latency
+        + "\n\nFig. 16c — abort-rate breakdown (fraction of attempted)\n"
+        + aborts
+    )
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

@@ -1,0 +1,138 @@
+"""Fig. 17 — scalability with silo cores, SmallBank and TPC-C (§5.4).
+
+Resources scale proportionally with a 4-core base unit (Fig. 11a):
+coordinators, loggers, SmallBank actors, and TPC-C warehouses all grow
+with the core count.
+
+* **17a (SmallBank)** — txnsize 4, CC + logging; uniform and the
+  hotspot workload of §5.4.1 (1% hot actors, 3 hot accesses per txn);
+  engines PACT / ACT / hybrid (and NT for reference).
+* **17b (TPC-C)** — NewOrder only, 2 warehouses per 4 cores; low skew
+  (Order table split over 10 partitions) and high skew (1 partition);
+  engines PACT / ACT / NT.
+
+Expected shapes (paper): near-linear scaling for every strategy under
+uniform/low-skew load; PACT above ACT under skew; both PACT and ACT
+land roughly an order of magnitude below NT on TPC-C (whole-state
+logging of insertion-only tables).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.actors.runtime import SiloConfig
+from repro.core.config import SnapperConfig
+from repro.experiments.common import run_smallbank
+from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.experiments.tables import format_table
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.tpcc import TpccLayout, TpccWorkload, tpcc_actor_families
+
+CORE_COUNTS = (4, 8, 16, 32)
+
+
+def run_smallbank_scaling(
+    scale: ExperimentScale,
+    core_counts=CORE_COUNTS,
+    engines=("pact", "act", "hybrid"),
+) -> List[Dict]:
+    rows: List[Dict] = []
+    for cores in core_counts:
+        scale_factor = cores // 4
+        for workload_kind in ("uniform", "hotspot"):
+            row: Dict = {"cores": cores, "workload": workload_kind}
+            for engine in engines:
+                if engine == "act":
+                    pipeline = (
+                        PIPELINE_SIZES["act"]
+                        if workload_kind == "uniform"
+                        else PIPELINE_SIZES["act_skewed"]
+                    ) * scale_factor
+                else:
+                    pipeline = PIPELINE_SIZES["pact"] * scale_factor
+                result = run_smallbank(
+                    engine,
+                    scale,
+                    skew="uniform",
+                    hotspot=(workload_kind == "hotspot"),
+                    cores=cores,
+                    num_actors=scale.num_actors * scale_factor,
+                    pipeline=pipeline,
+                    pact_fraction=0.9 if engine == "hybrid" else 1.0,
+                )
+                row[f"{engine}_tps"] = result.metrics.throughput
+            rows.append(row)
+    return rows
+
+
+def run_tpcc_scaling(
+    scale: ExperimentScale,
+    core_counts=CORE_COUNTS,
+    engines=("pact", "act", "nt"),
+) -> List[Dict]:
+    rows: List[Dict] = []
+    for cores in core_counts:
+        warehouses = max(2, cores // 2)
+        for skew_name, order_partitions in (("low", 10), ("high", 1)):
+            row: Dict = {"cores": cores, "skew": skew_name,
+                         "warehouses": warehouses}
+            layout = TpccLayout(
+                num_warehouses=warehouses, order_partitions=order_partitions
+            )
+            for engine in engines:
+                runner = EngineRunner(
+                    engine,
+                    tpcc_actor_families(),
+                    seed=3,
+                    silo=SiloConfig(cores=cores, seed=3),
+                    snapper_config=SnapperConfig(
+                        num_coordinators=cores, num_loggers=cores
+                    ),
+                )
+                workload = TpccWorkload(layout, rng=random.Random(7))
+                pipeline = PIPELINE_SIZES[f"tpcc_{engine}"] * (cores // 4)
+                result = run_epochs(
+                    runner,
+                    workload.next_txn,
+                    num_clients=1,
+                    pipeline_size=pipeline,
+                    epochs=scale.epochs,
+                    epoch_duration=scale.epoch_duration,
+                    warmup_epochs=scale.warmup_epochs,
+                )
+                row[f"{engine}_tps"] = result.metrics.throughput
+                row[f"{engine}_abort"] = result.metrics.abort_rate
+            rows.append(row)
+    return rows
+
+
+def run(scale: ExperimentScale) -> Dict[str, List[Dict]]:
+    return {
+        "smallbank": run_smallbank_scaling(scale),
+        "tpcc": run_tpcc_scaling(scale),
+    }
+
+
+def print_table(results: Dict[str, List[Dict]]) -> str:
+    small = format_table(
+        ["cores", "workload", "PACT tps", "ACT tps", "Hybrid tps"],
+        [[r["cores"], r["workload"], r.get("pact_tps", 0),
+          r.get("act_tps", 0), r.get("hybrid_tps", 0)]
+         for r in results["smallbank"]],
+    )
+    tpcc = format_table(
+        ["cores", "warehouses", "skew", "PACT tps", "ACT tps", "NT tps"],
+        [[r["cores"], r["warehouses"], r["skew"], r.get("pact_tps", 0),
+          r.get("act_tps", 0), r.get("nt_tps", 0)]
+         for r in results["tpcc"]],
+    )
+    return (
+        "Fig. 17a — SmallBank scalability\n" + small
+        + "\n\nFig. 17b — TPC-C (NewOrder) scalability\n" + tpcc
+    )
+
+
+if __name__ == "__main__":
+    print(print_table(run(ExperimentScale.from_env())))

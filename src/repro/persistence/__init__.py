@@ -1,0 +1,47 @@
+"""Persistence substrate: log records, write-ahead logs, and loggers.
+
+The paper's durability story (§4.1.1, §4.2.4, §4.3.3) has three layers,
+all reproduced here:
+
+* **Log records** (:mod:`repro.persistence.records`) — the typed records
+  of Figs. 6 and 7: ``BatchInfo``/``BatchComplete``/``BatchCommit`` for
+  PACT batches; ``CoordPrepare``/``Prepare``/``Commit``/``CoordCommit``
+  for ACT 2PC (presumed abort, so no abort records).
+* **Write-ahead logs** (:mod:`repro.persistence.wal`) — ordered record
+  stores with in-memory and on-disk backends, plus the scans recovery
+  needs.
+* **Loggers** (:mod:`repro.persistence.logger`) — the in-memory singleton
+  objects shared by all actors on a machine.  Each logger owns one log
+  file (an :class:`~repro.sim.IoDevice`); actors are assigned to loggers
+  by a hash of their ID; pending appends are flushed together (group
+  commit), which is what amortizes logging cost over a batch.
+"""
+
+from repro.persistence.records import (
+    ActPrepareRecord,
+    ActCommitRecord,
+    BatchCommitRecord,
+    BatchCompleteRecord,
+    BatchInfoRecord,
+    CoordCommitRecord,
+    CoordPrepareRecord,
+    LogRecord,
+)
+from repro.persistence.wal import FileLogStorage, InMemoryLogStorage, WriteAheadLog
+from repro.persistence.logger import Logger, LoggerGroup
+
+__all__ = [
+    "LogRecord",
+    "BatchInfoRecord",
+    "BatchCompleteRecord",
+    "BatchCommitRecord",
+    "CoordPrepareRecord",
+    "ActPrepareRecord",
+    "ActCommitRecord",
+    "CoordCommitRecord",
+    "WriteAheadLog",
+    "InMemoryLogStorage",
+    "FileLogStorage",
+    "Logger",
+    "LoggerGroup",
+]

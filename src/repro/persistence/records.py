@@ -1,0 +1,150 @@
+"""Typed log records (paper Figs. 6 and 7).
+
+PACT batches write three kinds of records (§4.2.4):
+
+1. ``BatchInfoRecord`` — the coordinator persists the participating
+   actors of a batch *before emitting it*.
+2. ``BatchCompleteRecord`` — an actor persists its updated state before
+   acknowledging ``BatchComplete`` (omitted if the batch only read it).
+3. ``BatchCommitRecord`` — the coordinator persists the committed ``bid``
+   before sending ``BatchCommit``.
+
+ACTs use 2PC with presumed abort (§4.3.3):
+
+* ``CoordPrepareRecord`` / ``CoordCommitRecord`` on the 2PC coordinator
+  (the first accessed actor);
+* ``ActPrepareRecord`` (with the actor state, when written) and
+  ``ActCommitRecord`` on each participant.
+
+Each record reports a serialized size estimate so the IO cost model can
+charge per-byte; states are measured by pickling once at construction.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+#: fixed per-record overhead: headers, LSN, checksum, framing.
+RECORD_HEADER_BYTES = 32
+
+
+def payload_size(obj: Any) -> int:
+    """Estimate the serialized size of ``obj`` in bytes."""
+    if obj is None:
+        return 0
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable test doubles: fall back to repr
+        return len(repr(obj))
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class for all WAL records.
+
+    ``lsn`` is a machine-wide log sequence number stamped by the logger
+    group at persist time; recovery uses it to order state records
+    across log files.  (It is a plain attribute, not a dataclass field,
+    so subclasses keep positional constructors.)
+    """
+
+    lsn = -1  # class attribute (not a field); stamped via object.__setattr__
+
+    def size_bytes(self) -> int:
+        return RECORD_HEADER_BYTES
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+# -- PACT records (Fig. 6) ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchInfoRecord(LogRecord):
+    """Participants of a batch, persisted by the coordinator before emit."""
+
+    bid: int
+    coordinator: Any
+    participants: Tuple[Any, ...]
+
+    def size_bytes(self) -> int:
+        return RECORD_HEADER_BYTES + 16 * len(self.participants)
+
+
+@dataclass(frozen=True)
+class BatchCompleteRecord(LogRecord):
+    """Actor state after executing a sub-batch, persisted before voting.
+
+    ``state`` is ``None`` for read-only sub-batches — the paper skips
+    persisting the state in that case (§4.2.4).
+    """
+
+    bid: int
+    actor: Any
+    state: Optional[Any] = None
+    _size: int = field(default=-1, compare=False)
+
+    def size_bytes(self) -> int:
+        if self._size >= 0:
+            return self._size
+        size = RECORD_HEADER_BYTES + payload_size(self.state)
+        object.__setattr__(self, "_size", size)
+        return size
+
+
+@dataclass(frozen=True)
+class BatchCommitRecord(LogRecord):
+    """Committed bid, persisted by the coordinator before BatchCommit."""
+
+    bid: int
+
+
+# -- ACT records (Fig. 7) ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoordPrepareRecord(LogRecord):
+    """2PC coordinator's prepare record: tid plus participant list."""
+
+    tid: int
+    coordinator: Any
+    participants: Tuple[Any, ...]
+
+    def size_bytes(self) -> int:
+        return RECORD_HEADER_BYTES + 16 * len(self.participants)
+
+
+@dataclass(frozen=True)
+class ActPrepareRecord(LogRecord):
+    """Participant's prepare record, carrying the state when written."""
+
+    tid: int
+    actor: Any
+    state: Optional[Any] = None
+    _size: int = field(default=-1, compare=False)
+
+    def size_bytes(self) -> int:
+        if self._size >= 0:
+            return self._size
+        size = RECORD_HEADER_BYTES + payload_size(self.state)
+        object.__setattr__(self, "_size", size)
+        return size
+
+
+@dataclass(frozen=True)
+class ActCommitRecord(LogRecord):
+    """Participant's commit record."""
+
+    tid: int
+    actor: Any
+
+
+@dataclass(frozen=True)
+class CoordCommitRecord(LogRecord):
+    """2PC coordinator's commit decision record."""
+
+    tid: int

@@ -1,0 +1,117 @@
+"""Write-ahead logs and their storage backends.
+
+A :class:`WriteAheadLog` is an append-only, totally ordered sequence of
+:class:`~repro.persistence.records.LogRecord`.  Two backends are
+provided: :class:`InMemoryLogStorage` (the default for simulations — the
+IO *cost* is modelled separately by the logger's
+:class:`~repro.sim.IoDevice`) and :class:`FileLogStorage`, which actually
+persists pickled records so recovery can be demonstrated across process
+boundaries in the examples.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from typing import Any, Callable, Iterable, Iterator, List, Optional
+
+from repro.persistence.records import LogRecord
+
+
+class InMemoryLogStorage:
+    """Record storage backed by a Python list."""
+
+    def __init__(self):
+        self._records: List[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        self._records.append(record)
+
+    def scan(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def truncate(self) -> None:
+        self._records.clear()
+
+
+class FileLogStorage:
+    """Record storage backed by a pickle-framed file on disk."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._count = 0
+        self._file = open(path, "ab")
+        if os.path.getsize(path):
+            self._count = sum(1 for _ in self.scan())
+
+    def append(self, record: LogRecord) -> None:
+        pickle.dump(record, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._count += 1
+
+    def scan(self) -> Iterator[LogRecord]:
+        self._file.flush()
+        with open(self.path, "rb") as f:
+            while True:
+                try:
+                    yield pickle.load(f)
+                except EOFError:
+                    return
+
+    def __len__(self) -> int:
+        return self._count
+
+    def truncate(self) -> None:
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._count = 0
+
+    def close(self) -> None:
+        self._file.close()
+
+
+class WriteAheadLog:
+    """An ordered log of records with the scans recovery needs."""
+
+    def __init__(self, storage: Optional[Any] = None):
+        self.storage = storage if storage is not None else InMemoryLogStorage()
+
+    def append(self, record: LogRecord) -> None:
+        if not isinstance(record, LogRecord):
+            raise TypeError(f"not a LogRecord: {record!r}")
+        self.storage.append(record)
+
+    def __len__(self) -> int:
+        return len(self.storage)
+
+    def scan(self) -> Iterator[LogRecord]:
+        """All records in append order."""
+        return self.storage.scan()
+
+    def records_of(self, record_type: type) -> Iterator[LogRecord]:
+        return (r for r in self.scan() if isinstance(r, record_type))
+
+    def find(
+        self, predicate: Callable[[LogRecord], bool]
+    ) -> Iterable[LogRecord]:
+        return (r for r in self.scan() if predicate(r))
+
+    def last(
+        self, predicate: Callable[[LogRecord], bool]
+    ) -> Optional[LogRecord]:
+        """The most recent record matching ``predicate`` (None if absent)."""
+        result: Optional[LogRecord] = None
+        for record in self.scan():
+            if predicate(record):
+                result = record
+        return result
+
+    def truncate(self) -> None:
+        self.storage.truncate()

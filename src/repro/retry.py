@@ -1,0 +1,75 @@
+"""Client-side retry for aborted transactions.
+
+Under wait-die, younger transactions die on contact with older lock
+holders and are expected to be *resubmitted with a new (younger-no-more)
+timestamp* — the classic pattern the paper's clients skip (aborts are
+simply counted, §5.1.3).  Applications want the retry, so the library
+provides it: :func:`retry_transaction` resubmits on abort with seeded,
+jittered exponential backoff in simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Awaitable, Callable, Iterable, Optional, Type
+
+from repro.errors import AbortReason, TransactionAbortedError
+from repro.sim.loop import current_loop
+
+#: abort reasons that are transient — a retry can succeed.
+TRANSIENT_REASONS = frozenset({
+    AbortReason.ACT_CONFLICT,
+    AbortReason.HYBRID_DEADLOCK,
+    AbortReason.INCOMPLETE_AFTER_SET,
+    AbortReason.SERIALIZABILITY,
+    AbortReason.CASCADING,
+})
+
+
+class RetriesExhausted(TransactionAbortedError):
+    """Every attempt aborted; carries the last abort's reason."""
+
+    def __init__(self, attempts: int, last: TransactionAbortedError):
+        super().__init__(
+            f"transaction aborted on all {attempts} attempts "
+            f"(last reason: {last.reason})",
+            last.reason,
+        )
+        self.attempts = attempts
+        self.last = last
+
+
+async def retry_transaction(
+    submit: Callable[[], Awaitable[Any]],
+    max_attempts: int = 5,
+    base_backoff: float = 1e-3,
+    max_backoff: float = 50e-3,
+    retry_reasons: Iterable[str] = TRANSIENT_REASONS,
+    rng: Optional[random.Random] = None,
+) -> Any:
+    """Run ``submit()`` until it commits, retrying transient aborts.
+
+    ``submit`` is a zero-argument callable returning a fresh awaitable
+    per attempt (each retry is a *new* transaction with a new tid —
+    exactly what wait-die requires for progress).  Backoff doubles per
+    attempt with full jitter, capped at ``max_backoff``.
+
+    Non-transient aborts (user aborts) re-raise immediately; exhausted
+    retries raise :class:`RetriesExhausted`.
+    """
+    if max_attempts < 1:
+        raise ValueError("need at least one attempt")
+    reasons = frozenset(retry_reasons)
+    rng = rng or random.Random(0)
+    last: Optional[TransactionAbortedError] = None
+    for attempt in range(max_attempts):
+        try:
+            return await submit()
+        except TransactionAbortedError as exc:
+            if exc.reason not in reasons:
+                raise
+            last = exc
+        if attempt < max_attempts - 1:
+            ceiling = min(max_backoff, base_backoff * (2 ** attempt))
+            await current_loop().sleep(rng.uniform(0, ceiling))
+    raise RetriesExhausted(max_attempts, last)

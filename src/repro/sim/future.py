@@ -1,0 +1,114 @@
+"""Futures for the simulation kernel.
+
+A :class:`Future` is the only awaitable primitive the kernel understands:
+``Task.step`` drives a coroutine until it yields a Future, then subscribes
+to it.  The design mirrors ``asyncio.Future`` but is intentionally tiny and
+synchronous — callbacks run inline at ``set_result`` time, which keeps the
+event ordering fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import CancelledError, SimulationError
+
+_PENDING = "pending"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class Future:
+    """A single-assignment container for a result or an exception."""
+
+    def __init__(self, label: str = ""):
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future"], None]] = []
+        #: free-form label used in error messages and debugging dumps.
+        self.label = label
+
+    # -- state inspection -------------------------------------------------
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError(f"future {self.label!r} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.label!r} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if self._state == _PENDING:
+            raise SimulationError(f"future {self.label!r} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.label!r} was cancelled")
+        return self._exception
+
+    # -- completion -------------------------------------------------------
+    def set_result(self, value: Any) -> None:
+        if self.done():
+            raise SimulationError(f"future {self.label!r} already done")
+        self._state = _DONE
+        self._result = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if isinstance(exc, type):
+            exc = exc()
+        if self.done():
+            raise SimulationError(f"future {self.label!r} already done")
+        self._state = _DONE
+        self._exception = exc
+        self._run_callbacks()
+
+    def cancel(self, message: str = "") -> bool:
+        """Cancel the future.  Returns False if it was already done."""
+        if self.done():
+            return False
+        self._state = _CANCELLED
+        self._exception = CancelledError(message or f"future {self.label!r}")
+        self._run_callbacks()
+        return True
+
+    def try_set_result(self, value: Any) -> bool:
+        """``set_result`` that is a no-op when already completed."""
+        if self.done():
+            return False
+        self.set_result(value)
+        return True
+
+    def try_set_exception(self, exc: BaseException) -> bool:
+        """``set_exception`` that is a no-op when already completed."""
+        if self.done():
+            return False
+        self.set_exception(exc)
+        return True
+
+    # -- callbacks ----------------------------------------------------------
+    def add_done_callback(self, cb: Callable[["Future"], None]) -> None:
+        if self.done():
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # -- awaitable protocol -------------------------------------------------
+    def __await__(self) -> Generator["Future", None, Any]:
+        if not self.done():
+            yield self
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future {self.label!r} {self._state}>"

@@ -1,0 +1,110 @@
+"""Tasks: coroutine drivers for the simulation kernel.
+
+A :class:`Task` wraps a coroutine and *is itself a Future* that resolves
+with the coroutine's return value (or exception), so tasks can be awaited
+and composed with ``gather``.  Stepping is scheduled through the owning
+:class:`~repro.sim.loop.SimLoop`, never re-entrantly, which preserves the
+"turns run to the next await" semantics actor scheduling relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Coroutine, Optional
+
+from repro.errors import CancelledError, SimulationError
+from repro.sim.future import Future
+
+
+class Task(Future):
+    """Drive ``coro`` on ``loop`` until completion."""
+
+    def __init__(self, coro: Coroutine, loop: "SimLoop", label: str = ""):
+        super().__init__(label=label or getattr(coro, "__name__", "task"))
+        if not hasattr(coro, "send"):
+            raise SimulationError(f"Task expects a coroutine, got {coro!r}")
+        self._coro = coro
+        self._loop = loop
+        self._waiting_on: Optional[Future] = None
+        self._cancel_requested = False
+        #: execution locality tag (which silo's code is running); set by
+        #: the actor runtime on turn tasks and inherited by child tasks.
+        self.silo: Optional[int] = None
+        # First step happens via the loop so sibling tasks created at the
+        # same timestamp start in creation order.
+        loop._call_soon(self._step, None, None)
+
+    # -- cancellation -------------------------------------------------------
+    def cancel(self, message: str = "") -> bool:
+        """Request cancellation; delivered at the task's next suspension."""
+        if self.done():
+            return False
+        self._cancel_requested = True
+        waiting = self._waiting_on
+        if waiting is not None and not waiting.done():
+            # Wake the task now: it will observe the cancellation request.
+            self._waiting_on = None
+            self._loop._call_soon(
+                self._step, None, CancelledError(message or self.label)
+            )
+        return True
+
+    # -- stepping -----------------------------------------------------------
+    def _wakeup(self, future: Future) -> None:
+        if self._waiting_on is not future:
+            return  # stale wakeup after cancellation
+        self._waiting_on = None
+        exc = None
+        try:
+            value = future.result()
+        except BaseException as e:  # noqa: BLE001 - forwarded to the coroutine
+            value, exc = None, e
+        self._loop._call_soon(self._step, value, exc)
+
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.done():
+            return
+        if self._cancel_requested and exc is None:
+            exc = CancelledError(self.label)
+            self._cancel_requested = False
+        self._loop._enter_task(self)
+        try:
+            if exc is not None:
+                yielded = self._coro.throw(exc)
+            else:
+                yielded = self._coro.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except CancelledError as e:
+            self._finish(cancelled=e)
+            return
+        except BaseException as e:  # noqa: BLE001 - task result carries it
+            self._finish(error=e)
+            return
+        finally:
+            self._loop._exit_task(self)
+        if not isinstance(yielded, Future):
+            raise SimulationError(
+                f"task {self.label!r} awaited a non-simulation object: "
+                f"{yielded!r} (did some code await an asyncio awaitable?)"
+            )
+        self._waiting_on = yielded
+        yielded.add_done_callback(self._wakeup)
+
+    def _finish(
+        self,
+        result: Any = None,
+        error: Optional[BaseException] = None,
+        cancelled: Optional[BaseException] = None,
+    ) -> None:
+        self._coro = None  # break reference cycles
+        if cancelled is not None:
+            super().cancel(str(cancelled))
+        elif error is not None:
+            self.set_exception(error)
+        else:
+            self.set_result(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "running"
+        return f"<Task {self.label!r} {state}>"

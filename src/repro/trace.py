@@ -1,0 +1,114 @@
+"""Transaction tracing: per-transaction lifecycle timelines.
+
+Install a :class:`TxnTracer` as the ``txn_tracer`` service and Snapper
+records timestamped lifecycle events for every transaction — useful for
+debugging protocol behaviour, for latency attribution beyond Fig. 15's
+aggregated phases, and as an observability surface a downstream user
+would expect a transaction library to have.
+
+Events (each ``(time, event, detail)``):
+
+========================  =====================================================
+``registered``            tid assigned (PACT: batch formed; ACT: immediate)
+``turn_started``          a PACT invocation reached its deterministic turn
+``admitted``              an ACT joined an actor's hybrid schedule
+``execution_done``        the root method returned
+``check_passed``          the hybrid serializability check passed (ACT)
+``committed``             final commit (batch commit / 2PC decision)
+``aborted``               terminal abort, with the reason
+========================  =====================================================
+
+Tracing is entirely optional: when no tracer service is registered the
+hooks cost one dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class TxnTrace:
+    """The recorded timeline of one transaction."""
+
+    tid: int
+    mode: str = "?"
+    events: List[Tuple[float, str, Any]] = field(default_factory=list)
+
+    def event_names(self) -> List[str]:
+        return [name for _, name, _ in self.events]
+
+    def first(self, name: str) -> Optional[Tuple[float, str, Any]]:
+        for event in self.events:
+            if event[1] == name:
+                return event
+        return None
+
+    def duration(self, start: str, end: str) -> Optional[float]:
+        """Seconds between the first ``start`` and first ``end`` event."""
+        a, b = self.first(start), self.first(end)
+        if a is None or b is None:
+            return None
+        return b[0] - a[0]
+
+    @property
+    def outcome(self) -> str:
+        names = self.event_names()
+        if "committed" in names:
+            return "committed"
+        if "aborted" in names:
+            return "aborted"
+        return "in-flight"
+
+    def render(self) -> str:
+        lines = [f"txn {self.tid} ({self.mode}) — {self.outcome}"]
+        start = self.events[0][0] if self.events else 0.0
+        for when, name, detail in self.events:
+            suffix = f"  {detail}" if detail not in (None, "") else ""
+            lines.append(f"  +{(when - start) * 1000:8.3f} ms  {name}{suffix}")
+        return "\n".join(lines)
+
+
+class TxnTracer:
+    """Collects :class:`TxnTrace` timelines, bounded to ``capacity``."""
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self.traces: Dict[int, TxnTrace] = {}
+        self._order: List[int] = []
+
+    def record(self, now: float, tid: int, event: str,
+               detail: Any = None, mode: Optional[str] = None) -> None:
+        trace = self.traces.get(tid)
+        if trace is None:
+            if len(self._order) >= self.capacity:
+                evicted = self._order.pop(0)
+                self.traces.pop(evicted, None)
+            trace = TxnTrace(tid=tid)
+            self.traces[tid] = trace
+            self._order.append(tid)
+        if mode is not None:
+            trace.mode = mode
+        trace.events.append((now, event, detail))
+
+    # -- queries ----------------------------------------------------------
+    def trace_of(self, tid: int) -> Optional[TxnTrace]:
+        return self.traces.get(tid)
+
+    def by_outcome(self, outcome: str) -> List[TxnTrace]:
+        return [t for t in self.traces.values() if t.outcome == outcome]
+
+    def mean_duration(self, start: str, end: str) -> Optional[float]:
+        durations = [
+            d for d in (
+                t.duration(start, end) for t in self.traces.values()
+            )
+            if d is not None
+        ]
+        if not durations:
+            return None
+        return sum(durations) / len(durations)
+
+    def __len__(self) -> int:
+        return len(self.traces)

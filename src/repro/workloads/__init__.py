@@ -1,0 +1,42 @@
+"""Workloads, clients, and metrics for the evaluation (§5.1).
+
+* :mod:`repro.workloads.distributions` — uniform, Zipf, and hotspot
+  actor-access distributions (§5.2.2, §5.4.1).
+* :mod:`repro.workloads.smallbank` — the SmallBank benchmark with the
+  MultiTransfer transaction (§5.1.1), written once as engine-agnostic
+  logic and instantiated for Snapper, NT, and OrleansTxn.
+* :mod:`repro.workloads.tpcc` — TPC-C NewOrder with the actor
+  partitioning of Fig. 18.
+* :mod:`repro.workloads.client` — the push-pull queue client with
+  per-thread pipelines (§5.1.2).
+* :mod:`repro.workloads.metrics` — epoch-based throughput / percentile
+  latency / abort-rate collection (§5.1.3).
+* :mod:`repro.workloads.runner` — build-system + run-epochs glue used by
+  every experiment.
+"""
+
+from repro.workloads.distributions import (
+    HotspotDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    SKEW_LEVELS,
+    make_distribution,
+)
+from repro.workloads.metrics import MetricsCollector, percentile
+from repro.workloads.client import ClientPool, TxnRequest
+from repro.workloads.runner import EngineRunner, EpochResult, run_epochs
+
+__all__ = [
+    "ClientPool",
+    "EngineRunner",
+    "EpochResult",
+    "HotspotDistribution",
+    "MetricsCollector",
+    "SKEW_LEVELS",
+    "TxnRequest",
+    "UniformDistribution",
+    "ZipfDistribution",
+    "make_distribution",
+    "percentile",
+    "run_epochs",
+]

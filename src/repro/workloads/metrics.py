@@ -1,0 +1,160 @@
+"""Epoch-based metrics (§5.1.3).
+
+The paper measures throughput, latency, and abort rate over 6 epochs of
+10 s, discarding the first 2 as warm-up; throughput and latency count
+committed transactions only, and latency is processing latency (emission
+to result), not queueing latency.  :class:`MetricsCollector` implements
+exactly that accounting on simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AbortReason
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if pct <= 0:
+        return ordered[0]
+    if pct >= 100:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered) + 0.5)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class EpochStats:
+    """Counters for one measurement epoch."""
+
+    duration: float
+    committed: int = 0
+    latencies: List[float] = field(default_factory=list)
+    aborts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def attempted(self) -> int:
+        return self.committed + sum(self.aborts.values())
+
+    @property
+    def throughput(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.committed / self.duration
+
+    @property
+    def abort_rate(self) -> float:
+        attempted = self.attempted
+        if attempted == 0:
+            return 0.0
+        return sum(self.aborts.values()) / attempted
+
+
+class MetricsCollector:
+    """Collects per-transaction outcomes, bucketed into epochs.
+
+    ``record_commit`` / ``record_abort`` attribute the outcome to the
+    epoch in effect *now*; outcomes reported before ``start_epoch`` (the
+    warm-up window) are discarded, matching §5.1.3.
+    """
+
+    def __init__(self):
+        self._current: Optional[EpochStats] = None
+        self.epochs: List[EpochStats] = []
+        #: label -> latencies, for separating PACT/ACT under hybrid runs
+        self._by_label: Dict[str, List[float]] = {}
+        self._commits_by_label: Dict[str, int] = {}
+
+    # -- epoch control ------------------------------------------------------
+    def start_epoch(self, duration: float) -> None:
+        self.finish_epoch()
+        self._current = EpochStats(duration=duration)
+
+    def finish_epoch(self) -> None:
+        if self._current is not None:
+            self.epochs.append(self._current)
+            self._current = None
+
+    # -- recording ------------------------------------------------------------
+    def record_commit(self, latency: float, label: str = "txn") -> None:
+        if self._current is None:
+            return
+        self._current.committed += 1
+        self._current.latencies.append(latency)
+        self._by_label.setdefault(label, []).append(latency)
+        self._commits_by_label[label] = self._commits_by_label.get(label, 0) + 1
+
+    def record_abort(self, reason: str = "unknown", label: str = "txn") -> None:
+        if self._current is None:
+            return
+        self._current.aborts[reason] = self._current.aborts.get(reason, 0) + 1
+
+    # -- aggregates -------------------------------------------------------------
+    @property
+    def committed(self) -> int:
+        return sum(e.committed for e in self.epochs)
+
+    @property
+    def attempted(self) -> int:
+        return sum(e.attempted for e in self.epochs)
+
+    @property
+    def measured_time(self) -> float:
+        return sum(e.duration for e in self.epochs)
+
+    @property
+    def throughput(self) -> float:
+        time = self.measured_time
+        return self.committed / time if time > 0 else 0.0
+
+    def throughput_of(self, label: str) -> float:
+        time = self.measured_time
+        if time <= 0:
+            return 0.0
+        return self._commits_by_label.get(label, 0) / time
+
+    @property
+    def abort_rate(self) -> float:
+        attempted = self.attempted
+        if attempted == 0:
+            return 0.0
+        return (attempted - self.committed) / attempted
+
+    def abort_breakdown(self) -> Dict[str, float]:
+        """Fraction of *attempted* transactions per abort reason (Fig. 16c)."""
+        attempted = self.attempted
+        totals: Dict[str, int] = {}
+        for epoch in self.epochs:
+            for reason, count in epoch.aborts.items():
+                totals[reason] = totals.get(reason, 0) + count
+        if attempted == 0:
+            return {}
+        return {reason: count / attempted for reason, count in totals.items()}
+
+    def latency_percentiles(
+        self, pcts=(50, 90, 99), label: Optional[str] = None
+    ) -> Dict[int, float]:
+        if label is None:
+            values: List[float] = []
+            for epoch in self.epochs:
+                values.extend(epoch.latencies)
+        else:
+            values = self._by_label.get(label, [])
+        return {int(p): percentile(values, p) for p in pcts}
+
+    def summary(self) -> Dict[str, float]:
+        lat = self.latency_percentiles()
+        return {
+            "throughput": self.throughput,
+            "committed": self.committed,
+            "attempted": self.attempted,
+            "abort_rate": self.abort_rate,
+            "p50_ms": lat[50] * 1000,
+            "p90_ms": lat[90] * 1000,
+            "p99_ms": lat[99] * 1000,
+        }

@@ -1,0 +1,169 @@
+"""Experiment glue: build an engine, drive epochs, collect metrics.
+
+``EngineRunner`` hides the differences between the four execution
+engines the evaluation compares — PACT, ACT (and their hybrid mix),
+NT, and OrleansTxn — behind one ``submit(spec)`` surface, so workload
+generators and experiment scripts are engine-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.actors.runtime import SiloConfig
+from repro.baselines.nontransactional import NTSystem
+from repro.baselines.orleans_txn import OrleansTxnConfig, OrleansTxnSystem
+from repro.core.config import SnapperConfig
+from repro.core.system import SnapperSystem
+from repro.workloads.client import ClientPool
+from repro.workloads.metrics import MetricsCollector
+
+#: engine name -> actor family whose base classes it needs.
+ENGINE_FAMILY = {
+    "pact": "snapper",
+    "act": "snapper",
+    "hybrid": "snapper",
+    "nt": "nt",
+    "orleans": "orleans",
+}
+
+
+@dataclass
+class EpochResult:
+    """What one engine run produces."""
+
+    engine: str
+    metrics: MetricsCollector
+    stats: Dict[str, Any]
+
+    @property
+    def throughput(self) -> float:
+        return self.metrics.throughput
+
+
+class EngineRunner:
+    """One engine instance wired up with workload actors.
+
+    Parameters
+    ----------
+    engine:
+        ``pact`` | ``act`` | ``hybrid`` | ``nt`` | ``orleans``.
+    actor_families:
+        maps family (``snapper``/``nt``/``orleans``) to a dict of actor
+        kind -> factory, e.g. ``{"snapper": {"account": SnapperAccountActor}}``.
+    """
+
+    def __init__(
+        self,
+        engine: str,
+        actor_families: Dict[str, Dict[str, Callable]],
+        seed: int = 0,
+        silo: Optional[SiloConfig] = None,
+        snapper_config: Optional[SnapperConfig] = None,
+        orleans_config: Optional[OrleansTxnConfig] = None,
+    ):
+        if engine not in ENGINE_FAMILY:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        family = ENGINE_FAMILY[engine]
+        actors = actor_families.get(family)
+        if not actors:
+            raise ValueError(f"no actors registered for family {family!r}")
+        silo = silo or SiloConfig(seed=seed)
+        if family == "snapper":
+            self.system = SnapperSystem(
+                config=snapper_config or SnapperConfig(), silo=silo, seed=seed
+            )
+        elif family == "nt":
+            self.system = NTSystem(silo=silo, seed=seed)
+        else:
+            self.system = OrleansTxnSystem(
+                config=orleans_config or OrleansTxnConfig(), silo=silo,
+                seed=seed,
+            )
+        for kind, factory in actors.items():
+            self.system.register_actor(kind, factory)
+        self.system.start()
+        self.loop = self.system.loop
+
+    # -- submission -------------------------------------------------------
+    async def submit(self, spec) -> Any:
+        """Submit one :class:`TxnSpec` under this engine's rules."""
+        if self.engine == "pact":
+            return await self.system.submit_pact(
+                spec.kind, spec.start_key, spec.method, spec.func_input,
+                access=spec.access,
+            )
+        if self.engine == "act":
+            return await self.system.submit_act(
+                spec.kind, spec.start_key, spec.method, spec.func_input
+            )
+        if self.engine == "hybrid":
+            if spec.is_pact:
+                return await self.system.submit_pact(
+                    spec.kind, spec.start_key, spec.method, spec.func_input,
+                    access=spec.access,
+                )
+            return await self.system.submit_act(
+                spec.kind, spec.start_key, spec.method, spec.func_input
+            )
+        # nt / orleans share the same submit surface
+        return await self.system.submit(
+            spec.kind, spec.start_key, spec.method, spec.func_input
+        )
+
+    def label_for(self, spec) -> str:
+        if self.engine == "hybrid":
+            return "pact" if spec.is_pact else "act"
+        return self.engine
+
+
+def run_epochs(
+    runner: EngineRunner,
+    generator: Callable[[], Any],
+    num_clients: int = 2,
+    pipeline_size: int = 8,
+    epochs: int = 4,
+    epoch_duration: float = 1.0,
+    warmup_epochs: int = 1,
+) -> EpochResult:
+    """Drive the engine with the paper's epoch methodology (§5.1.3).
+
+    Runs ``epochs`` epochs of ``epoch_duration`` simulated seconds; the
+    first ``warmup_epochs`` are discarded.  Returns the metrics plus the
+    engine's internal statistics.
+    """
+    metrics = MetricsCollector()
+    pool = ClientPool(
+        submit=runner.submit,
+        generator=generator,
+        metrics=metrics,
+        num_clients=num_clients,
+        pipeline_size=pipeline_size,
+        label_for=runner.label_for,
+    )
+    loop = runner.loop
+
+    async def bootstrap():
+        pool.start()
+
+    loop.run_until_complete(bootstrap())
+    for epoch in range(epochs):
+        if epoch >= warmup_epochs:
+            metrics.start_epoch(epoch_duration)
+        loop.run(until=loop.now + epoch_duration)
+    metrics.finish_epoch()
+    pool.stop()
+    stats = (
+        runner.system.stats() if hasattr(runner.system, "stats") else {}
+    )
+    runtime = runner.system.runtime
+    stats["messages_sent"] = runtime.messages_sent
+    stats["cross_silo_messages"] = runtime.cross_silo_messages
+    elapsed = loop.now if loop.now > 0 else 1.0
+    total_cores = runtime.config.cores * runtime.config.num_silos
+    stats["cpu_utilization"] = runtime.total_cpu_busy() / (
+        elapsed * total_cores
+    )
+    return EpochResult(engine=runner.engine, metrics=metrics, stats=stats)

@@ -1,0 +1,193 @@
+"""The SmallBank benchmark (§5.1.1).
+
+Each user account is one actor whose state is a pair of balances
+(checking, savings).  Besides the classic SmallBank operations [5], the
+paper adds **MultiTransfer**: withdraw from one account and deposit to
+``txnsize - 1`` other accounts *in parallel* — the multi-actor
+transaction used in most experiments.
+
+The transaction logic is written once (:class:`SmallBankLogic`) against
+the three-API surface and instantiated per engine
+(:class:`SnapperAccountActor`, :class:`NTAccountActor`,
+:class:`OrleansAccountActor`), exactly because Snapper, NT, and
+OrleansTxn expose the same programming model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.nontransactional import NonTransactionalActor
+from repro.baselines.orleans_txn import OrleansTxnActor
+from repro.core.context import AccessMode, FuncCall
+from repro.core.transactional_actor import TransactionalActor
+from repro.sim.loop import gather, spawn
+
+ACCOUNT_KIND = "account"
+INITIAL_CHECKING = 10_000.0
+INITIAL_SAVINGS = 10_000.0
+
+
+class SmallBankLogic:
+    """Engine-agnostic account transaction methods."""
+
+    def initial_state(self) -> Dict[str, float]:
+        return {"checking": INITIAL_CHECKING, "savings": INITIAL_SAVINGS}
+
+    # -- classic SmallBank operations ------------------------------------
+    async def balance(self, ctx, _input=None) -> float:
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["checking"] + state["savings"]
+
+    async def deposit_checking(self, ctx, amount: float) -> float:
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["checking"] += amount
+        return state["checking"]
+
+    async def transact_saving(self, ctx, amount: float) -> float:
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        if state["savings"] + amount < 0:
+            raise ValueError("savings would go negative")
+        state["savings"] += amount
+        return state["savings"]
+
+    async def write_check(self, ctx, amount: float) -> float:
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        total = state["checking"] + state["savings"]
+        penalty = 1.0 if total < amount else 0.0
+        state["checking"] -= amount + penalty
+        return state["checking"]
+
+    async def amalgamate(self, ctx, to_key) -> float:
+        """Move all funds of this account into another's checking."""
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        total = state["checking"] + state["savings"]
+        state["checking"] = 0.0
+        state["savings"] = 0.0
+        await self.call_actor(
+            ctx, self._account(to_key), FuncCall("deposit_checking", total)
+        )
+        return total
+
+    # -- the paper's MultiTransfer (§5.1.1) ---------------------------------
+    async def multi_transfer(self, ctx, txn_input) -> float:
+        """Withdraw ``amount * n`` here, deposit to n accounts in parallel.
+
+        Under a PACT the deposits are *not* awaited inside this method:
+        Snapper tracks per-actor completion through the declared access
+        counts and the client's result is gated on the batch commit
+        anyway, so awaiting here would only serialize the source actor's
+        schedule behind network round-trips.  ACTs (and the baselines)
+        must await — participant discovery and 2PC depend on the replies
+        coming back up the call chain (§3.1, §4.3.3).
+        """
+        amount, to_keys = txn_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["checking"] -= amount * len(to_keys)
+        calls = [
+            self.call_actor(
+                ctx, self._account(key), FuncCall("deposit_checking", amount)
+            )
+            for key in to_keys
+        ]
+        if getattr(ctx, "is_pact", False):
+            for call in calls:
+                spawn(call)
+        else:
+            await gather(*[spawn(call) for call in calls])
+        return state["checking"]
+
+    async def multi_transfer_noop(self, ctx, txn_input) -> str:
+        """§5.2.3's microbenchmark variant: the first ``writes`` callees
+        do a read-write deposit, the rest execute a pure no-op call."""
+        amount, write_keys, noop_keys, write_self = txn_input
+        if write_self:
+            state = await self.get_state(ctx, AccessMode.READ_WRITE)
+            state["checking"] -= amount * len(write_keys)
+        calls = [
+            (key, FuncCall("deposit_checking", amount)) for key in write_keys
+        ] + [(key, FuncCall("noop")) for key in noop_keys]
+        for key, call in calls:  # serial calls, as in Fig. 15's I6
+            await self.call_actor(ctx, self._account(key), call)
+        return "ok"
+
+    async def noop(self, ctx, _input=None) -> str:
+        return "ok"
+
+    def _account(self, key):
+        return self.ref(ACCOUNT_KIND, key).id
+
+
+class SnapperAccountActor(SmallBankLogic, TransactionalActor):
+    """SmallBank account under Snapper (PACT/ACT/hybrid)."""
+
+
+class NTAccountActor(SmallBankLogic, NonTransactionalActor):
+    """SmallBank account with no transactional guarantees."""
+
+
+class OrleansAccountActor(SmallBankLogic, OrleansTxnActor):
+    """SmallBank account under the OrleansTxn baseline."""
+
+
+@dataclass
+class TxnSpec:
+    """One generated transaction: everything a client needs to submit it."""
+
+    kind: str
+    start_key: Any
+    method: str
+    func_input: Any
+    #: actorAccessInfo when submitted as a PACT (None for ACT-only specs).
+    access: Optional[Dict[Any, int]]
+    is_pact: bool = True
+
+
+class SmallBankWorkload:
+    """Generates MultiTransfer transactions under a given distribution.
+
+    ``txn_size`` is the number of actors accessed (§5.2.1); destination
+    accounts are drawn from ``distribution`` (with the source), matching
+    the contention behaviour the paper studies.
+    """
+
+    def __init__(
+        self,
+        distribution,
+        txn_size: int = 4,
+        amount: float = 1.0,
+        pact_fraction: float = 1.0,
+        rng: Optional[random.Random] = None,
+        ordered_access: bool = False,
+    ):
+        if txn_size < 1:
+            raise ValueError("txn_size must be >= 1")
+        self.distribution = distribution
+        self.txn_size = txn_size
+        self.amount = amount
+        self.pact_fraction = pact_fraction
+        self.rng = rng or random.Random(0)
+        #: §5.2.2's deadlock-free variant: access actors in ID order.
+        self.ordered_access = ordered_access
+
+    def next_txn(self) -> TxnSpec:
+        keys = self.distribution.sample_distinct(self.txn_size)
+        if self.ordered_access:
+            keys = sorted(keys)
+        source, destinations = keys[0], keys[1:]
+        is_pact = self.rng.random() < self.pact_fraction
+        access = {key: 1 for key in keys}
+        return TxnSpec(
+            kind=ACCOUNT_KIND,
+            start_key=source,
+            method="multi_transfer",
+            func_input=(self.amount, destinations),
+            access=access,
+            is_pact=is_pact,
+        )
+
+
+def total_money(balances: List[float]) -> float:
+    return sum(balances)

@@ -1,0 +1,519 @@
+"""TPC-C NewOrder on actors (§5.1.1, §5.4.2, Fig. 18).
+
+Following the paper, each *warehouse* is modelled as a group of actors
+holding its partitioned tables:
+
+* ``warehouse`` — one actor per warehouse; W_TAX and YTD (read-only in
+  NewOrder).
+* ``district`` — one actor per warehouse holding its 10 districts;
+  NewOrder reads D_TAX and increments D_NEXT_O_ID (read-write).
+* ``customer`` — one actor per warehouse (read-only in NewOrder).
+* ``item`` — the global 100k-row item table, hash-partitioned across a
+  configurable number of read-only actors shared by all warehouses.
+* ``stock`` — each warehouse's stock table hash-partitioned across
+  ``stock_partitions`` actors (read-write).
+* ``order`` — the insertion-only Order/NewOrder/OrderLine tables,
+  partitioned across ``order_partitions`` actors per warehouse.  §5.4.2
+  controls workload skew by varying this partition count, and we do the
+  same.
+
+A NewOrder with its 5-15 item lines touches on average ~15 actors of
+which ~3 are read-only, matching the paper's description.  The accessed
+actors and counts are fully determined by the generated inputs, so the
+same transaction runs as a PACT (with ``actorAccessInfo``) or an ACT.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.actors.ref import ActorId
+from repro.baselines.nontransactional import NonTransactionalActor
+from repro.baselines.orleans_txn import OrleansTxnActor
+from repro.core.context import AccessMode, FuncCall
+from repro.core.transactional_actor import TransactionalActor
+from repro.sim.loop import gather, spawn
+from repro.workloads.smallbank import TxnSpec
+
+NUM_ITEMS = 1_000
+ITEMS_PER_WAREHOUSE_DISTRICTS = 10
+
+
+@dataclass(frozen=True)
+class TpccLayout:
+    """How tables map to actors (Fig. 18)."""
+
+    num_warehouses: int = 2
+    item_partitions: int = 2
+    stock_partitions: int = 4
+    order_partitions: int = 4
+    num_items: int = NUM_ITEMS
+
+    # -- actor keys -------------------------------------------------------
+    def warehouse(self, w: int) -> Tuple[str, int]:
+        return ("warehouse", w)
+
+    def district(self, w: int, d: int) -> Tuple[str, Tuple[int, int]]:
+        return ("district", (w, d))
+
+    def customer(self, w: int) -> Tuple[str, int]:
+        return ("customer", w)
+
+    def item_partition(self, i_id: int) -> Tuple[str, int]:
+        return ("item", i_id % self.item_partitions)
+
+    def stock_partition(self, w: int, i_id: int) -> Tuple[str, Tuple[int, int]]:
+        return ("stock", (w, i_id % self.stock_partitions))
+
+    def order_partition(self, w: int, d_id: int) -> Tuple[str, Tuple[int, int]]:
+        return ("order", (w, d_id % self.order_partitions))
+
+
+class TpccLogicBase:
+    """Shared state initializers for the table actors."""
+
+    layout: TpccLayout  # injected by the factory helpers
+
+
+class WarehouseLogic:
+    def initial_state(self):
+        w = self.id.key
+        return {"w_id": w, "w_tax": 0.05 + (w % 10) * 0.005, "w_ytd": 0.0}
+
+    async def read_tax(self, ctx, _input=None):
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["w_tax"]
+
+    async def pay_warehouse(self, ctx, amount: float):
+        """Payment's warehouse leg: W_YTD accumulates."""
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["w_ytd"] += amount
+        return state["w_ytd"]
+
+
+class DistrictLogic:
+    def initial_state(self):
+        _w, d = self.id.key
+        return {"d_tax": 0.01 + d * 0.005, "d_next_o_id": 3001}
+
+    async def next_order_id(self, ctx, _d_id: int):
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        o_id = state["d_next_o_id"]
+        state["d_next_o_id"] = o_id + 1
+        return o_id, state["d_tax"]
+
+
+class CustomerLogic:
+    def initial_state(self):
+        return {
+            c: {
+                "c_discount": (c % 50) / 1000.0,
+                "c_last": f"name-{c}",
+                "c_balance": 0.0,
+                "c_ytd_payment": 0.0,
+                "c_payment_cnt": 0,
+            }
+            for c in range(300)
+        }
+
+    async def read_customer(self, ctx, c_id: int):
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state[c_id % 300]
+
+    async def pay_customer(self, ctx, payment_input):
+        """Payment's customer leg: balance down, YTD and count up."""
+        c_id, amount = payment_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        customer = state[c_id % 300]
+        customer["c_balance"] -= amount
+        customer["c_ytd_payment"] += amount
+        customer["c_payment_cnt"] += 1
+        return customer["c_balance"]
+
+
+class ItemLogic:
+    def initial_state(self):
+        # this partition holds the items hashing to its key
+        return {"prices": {}}
+
+    async def read_items(self, ctx, i_ids):
+        state = await self.get_state(ctx, AccessMode.READ)
+        prices = state["prices"]
+        result = {}
+        for i_id in i_ids:
+            if i_id not in prices:
+                prices[i_id] = 1.0 + (i_id % 100) / 10.0
+            result[i_id] = prices[i_id]
+        return result
+
+
+class StockLogic:
+    def initial_state(self):
+        return {"quantities": {}}
+
+    async def update_stock(self, ctx, lines):
+        """Decrement stock for the (i_id, qty) lines in this partition."""
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        quantities = state["quantities"]
+        for i_id, qty in lines:
+            current = quantities.get(i_id, 91)
+            if current - qty < 10:
+                current += 91  # TPC-C restock rule
+            quantities[i_id] = current - qty
+        return len(lines)
+
+
+class OrderLogic:
+    def initial_state(self):
+        return {"orders": []}
+
+    async def insert_order(self, ctx, order):
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["orders"].append(order)
+        if getattr(self, "incremental_logging", False):
+            # §5.4.2 extension: log only the inserted order, not the
+            # whole (insertion-only, ever-growing) table
+            self.log_delta(ctx, order)
+        return order["o_id"]
+
+    def apply_delta(self, state, delta):
+        state["orders"].extend(delta)
+        return state
+
+
+class NewOrderRootLogic(DistrictLogic):
+    """The district actor doubles as the NewOrder/Payment entry point."""
+
+    async def payment(self, ctx, txn_input):
+        """TPC-C Payment: update district, warehouse, and customer YTDs.
+
+        A small (3-actor) read-write transaction; combined with NewOrder
+        it forms the classic TPC-C mix.  Its access set is fully known
+        from the inputs, so it runs as a PACT or an ACT.
+        """
+        amount = txn_input["amount"]
+        c_id = txn_input["c_id"]
+        warehouse_actor = txn_input["warehouse_actor"]
+        customer_actor = txn_input["customer_actor"]
+
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["d_ytd"] = state.get("d_ytd", 0.0) + amount
+
+        writes = [
+            self.call_actor(
+                ctx, _aid(warehouse_actor), FuncCall("pay_warehouse", amount)
+            ),
+            self.call_actor(
+                ctx, _aid(customer_actor),
+                FuncCall("pay_customer", (c_id, amount)),
+            ),
+        ]
+        if getattr(ctx, "is_pact", False):
+            for write in writes:
+                spawn(write)
+            return amount
+        results = await gather(*[spawn(w) for w in writes])
+        return results[0]
+
+    async def new_order(self, ctx, txn_input):
+        """TPC-C NewOrder: read item/customer/warehouse info, allocate
+        the order id, update stock partitions, insert the order.
+
+        ``txn_input`` carries the pre-generated parameters plus the
+        actor routing computed by the workload generator, so the actor
+        logic stays declarative.
+        """
+        w_id = txn_input["w_id"]
+        d_id = txn_input["d_id"]
+        c_id = txn_input["c_id"]
+        by_item_partition = txn_input["item_groups"]
+        by_stock_partition = txn_input["stock_groups"]
+        order_actor = txn_input["order_actor"]
+        warehouse_actor = txn_input["warehouse_actor"]
+        customer_actor = txn_input["customer_actor"]
+
+        o_id, d_tax = await self.next_order_id(ctx, d_id)
+
+        # read-only lookups (awaited: their values feed the computation)
+        reads = [
+            spawn(self.call_actor(
+                ctx, _aid(warehouse_actor), FuncCall("read_tax")
+            )),
+            spawn(self.call_actor(
+                ctx, _aid(customer_actor), FuncCall("read_customer", c_id)
+            )),
+        ]
+        item_calls = [
+            spawn(self.call_actor(
+                ctx, _aid(actor), FuncCall("read_items", i_ids)
+            ))
+            for actor, i_ids in by_item_partition
+        ]
+        w_tax, customer = (await gather(*reads))[:2]
+        price_maps = await gather(*item_calls)
+        prices: Dict[int, float] = {}
+        for chunk in price_maps:
+            prices.update(chunk)
+
+        lines = []
+        total = 0.0
+        for i_id, qty in txn_input["order_lines"]:
+            amount = prices[i_id] * qty
+            total += amount
+            lines.append({"i_id": i_id, "qty": qty, "amount": amount})
+        total *= (1 + w_tax + d_tax) * (1 - customer["c_discount"])
+        order = {"o_id": o_id, "d_id": d_id, "c_id": c_id,
+                 "total": total, "lines": lines}
+
+        # writes: stock updates and the order insert.  PACTs need not
+        # await them (per-actor completion counting, §4.2); ACTs and the
+        # baselines must.
+        writes = [
+            self.call_actor(
+                ctx, _aid(actor), FuncCall("update_stock", group)
+            )
+            for actor, group in by_stock_partition
+        ]
+        writes.append(
+            self.call_actor(ctx, _aid(order_actor), FuncCall("insert_order", order))
+        )
+        if getattr(ctx, "is_pact", False):
+            for write in writes:
+                spawn(write)
+        else:
+            await gather(*[spawn(w) for w in writes])
+        return {"o_id": o_id, "total": total}
+
+
+def _aid(pair) -> ActorId:
+    kind, key = pair
+    return ActorId(kind, key)
+
+
+# -- engine-specific actor classes -------------------------------------------
+class SnapperWarehouse(WarehouseLogic, TransactionalActor):
+    pass
+
+
+class SnapperDistrict(NewOrderRootLogic, TransactionalActor):
+    pass
+
+
+class SnapperCustomer(CustomerLogic, TransactionalActor):
+    pass
+
+
+class SnapperItem(ItemLogic, TransactionalActor):
+    pass
+
+
+class SnapperStock(StockLogic, TransactionalActor):
+    pass
+
+
+class SnapperOrder(OrderLogic, TransactionalActor):
+    pass
+
+
+class SnapperOrderIncremental(SnapperOrder):
+    """Order actor with delta logging (the paper's §5.4.2 future work)."""
+
+    incremental_logging = True
+
+
+class NTWarehouse(WarehouseLogic, NonTransactionalActor):
+    pass
+
+
+class NTDistrict(NewOrderRootLogic, NonTransactionalActor):
+    pass
+
+
+class NTCustomer(CustomerLogic, NonTransactionalActor):
+    pass
+
+
+class NTItem(ItemLogic, NonTransactionalActor):
+    pass
+
+
+class NTStock(StockLogic, NonTransactionalActor):
+    pass
+
+
+class NTOrder(OrderLogic, NonTransactionalActor):
+    pass
+
+
+class OrleansWarehouse(WarehouseLogic, OrleansTxnActor):
+    pass
+
+
+class OrleansDistrict(NewOrderRootLogic, OrleansTxnActor):
+    pass
+
+
+class OrleansCustomer(CustomerLogic, OrleansTxnActor):
+    pass
+
+
+class OrleansItem(ItemLogic, OrleansTxnActor):
+    pass
+
+
+class OrleansStock(StockLogic, OrleansTxnActor):
+    pass
+
+
+class OrleansOrder(OrderLogic, OrleansTxnActor):
+    pass
+
+
+def tpcc_actor_families(
+    incremental_orders: bool = False,
+) -> Dict[str, Dict[str, Any]]:
+    """Actor registrations per engine family, for EngineRunner.
+
+    ``incremental_orders=True`` swaps the Snapper order actors for the
+    delta-logging variant (the §5.4.2 logging extension).
+    """
+    return {
+        "snapper": {
+            "warehouse": SnapperWarehouse,
+            "district": SnapperDistrict,
+            "customer": SnapperCustomer,
+            "item": SnapperItem,
+            "stock": SnapperStock,
+            "order": (
+                SnapperOrderIncremental if incremental_orders else SnapperOrder
+            ),
+        },
+        "nt": {
+            "warehouse": NTWarehouse,
+            "district": NTDistrict,
+            "customer": NTCustomer,
+            "item": NTItem,
+            "stock": NTStock,
+            "order": NTOrder,
+        },
+        "orleans": {
+            "warehouse": OrleansWarehouse,
+            "district": OrleansDistrict,
+            "customer": OrleansCustomer,
+            "item": OrleansItem,
+            "stock": OrleansStock,
+            "order": OrleansOrder,
+        },
+    }
+
+
+class TpccWorkload:
+    """Generates NewOrder transactions (§5.4.2).
+
+    ``min_items``/``max_items`` control the line count (TPC-C: 5-15);
+    the layout's ``order_partitions`` sets the contention level on the
+    insertion-heavy Order tables, as in the paper's skew knob.
+    """
+
+    def __init__(
+        self,
+        layout: Optional[TpccLayout] = None,
+        rng: Optional[random.Random] = None,
+        min_items: int = 5,
+        max_items: int = 15,
+        payment_fraction: float = 0.0,
+    ):
+        """``payment_fraction`` mixes in TPC-C Payment transactions (the
+        paper uses NewOrder only — §5.1.1 — so the default is 0)."""
+        self.layout = layout or TpccLayout()
+        self.rng = rng or random.Random(0)
+        self.min_items = min_items
+        self.max_items = max_items
+        self.payment_fraction = payment_fraction
+
+    def next_txn(self) -> TxnSpec:
+        if self.rng.random() < self.payment_fraction:
+            return self.next_payment()
+        return self.next_new_order()
+
+    def next_payment(self) -> TxnSpec:
+        layout = self.layout
+        rng = self.rng
+        w_id = rng.randrange(layout.num_warehouses)
+        d_id = rng.randrange(ITEMS_PER_WAREHOUSE_DISTRICTS)
+        district_actor = layout.district(w_id, d_id)
+        warehouse_actor = layout.warehouse(w_id)
+        customer_actor = layout.customer(w_id)
+        func_input = {
+            "amount": round(rng.uniform(1.0, 5000.0), 2),
+            "c_id": rng.randrange(300),
+            "warehouse_actor": warehouse_actor,
+            "customer_actor": customer_actor,
+        }
+        access = {
+            _aid(district_actor): 1,
+            _aid(warehouse_actor): 1,
+            _aid(customer_actor): 1,
+        }
+        return TxnSpec(
+            kind="district",
+            start_key=(w_id, d_id),
+            method="payment",
+            func_input=func_input,
+            access=access,
+            is_pact=True,
+        )
+
+    def next_new_order(self) -> TxnSpec:
+        layout = self.layout
+        rng = self.rng
+        w_id = rng.randrange(layout.num_warehouses)
+        d_id = rng.randrange(ITEMS_PER_WAREHOUSE_DISTRICTS)
+        c_id = rng.randrange(300)
+        num_lines = rng.randint(self.min_items, self.max_items)
+        i_ids = rng.sample(range(layout.num_items), num_lines)
+        order_lines = [(i_id, rng.randint(1, 10)) for i_id in i_ids]
+
+        item_groups: Dict[Tuple[str, int], List[int]] = {}
+        stock_groups: Dict[Tuple[str, Any], List[Tuple[int, int]]] = {}
+        for i_id, qty in order_lines:
+            item_groups.setdefault(layout.item_partition(i_id), []).append(i_id)
+            stock_groups.setdefault(
+                layout.stock_partition(w_id, i_id), []
+            ).append((i_id, qty))
+
+        district_actor = layout.district(w_id, d_id)
+        warehouse_actor = layout.warehouse(w_id)
+        customer_actor = layout.customer(w_id)
+        order_actor = layout.order_partition(w_id, d_id)
+
+        func_input = {
+            "w_id": w_id,
+            "d_id": d_id,
+            "c_id": c_id,
+            "order_lines": order_lines,
+            "item_groups": sorted(item_groups.items()),
+            "stock_groups": sorted(stock_groups.items()),
+            "warehouse_actor": warehouse_actor,
+            "customer_actor": customer_actor,
+            "order_actor": order_actor,
+        }
+        access: Dict[ActorId, int] = {_aid(district_actor): 1}
+        access[_aid(warehouse_actor)] = 1
+        access[_aid(customer_actor)] = 1
+        for actor in item_groups:
+            access[_aid(actor)] = 1
+        for actor in stock_groups:
+            access[_aid(actor)] = 1
+        access[_aid(order_actor)] = access.get(_aid(order_actor), 0) + 1
+
+        return TxnSpec(
+            kind="district",
+            start_key=(w_id, d_id),
+            method="new_order",
+            func_input=func_input,
+            access=access,
+            is_pact=True,
+        )

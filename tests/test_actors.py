@@ -1,0 +1,301 @@
+"""Tests for the Orleans-like virtual actor runtime."""
+
+import pytest
+
+from repro import sim
+from repro.actors import Actor, ActorRuntime, SiloConfig
+from repro.errors import ActorCrashedError, SimulationError, UnknownActorMethodError
+from repro.sim import SimLoop
+
+
+class Counter(Actor):
+    def __init__(self):
+        self.value = 0
+        self.activated = 0
+
+    async def on_activate(self):
+        self.activated += 1
+
+    async def increment(self, by=1):
+        self.value += by
+        return self.value
+
+    async def get(self):
+        return self.value
+
+    async def boom(self):
+        raise ValueError("counter exploded")
+
+
+class SlowActor(Actor):
+    """Non-reentrant: turns must serialize."""
+
+    def __init__(self):
+        self.log = []
+
+    async def slow(self, tag, duration):
+        self.log.append(f"{tag}-start")
+        await sim.sleep(duration)
+        self.log.append(f"{tag}-end")
+        return tag
+
+
+class ReentrantActor(SlowActor):
+    reentrant = True
+
+
+def make_runtime(loop, **kwargs):
+    # zero jitter by default so delivery order is predictable in tests;
+    # the reordering test opts back in explicitly.
+    kwargs.setdefault("net_jitter", 0.0)
+    runtime = ActorRuntime(loop, SiloConfig(**kwargs))
+    runtime.register("counter", Counter)
+    runtime.register("slow", SlowActor)
+    runtime.register("reentrant", ReentrantActor)
+    return runtime
+
+
+def test_call_activates_on_demand_and_returns_result():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        assert not runtime.is_active(ref.id)
+        value = await ref.call("increment", 5)
+        assert runtime.is_active(ref.id)
+        return value
+
+    assert loop.run_until_complete(main()) == 5
+    assert runtime.activations_created == 1
+
+
+def test_state_persists_across_calls_within_activation():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("counter", "acct")
+        await ref.call("increment")
+        await ref.call("increment")
+        return await ref.call("get")
+
+    assert loop.run_until_complete(main()) == 2
+
+
+def test_distinct_keys_get_distinct_actors():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        a = runtime.ref("counter", "a")
+        b = runtime.ref("counter", "b")
+        await a.call("increment", 10)
+        await b.call("increment", 20)
+        return await a.call("get"), await b.call("get")
+
+    assert loop.run_until_complete(main()) == (10, 20)
+
+
+def test_exception_propagates_to_caller():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        with pytest.raises(ValueError, match="counter exploded"):
+            await ref.call("boom")
+        # the actor survives its own exceptions
+        return await ref.call("increment")
+
+    assert loop.run_until_complete(main()) == 1
+
+
+def test_unknown_method_raises():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        with pytest.raises(UnknownActorMethodError):
+            await runtime.ref("counter", 1).call("no_such_method")
+
+    loop.run_until_complete(main())
+
+
+def test_unknown_kind_raises():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        with pytest.raises(SimulationError, match="unknown actor kind"):
+            await runtime.ref("nope", 1).call("anything")
+
+    loop.run_until_complete(main())
+
+
+def test_non_reentrant_turns_serialize():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("slow", 1)
+        futures = [ref.call("slow", tag, 1.0) for tag in ("a", "b")]
+        await sim.gather(*futures)
+        actor = runtime._activations[ref.id].actor
+        return actor.log
+
+    log = loop.run_until_complete(main())
+    assert log == ["a-start", "a-end", "b-start", "b-end"]
+
+
+def test_reentrant_turns_interleave_at_awaits():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("reentrant", 1)
+        futures = [ref.call("slow", tag, 1.0) for tag in ("a", "b")]
+        await sim.gather(*futures)
+        actor = runtime._activations[ref.id].actor
+        return actor.log
+
+    log = loop.run_until_complete(main())
+    assert log == ["a-start", "b-start", "a-end", "b-end"]
+
+
+def test_messages_can_be_reordered_by_jitter():
+    """With jitter larger than the base latency gap, send order != arrival."""
+    loop = SimLoop(seed=3)
+    runtime = make_runtime(loop, net_latency=1e-4, net_jitter=5e-3)
+    arrivals = []
+
+    class Recorder(Actor):
+        reentrant = True
+
+        async def note(self, tag):
+            arrivals.append(tag)
+
+    runtime.register("recorder", Recorder)
+
+    async def main():
+        ref = runtime.ref("recorder", 1)
+        futures = [ref.call("note", i) for i in range(30)]
+        await sim.gather(*futures)
+
+    loop.run_until_complete(main())
+    assert sorted(arrivals) == list(range(30))
+    assert arrivals != list(range(30)), "jitter should reorder some messages"
+
+
+def test_kill_drops_state_and_reactivates():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        await ref.call("increment", 100)
+        assert runtime.kill(ref.id)
+        # the next call transparently re-activates with fresh state
+        value = await ref.call("get")
+        actor = runtime._activations[ref.id].actor
+        return value, actor.incarnation
+
+    value, incarnation = loop.run_until_complete(main())
+    assert value == 0
+    assert incarnation == 2
+
+
+def test_kill_fails_inflight_turn():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        ref = runtime.ref("slow", 1)
+        fut = ref.call("slow", "x", 5.0)
+        await sim.sleep(1.0)  # the turn is now suspended mid-sleep
+        runtime.kill(ref.id)
+        with pytest.raises(ActorCrashedError):
+            await fut
+
+    loop.run_until_complete(main())
+
+
+def test_kill_all_crashes_the_silo():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+
+    async def main():
+        for key in range(5):
+            await runtime.ref("counter", key).call("increment")
+        assert runtime.active_count() == 5
+        assert runtime.kill_all() == 5
+        assert runtime.active_count() == 0
+        # silo comes back: actors reactivate on demand
+        return await runtime.ref("counter", 0).call("get")
+
+    assert loop.run_until_complete(main()) == 0
+
+
+def test_idle_deactivation():
+    loop = SimLoop()
+    runtime = make_runtime(loop, idle_deactivate_after=10.0)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        await ref.call("increment")
+        assert runtime.is_active(ref.id)
+        await sim.sleep(25.0)
+        assert not runtime.is_active(ref.id)
+        # virtual actor: usable again immediately
+        return await ref.call("get")
+
+    assert loop.run_until_complete(main()) == 0
+
+
+def test_dispatch_charges_cpu():
+    loop = SimLoop()
+    runtime = make_runtime(loop, cores=1, cpu_per_dispatch=1e-3)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        await sim.gather(*[ref.call("increment") for _ in range(10)])
+
+    loop.run_until_complete(main())
+    assert runtime.cpu.busy_time == pytest.approx(10e-3)
+
+
+def test_actor_charge_contends_for_cores():
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(cores=2, cpu_per_dispatch=0.0))
+
+    class Burner(Actor):
+        reentrant = True
+
+        async def burn(self):
+            await self.charge(1.0)
+
+    runtime.register("burner", Burner)
+
+    async def main():
+        refs = [runtime.ref("burner", i) for i in range(4)]
+        await sim.gather(*[r.call("burn") for r in refs])
+
+    loop.run_until_complete(main())
+    # 4 seconds of work over 2 cores: at least 2 simulated seconds.
+    assert loop.now >= 2.0
+
+
+def test_services_registry():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+    runtime.services["thing"] = object()
+    assert runtime.service("thing") is runtime.services["thing"]
+    with pytest.raises(SimulationError):
+        runtime.service("missing")
+
+
+def test_register_twice_rejected():
+    loop = SimLoop()
+    runtime = make_runtime(loop)
+    with pytest.raises(SimulationError):
+        runtime.register("counter", Counter)

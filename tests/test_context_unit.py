@@ -1,0 +1,90 @@
+"""Unit tests for transaction contexts and execution info."""
+
+import pytest
+
+from repro.actors.ref import ActorId
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    SubBatch,
+    TxnContext,
+    TxnExeInfo,
+    TxnMode,
+)
+
+
+def actor(key):
+    return ActorId("account", key)
+
+
+def test_ctx_is_pact():
+    pact = TxnContext(tid=1, mode=TxnMode.PACT, start_actor=actor(1),
+                      coordinator_key=0, bid=1)
+    act = TxnContext(tid=2, mode=TxnMode.ACT, start_actor=actor(1),
+                     coordinator_key=0)
+    assert pact.is_pact
+    assert not act.is_pact
+    assert act.bid is None
+
+
+def test_ctx_immutable():
+    ctx = TxnContext(tid=1, mode=TxnMode.ACT, start_actor=actor(1),
+                     coordinator_key=0)
+    with pytest.raises(Exception):
+        ctx.tid = 99
+
+
+def test_exe_info_merge_participants_and_sets():
+    a = TxnExeInfo()
+    a.participants.add(actor(1))
+    a.observe_before(5)
+    a.observe_after(actor(1), 9)
+    b = TxnExeInfo()
+    b.participants.add(actor(2))
+    b.writers.add(actor(2))
+    b.observe_before(7)
+    b.observe_after(actor(2), None)  # incomplete there
+    b.attempted.add(actor(3))
+    a.merge(b)
+    assert a.participants == {actor(1), actor(2)}
+    assert a.writers == {actor(2)}
+    assert a.max_bs == 7
+    assert a.min_as == 9
+    assert a.as_incomplete_on == {actor(2)}
+    assert a.attempted == {actor(3)}
+    assert not a.after_set_complete
+
+
+def test_exe_info_none_handling():
+    info = TxnExeInfo()
+    info.observe_before(None)
+    assert info.max_bs is None
+    info.observe_before(3)
+    info.observe_before(None)
+    assert info.max_bs == 3
+    assert info.after_set_complete  # nothing observed -> nothing missing
+
+
+def test_exe_info_snapshot_is_independent():
+    info = TxnExeInfo()
+    info.participants.add(actor(1))
+    snap = info.snapshot()
+    info.participants.add(actor(2))
+    assert snap.participants == {actor(1)}
+
+
+def test_sub_batch_tids_ordered():
+    sb = SubBatch(bid=5, prev_bid=None, coordinator_key=1,
+                  plans=((5, 1), (6, 2), (9, 1)))
+    assert sb.tids == (5, 6, 9)
+
+
+def test_func_call_defaults():
+    call = FuncCall("deposit")
+    assert call.method == "deposit"
+    assert call.func_input is None
+
+
+def test_access_mode_names():
+    assert AccessMode.READ == "Read"
+    assert AccessMode.READ_WRITE == "ReadWrite"

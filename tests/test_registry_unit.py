@@ -1,0 +1,133 @@
+"""Unit tests for the commit registry (bid-order commit, §4.2.4)."""
+
+import pytest
+
+from repro import sim
+from repro.core.registry import CommitRegistry
+from repro.errors import SimulationError, TransactionAbortedError
+from repro.sim import SimLoop
+
+
+def run(coro):
+    return SimLoop().run_until_complete(coro)
+
+
+def test_batches_commit_in_bid_order():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.register_batch(5, 1, ())
+    with pytest.raises(SimulationError, match="out of bid order"):
+        registry.mark_committed(5)
+    registry.mark_committed(1)
+    registry.mark_committed(5)
+    assert registry.last_committed_bid == 5
+
+
+def test_register_out_of_order_rejected():
+    registry = CommitRegistry()
+    registry.register_batch(10, 0, ())
+    with pytest.raises(SimulationError, match="out of order"):
+        registry.register_batch(5, 0, ())
+
+
+def test_wait_turn_blocks_until_predecessor_commits():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.register_batch(2, 1, ())
+    order = []
+
+    async def committer(bid):
+        await registry.wait_turn_to_commit(bid)
+        registry.mark_committed(bid)
+        order.append(bid)
+
+    async def main():
+        second = sim.spawn(committer(2))
+        await sim.sleep(0.1)
+        assert not second.done()
+        first = sim.spawn(committer(1))
+        await sim.gather(first, second)
+
+    run(main())
+    assert order == [1, 2]
+
+
+def test_wait_turn_raises_for_aborted_batch():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.register_batch(2, 1, ())
+
+    async def main():
+        waiter = sim.spawn(registry.wait_turn_to_commit(2))
+        await sim.sleep(0.01)
+        registry.mark_aborted(2)
+        with pytest.raises(TransactionAbortedError):
+            await waiter
+
+    run(main())
+
+
+def test_is_committed_below_watermark_after_gc():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.mark_committed(1)
+    assert registry.is_committed(1)
+    assert registry.is_committed(0)  # below watermark => presumed committed
+    assert not registry.is_committed(2)
+
+
+def test_wait_until_committed_resolves_and_raises():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.register_batch(2, 1, ())
+
+    async def main():
+        w1 = sim.spawn(registry.wait_until_committed(1))
+        w2 = sim.spawn(registry.wait_until_committed(2))
+        await sim.sleep(0.01)
+        registry.mark_committed(1)
+        await w1
+        registry.mark_aborted(2)
+        with pytest.raises(TransactionAbortedError):
+            await w2
+
+    run(main())
+
+
+def test_wait_until_committed_timeout():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+
+    async def main():
+        with pytest.raises(TimeoutError):
+            await registry.wait_until_committed(1, timeout=0.2)
+        return sim.now()
+
+    assert run(main()) == pytest.approx(0.2)
+
+
+def test_uncommitted_batches_lists_pending_chain():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ("a",))
+    registry.register_batch(2, 1, ("b",))
+    registry.mark_committed(1)
+    pending = registry.uncommitted_batches()
+    assert [b.bid for b in pending] == [2]
+    assert pending[0].participants == ("b",)
+
+
+def test_abort_unknown_batch_is_noop():
+    registry = CommitRegistry()
+    registry.mark_aborted(99)
+    assert registry.batches_aborted == 0
+
+
+def test_reset_clears_state():
+    registry = CommitRegistry()
+    registry.register_batch(1, 0, ())
+    registry.mark_committed(1)
+    registry.reset()
+    assert registry.last_committed_bid == -1
+    assert registry.uncommitted_batches() == []
+    # a smaller bid is registrable again after reset
+    registry.register_batch(1, 0, ())

@@ -1,0 +1,220 @@
+"""Edge-case tests for the actor runtime and simulation kernel."""
+
+import pytest
+
+from repro import sim
+from repro.actors import Actor, ActorRuntime, SiloConfig
+from repro.errors import ActorCrashedError, SimulationError
+from repro.sim import SimLoop, gather, spawn
+
+
+class Failing(Actor):
+    """Actor whose activation hook explodes."""
+
+    async def on_activate(self):
+        raise RuntimeError("cannot activate")
+
+    async def anything(self):
+        return "never"
+
+
+class Counter(Actor):
+    reentrant = True
+
+    def __init__(self):
+        self.value = 0
+
+    async def increment(self, by=1):
+        self.value += by
+        return self.value
+
+
+def test_failed_activation_fails_queued_requests():
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(net_jitter=0.0))
+    runtime.register("failing", Failing)
+
+    async def main():
+        ref = runtime.ref("failing", 1)
+        futures = [ref.call("anything") for _ in range(3)]
+        for fut in futures:
+            with pytest.raises(ActorCrashedError, match="failed to activate"):
+                await fut
+        assert not runtime.is_active(ref.id)
+
+    loop.run_until_complete(main())
+
+
+def test_reactivation_after_failed_activation():
+    """A kind can recover if its factory stops failing (config fix)."""
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(net_jitter=0.0))
+    attempts = []
+
+    class Flaky(Counter):
+        async def on_activate(self):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("first activation fails")
+
+    runtime.register("flaky", Flaky)
+
+    async def main():
+        ref = runtime.ref("flaky", 1)
+        with pytest.raises(ActorCrashedError):
+            await ref.call("increment")
+        return await ref.call("increment")
+
+    assert loop.run_until_complete(main()) == 1
+    assert len(attempts) == 2
+
+
+def test_deactivate_then_call_reactivates():
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(net_jitter=0.0))
+    runtime.register("counter", Counter)
+
+    async def main():
+        ref = runtime.ref("counter", 1)
+        await ref.call("increment", 5)
+        runtime.deactivate(ref.id)
+        assert not runtime.is_active(ref.id)
+        return await ref.call("increment", 1)  # fresh state
+
+    assert loop.run_until_complete(main()) == 1
+
+
+def test_idle_deactivation_skips_busy_actor():
+    loop = SimLoop()
+    runtime = ActorRuntime(
+        loop, SiloConfig(net_jitter=0.0, idle_deactivate_after=0.01)
+    )
+
+    class Busy(Actor):
+        reentrant = True
+
+        async def long_turn(self):
+            await sim.sleep(0.05)  # longer than the idle timeout
+            return "done"
+
+    runtime.register("busy", Busy)
+
+    async def main():
+        ref = runtime.ref("busy", 1)
+        result = await ref.call("long_turn")
+        assert result == "done"
+        # it stayed active through the whole long turn
+        await sim.sleep(0.05)
+        return runtime.is_active(ref.id)
+
+    assert loop.run_until_complete(main()) is False  # idles out afterwards
+
+
+def test_kill_nonexistent_actor_returns_false():
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig())
+    runtime.register("counter", Counter)
+    from repro.actors.ref import ActorId
+
+    assert runtime.kill(ActorId("counter", "ghost")) is False
+
+
+def test_max_events_budget_guards_livelock():
+    loop = SimLoop()
+
+    def reschedule():
+        loop.call_later(0.0, reschedule)
+
+    loop.call_later(0.0, reschedule)
+    with pytest.raises(SimulationError, match="event budget"):
+        loop.run(max_events=1000)
+
+
+def test_negative_sleep_rejected():
+    loop = SimLoop()
+
+    async def main():
+        await sim.sleep(-1)
+
+    with pytest.raises(SimulationError, match="negative sleep"):
+        loop.run_until_complete(main())
+
+
+def test_actor_self_call_through_rpc():
+    """A reentrant actor may RPC itself (used for multi-access PACTs)."""
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(net_jitter=0.0))
+
+    class SelfCaller(Actor):
+        reentrant = True
+
+        async def outer(self):
+            inner = await self.self_ref().call("inner")
+            return f"outer({inner})"
+
+        async def inner(self):
+            return "inner"
+
+    runtime.register("selfcaller", SelfCaller)
+
+    async def main():
+        return await runtime.ref("selfcaller", 1).call("outer")
+
+    assert loop.run_until_complete(main()) == "outer(inner)"
+
+
+def test_non_reentrant_self_call_deadlocks_detectably():
+    """The classic anti-pattern: a non-reentrant actor calling itself
+    never completes (caught by run_until_complete's deadlock report)."""
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(net_jitter=0.0))
+
+    class Stuck(Actor):
+        reentrant = False
+
+        async def outer(self):
+            return await self.self_ref().call("inner")
+
+        async def inner(self):
+            return "inner"
+
+    runtime.register("stuck", Stuck)
+
+    async def main():
+        return await runtime.ref("stuck", 1).call("outer")
+
+    with pytest.raises(SimulationError, match="pending"):
+        loop.run_until_complete(main(), until=1.0)
+
+
+def test_gather_of_nothing():
+    loop = SimLoop()
+
+    async def main():
+        return await gather()
+
+    assert loop.run_until_complete(main()) == []
+
+
+def test_spawn_inherits_silo_tag():
+    loop = SimLoop()
+    runtime = ActorRuntime(loop, SiloConfig(num_silos=4, net_jitter=0.0))
+    observed = []
+
+    class Tagged(Actor):
+        reentrant = True
+
+        async def work(self):
+            async def child():
+                observed.append(loop.current_task.silo)
+
+            await spawn(child())
+
+    runtime.register("tagged", Tagged)
+
+    async def main():
+        ref = runtime.ref("tagged", "k")
+        await ref.call("work")
+
+    loop.run_until_complete(main())
+    assert observed == [runtime.silo_of(runtime.ref("tagged", "k").id)]

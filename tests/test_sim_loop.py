@@ -1,0 +1,225 @@
+"""Tests for the virtual-time event loop, futures, and tasks."""
+
+import pytest
+
+from repro import sim
+from repro.errors import CancelledError, SimulationError
+from repro.sim import Future, SimLoop
+
+
+def test_run_until_complete_returns_result():
+    loop = SimLoop()
+
+    async def main():
+        return 42
+
+    assert loop.run_until_complete(main()) == 42
+
+
+def test_sleep_advances_virtual_time():
+    loop = SimLoop()
+    times = []
+
+    async def main():
+        times.append(sim.now())
+        await sim.sleep(1.5)
+        times.append(sim.now())
+        await sim.sleep(0.25)
+        times.append(sim.now())
+
+    loop.run_until_complete(main())
+    assert times == [0.0, 1.5, 1.75]
+
+
+def test_zero_sleep_yields_control():
+    loop = SimLoop()
+    order = []
+
+    async def child(tag):
+        order.append(f"{tag}-start")
+        await sim.sleep(0)
+        order.append(f"{tag}-end")
+
+    async def main():
+        a = sim.spawn(child("a"))
+        b = sim.spawn(child("b"))
+        await sim.gather(a, b)
+
+    loop.run_until_complete(main())
+    assert order == ["a-start", "b-start", "a-end", "b-end"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    loop = SimLoop()
+    order = []
+    loop.call_at(1.0, order.append, "first")
+    loop.call_at(1.0, order.append, "second")
+    loop.call_at(0.5, order.append, "early")
+    loop.run()
+    assert order == ["early", "first", "second"]
+
+
+def test_run_until_stops_at_deadline():
+    loop = SimLoop()
+    fired = []
+    loop.call_at(5.0, fired.append, "late")
+    loop.call_at(1.0, fired.append, "early")
+    loop.run(until=2.0)
+    assert fired == ["early"]
+    assert loop.now == 2.0
+    loop.run()
+    assert fired == ["early", "late"]
+
+
+def test_cannot_schedule_in_the_past():
+    loop = SimLoop()
+    loop.call_at(3.0, lambda: None)
+    loop.run()
+    with pytest.raises(SimulationError):
+        loop.call_at(1.0, lambda: None)
+
+
+def test_task_exception_propagates():
+    loop = SimLoop()
+
+    async def boom():
+        await sim.sleep(1)
+        raise ValueError("boom")
+
+    async def main():
+        with pytest.raises(ValueError, match="boom"):
+            await sim.spawn(boom())
+
+    loop.run_until_complete(main())
+
+
+def test_future_single_assignment():
+    fut = Future()
+    fut.set_result(1)
+    with pytest.raises(SimulationError):
+        fut.set_result(2)
+    assert fut.result() == 1
+    assert not fut.try_set_result(3)
+
+
+def test_future_callbacks_fire_once_each():
+    fut = Future()
+    seen = []
+    fut.add_done_callback(lambda f: seen.append("a"))
+    fut.set_result(None)
+    fut.add_done_callback(lambda f: seen.append("b"))
+    assert seen == ["a", "b"]
+
+
+def test_gather_collects_in_argument_order():
+    loop = SimLoop()
+
+    async def delayed(value, delay):
+        await sim.sleep(delay)
+        return value
+
+    async def main():
+        return await sim.gather(
+            sim.spawn(delayed("slow", 2.0)), sim.spawn(delayed("fast", 0.5))
+        )
+
+    assert loop.run_until_complete(main()) == ["slow", "fast"]
+
+
+def test_gather_fails_fast():
+    loop = SimLoop()
+
+    async def ok():
+        await sim.sleep(10)
+        return "late"
+
+    async def bad():
+        await sim.sleep(1)
+        raise RuntimeError("early failure")
+
+    async def main():
+        with pytest.raises(RuntimeError, match="early failure"):
+            await sim.gather(sim.spawn(ok()), sim.spawn(bad()))
+        return sim.now()
+
+    # gather resolves at the failure time, not the slow task's time
+    assert loop.run_until_complete(main()) == 1.0
+
+
+def test_task_cancel_interrupts_sleep():
+    loop = SimLoop()
+    progress = []
+
+    async def worker():
+        progress.append("start")
+        await sim.sleep(100)
+        progress.append("never")
+
+    async def main():
+        task = sim.spawn(worker())
+        await sim.sleep(1)
+        assert task.cancel()
+        with pytest.raises(CancelledError):
+            await task
+        return sim.now()
+
+    assert loop.run_until_complete(main()) == 1.0
+    assert progress == ["start"]
+
+
+def test_wait_for_times_out():
+    loop = SimLoop()
+
+    async def slow():
+        await sim.sleep(50)
+        return "done"
+
+    async def main():
+        with pytest.raises(TimeoutError):
+            await sim.wait_for(sim.spawn(slow()), timeout=2.0)
+        return sim.now()
+
+    assert loop.run_until_complete(main()) == 2.0
+
+
+def test_wait_for_passes_result_through():
+    loop = SimLoop()
+
+    async def quick():
+        await sim.sleep(1)
+        return "value"
+
+    async def main():
+        return await sim.wait_for(sim.spawn(quick()), timeout=10.0)
+
+    assert loop.run_until_complete(main()) == "value"
+
+
+def test_deadlocked_main_is_reported():
+    loop = SimLoop()
+
+    async def main():
+        await Future(label="never")
+
+    with pytest.raises(SimulationError, match="deadlock|pending"):
+        loop.run_until_complete(main())
+
+
+def test_determinism_same_seed_same_trace():
+    def run(seed):
+        loop = SimLoop(seed=seed)
+        trace = []
+
+        async def worker(tag):
+            for _ in range(5):
+                await sim.sleep(loop.rng.random())
+                trace.append((round(sim.now(), 9), tag))
+
+        async def main():
+            await sim.gather(*[sim.spawn(worker(i)) for i in range(4)])
+
+        loop.run_until_complete(main())
+        return trace
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

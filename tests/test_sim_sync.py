@@ -1,0 +1,207 @@
+"""Tests for simulation synchronization primitives and hardware models."""
+
+import pytest
+
+from repro import sim
+from repro.sim import CpuPool, Event, IoDevice, Lock, Queue, Semaphore, SimLoop
+
+
+def test_lock_is_mutually_exclusive():
+    loop = SimLoop()
+    lock = Lock()
+    active = [0]
+    max_active = [0]
+
+    async def worker():
+        async with lock:
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            await sim.sleep(1)
+            active[0] -= 1
+
+    async def main():
+        await sim.gather(*[sim.spawn(worker()) for _ in range(5)])
+
+    loop.run_until_complete(main())
+    assert max_active[0] == 1
+    assert loop.now == 5.0  # fully serialized
+
+
+def test_semaphore_allows_up_to_n():
+    loop = SimLoop()
+    semaphore = Semaphore(3)
+    max_active = [0]
+    active = [0]
+
+    async def worker():
+        async with semaphore:
+            active[0] += 1
+            max_active[0] = max(max_active[0], active[0])
+            await sim.sleep(1)
+            active[0] -= 1
+
+    async def main():
+        await sim.gather(*[sim.spawn(worker()) for _ in range(9)])
+
+    loop.run_until_complete(main())
+    assert max_active[0] == 3
+    assert loop.now == 3.0  # 9 jobs / 3 slots x 1s
+
+
+def test_semaphore_fifo_order():
+    loop = SimLoop()
+    semaphore = Semaphore(1)
+    order = []
+
+    async def worker(tag):
+        await semaphore.acquire()
+        order.append(tag)
+        await sim.sleep(1)
+        semaphore.release()
+
+    async def main():
+        tasks = []
+        for tag in range(4):
+            tasks.append(sim.spawn(worker(tag)))
+            await sim.sleep(0.01)
+        await sim.gather(*tasks)
+
+    loop.run_until_complete(main())
+    assert order == [0, 1, 2, 3]
+
+
+def test_event_releases_all_waiters():
+    loop = SimLoop()
+    event = Event()
+    released = []
+
+    async def waiter(tag):
+        await event.wait()
+        released.append(tag)
+
+    async def main():
+        tasks = [sim.spawn(waiter(i)) for i in range(3)]
+        await sim.sleep(2)
+        assert released == []
+        event.set()
+        await sim.gather(*tasks)
+        # late waiters pass straight through
+        await event.wait()
+
+    loop.run_until_complete(main())
+    assert sorted(released) == [0, 1, 2]
+
+
+def test_queue_put_get():
+    loop = SimLoop()
+    queue = Queue()
+    got = []
+
+    async def consumer():
+        for _ in range(3):
+            got.append(await queue.get())
+
+    async def main():
+        task = sim.spawn(consumer())
+        queue.put("a")
+        await sim.sleep(1)
+        queue.put("b")
+        queue.put("c")
+        await task
+
+    loop.run_until_complete(main())
+    assert got == ["a", "b", "c"]
+
+
+def test_queue_get_nowait_raises_when_empty():
+    queue = Queue()
+    with pytest.raises(IndexError):
+        queue.get_nowait()
+    queue.put(1)
+    assert queue.get_nowait() == 1
+
+
+def test_cpu_pool_caps_throughput():
+    loop = SimLoop()
+    cpu = CpuPool(2)
+
+    async def job():
+        await cpu.execute(1.0)
+
+    async def main():
+        await sim.gather(*[sim.spawn(job()) for _ in range(10)])
+
+    loop.run_until_complete(main())
+    # 10 seconds of work over 2 cores takes 5 simulated seconds.
+    assert loop.now == 5.0
+    assert cpu.busy_time == 10.0
+    assert cpu.utilization(loop.now) == 1.0
+
+
+def test_cpu_pool_more_cores_scale_throughput():
+    durations = {}
+    for cores in (1, 4):
+        loop = SimLoop()
+        cpu = CpuPool(cores)
+
+        async def main():
+            await sim.gather(*[sim.spawn(cpu.execute(0.5)) for _ in range(16)])
+
+        loop.run_until_complete(main())
+        durations[cores] = loop.now
+    assert durations[1] == pytest.approx(4 * durations[4])
+
+
+def test_cpu_zero_cost_is_free():
+    loop = SimLoop()
+    cpu = CpuPool(1)
+
+    async def main():
+        await cpu.execute(0.0)
+        return sim.now()
+
+    assert loop.run_until_complete(main()) == 0.0
+    assert cpu.jobs_executed == 0
+
+
+def test_io_device_serializes_flushes():
+    loop = SimLoop()
+    disk = IoDevice(base_latency=0.01, per_byte=0.0)
+
+    async def main():
+        await sim.gather(*[sim.spawn(disk.flush(100)) for _ in range(5)])
+
+    loop.run_until_complete(main())
+    assert loop.now == pytest.approx(0.05)
+    assert disk.flushes == 5
+    assert disk.bytes_written == 500
+
+
+def test_io_device_per_byte_charge():
+    loop = SimLoop()
+    disk = IoDevice(base_latency=0.001, per_byte=0.0001)
+
+    async def main():
+        await disk.flush(1000)
+        return sim.now()
+
+    assert loop.run_until_complete(main()) == pytest.approx(0.101)
+
+
+def test_io_batched_write_cheaper_than_individual():
+    """One flush of N records beats N flushes — the group-commit effect."""
+
+    def run(sizes):
+        loop = SimLoop()
+        disk = IoDevice(base_latency=0.005, per_byte=1e-6)
+
+        async def main():
+            for size in sizes:
+                await disk.flush(size)
+
+        loop.run_until_complete(main())
+        return loop.now
+
+    individual = run([100] * 20)
+    batched = run([100 * 20])
+    assert batched < individual / 10

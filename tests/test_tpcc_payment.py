@@ -1,0 +1,118 @@
+"""Tests for the TPC-C Payment transaction and the NewOrder/Payment mix."""
+
+import random
+
+import pytest
+
+from repro import TransactionAbortedError
+from repro.actors.ref import ActorId
+from repro.sim import gather, spawn
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.tpcc import TpccLayout, TpccWorkload, tpcc_actor_families
+
+
+def make_runner(engine="pact", seed=5):
+    return EngineRunner(engine, tpcc_actor_families(), seed=seed)
+
+
+def test_payment_spec_shape():
+    wl = TpccWorkload(TpccLayout(num_warehouses=2), rng=random.Random(1),
+                      payment_fraction=1.0)
+    spec = wl.next_txn()
+    assert spec.method == "payment"
+    assert len(spec.access) == 3
+    kinds = {aid.kind for aid in spec.access}
+    assert kinds == {"district", "warehouse", "customer"}
+
+
+def test_payment_updates_all_three_ytds():
+    runner = make_runner("act")
+    wl = TpccWorkload(TpccLayout(num_warehouses=1), rng=random.Random(2),
+                      payment_fraction=1.0)
+    spec = wl.next_txn()
+    amount = spec.func_input["amount"]
+
+    async def main():
+        result = await runner.submit(spec)
+        # inspect the states
+        runtime = runner.system.runtime
+        warehouse = runtime._activations[
+            ActorId("warehouse", 0)
+        ].actor._state
+        district = runtime._activations[
+            ActorId("district", spec.start_key)
+        ].actor._state
+        customer = runtime._activations[
+            ActorId("customer", 0)
+        ].actor._state[spec.func_input["c_id"] % 300]
+        return result, warehouse, district, customer
+
+    result, warehouse, district, customer = runner.loop.run_until_complete(
+        main()
+    )
+    assert warehouse["w_ytd"] == pytest.approx(amount)
+    assert district["d_ytd"] == pytest.approx(amount)
+    assert customer["c_ytd_payment"] == pytest.approx(amount)
+    assert customer["c_balance"] == pytest.approx(-amount)
+    assert customer["c_payment_cnt"] == 1
+
+
+@pytest.mark.parametrize("engine", ["pact", "act"])
+def test_payment_commits_under_both_modes(engine):
+    runner = make_runner(engine)
+    wl = TpccWorkload(TpccLayout(num_warehouses=2), rng=random.Random(3),
+                      payment_fraction=1.0)
+
+    async def main():
+        specs = [wl.next_txn() for _ in range(10)]
+        outcomes = []
+        for spec in specs:
+            try:
+                await runner.submit(spec)
+                outcomes.append("committed")
+            except TransactionAbortedError as exc:
+                outcomes.append(exc.reason)
+        return outcomes
+
+    outcomes = runner.loop.run_until_complete(main())
+    assert outcomes.count("committed") >= 8
+
+
+def test_mixed_neworder_payment_workload_runs():
+    runner = make_runner("pact")
+    wl = TpccWorkload(TpccLayout(num_warehouses=2), rng=random.Random(4),
+                      payment_fraction=0.4)
+    result = run_epochs(
+        runner, wl.next_txn, num_clients=1, pipeline_size=8,
+        epochs=2, epoch_duration=0.2, warmup_epochs=1,
+    )
+    assert result.metrics.committed > 0
+
+
+def test_payment_ytd_totals_consistent_under_concurrency():
+    """Sum of committed payment amounts equals the warehouse YTD —
+    atomicity across the three legs."""
+    runner = make_runner("act", seed=9)
+    wl = TpccWorkload(TpccLayout(num_warehouses=1), rng=random.Random(5),
+                      payment_fraction=1.0)
+    committed_amounts = []
+
+    async def one():
+        spec = wl.next_txn()
+        try:
+            await runner.submit(spec)
+            committed_amounts.append(spec.func_input["amount"])
+        except TransactionAbortedError:
+            pass
+
+    async def main():
+        await gather(*[spawn(one()) for _ in range(15)])
+        from repro import sim
+
+        await sim.sleep(0.05)
+        runtime = runner.system.runtime
+        warehouse = runtime._activations[ActorId("warehouse", 0)].actor
+        return warehouse._committed_state["w_ytd"]
+
+    w_ytd = runner.loop.run_until_complete(main())
+    assert w_ytd == pytest.approx(sum(committed_amounts))

@@ -1,0 +1,112 @@
+"""Tests for the transaction tracing facility (repro.trace)."""
+
+import pytest
+
+from repro import TransactionAbortedError
+from repro.trace import TxnTrace, TxnTracer
+
+from tests.conftest import build_system
+
+
+def traced_system(**kwargs):
+    system = build_system(**kwargs)
+    tracer = TxnTracer()
+    system.runtime.services["txn_tracer"] = tracer
+    return system, tracer
+
+
+# ---------------------------------------------------------------------------
+# unit level
+# ---------------------------------------------------------------------------
+def test_trace_event_ordering_and_durations():
+    trace = TxnTrace(tid=1, mode="PACT")
+    trace.events = [(0.0, "registered", None), (0.010, "committed", None)]
+    assert trace.outcome == "committed"
+    assert trace.duration("registered", "committed") == pytest.approx(0.010)
+    assert trace.duration("registered", "nope") is None
+    assert "committed" in trace.render()
+
+
+def test_tracer_capacity_evicts_oldest():
+    tracer = TxnTracer(capacity=3)
+    for tid in range(5):
+        tracer.record(0.0, tid, "registered")
+    assert len(tracer) == 3
+    assert tracer.trace_of(0) is None
+    assert tracer.trace_of(4) is not None
+
+
+def test_tracer_mean_duration():
+    tracer = TxnTracer()
+    tracer.record(0.0, 1, "a")
+    tracer.record(0.2, 1, "b")
+    tracer.record(1.0, 2, "a")
+    tracer.record(1.4, 2, "b")
+    assert tracer.mean_duration("a", "b") == pytest.approx(0.3)
+    assert tracer.mean_duration("a", "zzz") is None
+
+
+# ---------------------------------------------------------------------------
+# wired into the engine
+# ---------------------------------------------------------------------------
+def test_pact_lifecycle_traced():
+    system, tracer = traced_system()
+
+    async def main():
+        await system.submit_pact("account", 1, "deposit", 5.0, access={1: 1})
+
+    system.run(main())
+    committed = tracer.by_outcome("committed")
+    assert len(committed) == 1
+    trace = committed[0]
+    assert trace.mode == "PACT"
+    names = trace.event_names()
+    assert names.index("registered") < names.index("turn_started")
+    assert names.index("turn_started") < names.index("execution_done")
+    assert names.index("execution_done") < names.index("committed")
+    # batching delay shows up between registration and commit
+    assert trace.duration("registered", "committed") > 0
+
+
+def test_act_lifecycle_traced():
+    system, tracer = traced_system()
+
+    async def main():
+        await system.submit_act("account", 1, "transfer", (5.0, 2))
+
+    system.run(main())
+    committed = tracer.by_outcome("committed")
+    assert len(committed) == 1
+    trace = committed[0]
+    assert trace.mode == "ACT"
+    names = trace.event_names()
+    assert "admitted" in names
+    assert "check_passed" in names
+    assert names.index("execution_done") < names.index("check_passed")
+    assert names[-1] == "committed"
+
+
+def test_aborted_act_traced_with_reason():
+    system, tracer = traced_system()
+
+    async def main():
+        with pytest.raises(TransactionAbortedError):
+            await system.submit_act("account", 1, "transfer", (1e9, 2))
+
+    system.run(main())
+    aborted = tracer.by_outcome("aborted")
+    assert len(aborted) == 1
+    _, _, reason = aborted[0].first("aborted")
+    assert reason == "user_abort"
+
+
+def test_tracing_absent_costs_nothing():
+    system = build_system()
+    assert "txn_tracer" not in system.runtime.services
+
+    async def main():
+        return await system.submit_pact(
+            "account", 1, "deposit", 5.0, access={1: 1}
+        )
+
+    assert system.run(main()) == 105.0

@@ -1,0 +1,92 @@
+"""Property-based tests for repro.verify's conflict-graph machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import AccessMode
+from repro.verify import (
+    build_serialization_graph,
+    is_serializable,
+    serialization_order,
+)
+
+R, W = AccessMode.READ, AccessMode.READ_WRITE
+
+
+def serial_logs(order, accesses_per_txn, num_actors):
+    """Build per-actor logs for transactions executed strictly serially
+    in the given order."""
+    logs = {actor: [] for actor in range(num_actors)}
+    for position, tid in enumerate(order):
+        for actor, mode in accesses_per_txn[tid]:
+            logs[actor].append((tid, mode))
+    return logs
+
+
+@st.composite
+def serial_histories(draw):
+    num_txns = draw(st.integers(2, 8))
+    num_actors = draw(st.integers(1, 5))
+    accesses = {}
+    for tid in range(num_txns):
+        pairs = draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, num_actors - 1),
+                    st.sampled_from([R, W]),
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        accesses[tid] = pairs
+    order = draw(st.permutations(range(num_txns)))
+    return order, accesses, num_actors
+
+
+@given(serial_histories())
+@settings(max_examples=100, deadline=None)
+def test_serial_histories_are_always_serializable(history):
+    order, accesses, num_actors = history
+    logs = serial_logs(order, accesses, num_actors)
+    assert is_serializable(logs)
+
+
+@given(serial_histories())
+@settings(max_examples=100, deadline=None)
+def test_witness_order_respects_conflicts(history):
+    order, accesses, num_actors = history
+    logs = serial_logs(order, accesses, num_actors)
+    witness = serialization_order(logs)
+    position = {tid: i for i, tid in enumerate(witness)}
+    graph = build_serialization_graph(logs)
+    for a, b in graph.edges:
+        assert position[a] < position[b]
+
+
+@given(serial_histories())
+@settings(max_examples=50, deadline=None)
+def test_graph_nodes_cover_all_transactions(history):
+    order, accesses, num_actors = history
+    logs = serial_logs(order, accesses, num_actors)
+    graph = build_serialization_graph(logs)
+    expected = {tid for log in logs.values() for tid, _ in log}
+    assert set(graph.nodes) == expected
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 9), st.sampled_from([R, W])),
+             min_size=2, max_size=10, unique_by=lambda t: t[0])
+)
+@settings(max_examples=100, deadline=None)
+def test_single_actor_log_one_access_each_is_serializable(accesses):
+    """With one access per transaction, a single actor's log is its own
+    serial witness — no cycle is possible."""
+    logs = {"x": [(tid, mode) for tid, mode in accesses]}
+    assert is_serializable(logs)
+
+
+def test_single_actor_unrepeatable_read_detected():
+    """r1(x) w0(x) r1(x) is NOT serializable — the classic unrepeatable
+    read shows up as a 2-cycle even on a single actor."""
+    logs = {"x": [(1, R), (0, W), (1, R)]}
+    assert not is_serializable(logs)

