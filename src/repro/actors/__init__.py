@@ -20,8 +20,8 @@ Failure injection (``kill``/``kill_all``) models actor and silo crashes
 for the recovery protocols (§4.2.5, §4.3.4, §4.4.5).
 """
 
-from repro.actors.ref import ActorId, ActorRef
 from repro.actors.actor import Actor
+from repro.actors.ref import ActorId, ActorRef
 from repro.actors.runtime import ActorRuntime, SiloConfig
 
 __all__ = ["Actor", "ActorId", "ActorRef", "ActorRuntime", "SiloConfig"]

@@ -21,20 +21,19 @@ lock logic, 2PC bookkeeping) is charged explicitly by the layers above.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Hashable, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, Hashable, Optional
 
+from repro.actors.actor import Actor
+from repro.actors.ref import ActorId, ActorRef
 from repro.errors import (
     ActorCrashedError,
     CancelledError,
     SimulationError,
     UnknownActorMethodError,
 )
-from repro.actors.actor import Actor
-from repro.actors.ref import ActorId, ActorRef
 from repro.sim.future import Future
 from repro.sim.loop import SimLoop
 from repro.sim.resources import CpuPool
-from repro.sim.sync import Queue
 
 
 class SiloConfig:

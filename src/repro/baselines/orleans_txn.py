@@ -16,6 +16,15 @@ Orleans 3.4.3 ships distributed actor transactions built on:
   transactions burn their full timeout before aborting, which is why
   OrleansTxn collapses under contention in Fig. 14.
 
+The engine is built on the same layers as Snapper's ACT path: the
+execution mechanics (:class:`~repro.core.engine.act.ActExecutionCore`)
+and the :class:`~repro.core.engine.concurrency.ConcurrencyControl`
+strategy interface — ELR is just another strategy
+(:class:`~repro.core.engine.concurrency.TwoPhaseLockingELR`) plugged
+into the same :class:`~repro.core.locks.ActorLock`.  Only the commit
+protocol (TA-driven 2PC with fate-sharing outcome futures) is
+Orleans-specific.
+
 The paper attributes the remaining ACT-vs-OrleansTxn gap to
 implementation overheads "spread over many operations" (§5.2.3); we
 model that with ``overhead_factor`` multiplying every protocol CPU
@@ -30,7 +39,15 @@ from typing import Any, Dict, Hashable, List, Optional, Set, Union
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
 from repro.actors.runtime import ActorRuntime, SiloConfig
-from repro.core.context import AccessMode, FuncCall, ResultObj, TxnContext
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    ResultObj,
+    TxnContext,
+    TxnExeInfo,
+)
+from repro.core.engine.act import ActExecutionCore, ActRun
+from repro.core.engine.concurrency import TimeoutOnly, TwoPhaseLockingELR
 from repro.core.locks import ActorLock
 from repro.errors import (
     AbortReason,
@@ -46,7 +63,6 @@ from repro.persistence.records import (
 )
 from repro.sim.future import Future
 from repro.sim.loop import SimLoop, gather, wait_for
-
 
 ORLEANS_MODE = "ORLEANS"
 TA_KIND = "orleans-ta"
@@ -86,24 +102,17 @@ class OrleansTxnConfig:
         self.early_lock_release = early_lock_release
 
 
-class _OrleansTxnState:
-    """Per-transaction bookkeeping on one participating actor."""
+class OrleansRun(ActRun):
+    """Per-transaction bookkeeping, extended with ELR fate-sharing."""
 
-    __slots__ = ("undo", "wrote", "epoch", "dependencies", "info",
-                 "elr_outcome", "outstanding")
+    __slots__ = ("dependencies", "elr_outcome")
 
-    def __init__(self, epoch: int):
-        self.undo: Any = None
-        self.wrote = False
-        self.epoch = epoch
+    def __init__(self, epoch: int = 0):
+        super().__init__(epoch)
         #: outcome futures of ELR writers whose dirty state we observed.
         self.dependencies: List[Future] = []
-        #: accumulated execution info (participants), as in Snapper ACTs.
-        self.info = None  # TxnExeInfo, set lazily
         #: this actor's own outcome future when it released locks early.
         self.elr_outcome: Optional[Future] = None
-        #: in-flight child call futures (participants must not be lost).
-        self.outstanding: List[Future] = []
 
 
 class TransactionAgentActor(Actor):
@@ -185,8 +194,161 @@ class TransactionAgentActor(Actor):
             await gather(*[ref.call("orleans_abort", tid) for ref in refs])
 
 
+class OrleansActExecutor(ActExecutionCore):
+    """Orleans' nondeterministic engine on the shared execution core.
+
+    Reuses :class:`ActExecutionCore`'s run bookkeeping, child-call
+    fan-out and partial-failure accounting; adds the TA-facing 2PC
+    participant role with early lock release.  The lock discipline is
+    whatever :class:`ConcurrencyControl` strategy the host wires in —
+    :class:`TwoPhaseLockingELR` by default, which is timeout-based like
+    Orleans (no wait-die) and releases at prepare time.
+    """
+
+    invoke_endpoint = "orleans_invoke"
+    abort_endpoint = "orleans_abort"
+    txn_noun = "txn"
+    track_attempted = False
+
+    def __init__(self, host, cc, lock):
+        super().__init__(host, cc, lock)
+        #: bumped when an abort restores an undo image: dependents'
+        #: undo images captured before the restore are stale.
+        self.epoch = 0
+        #: outcome futures of ELR writers that prepared but not committed.
+        self._elr_outcomes: List[Future] = []
+
+    def run_for(self, tid: int) -> OrleansRun:
+        run = self._runs.get(tid)
+        if run is None:
+            run = OrleansRun(self.epoch)
+            self._runs[tid] = run
+        return run
+
+    # -- execution --------------------------------------------------------------
+    async def invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
+        host = self._host
+        method = getattr(host, call.method, None)
+        if method is None or not callable(method):
+            raise SimulationError(
+                f"{type(host).__name__} has no method {call.method!r}"
+            )
+        # model the measured per-call overhead of the Orleans txn stack
+        await host.charge(
+            host._config.cpu_state_access * (host._config.overhead_factor - 1)
+        )
+        run = self.run_for(ctx.tid)
+        try:
+            result = await method(ctx, call.func_input)
+            await self.settle_children(run)
+        except Exception as exc:  # noqa: BLE001
+            await self.settle_children(run)
+            partial = run.info.snapshot()
+            existing = getattr(exc, "partial_exe_info", None)
+            if existing is not None:
+                partial.merge(existing)
+            try:
+                exc.partial_exe_info = partial
+            except Exception:
+                pass
+            if (host.id not in run.info.participants
+                    and run.elr_outcome is None):
+                # this actor held nothing for the doomed txn (e.g. its
+                # lock acquisition timed out): drop the bookkeeping now,
+                # since no abort message will ever address it here.
+                self._runs.pop(ctx.tid, None)
+            raise
+        snapshot = run.info.snapshot()
+        if not run.info.participants and not run.dependencies:
+            self._runs.pop(ctx.tid, None)  # no-op participation
+        return ResultObj(result, snapshot)
+
+    async def acquire_state(self, ctx: TxnContext, mode: str) -> Any:
+        host = self._host
+        run = self.run_for(ctx.tid)
+        lock_timeout = self.cc.wait_timeout(host._config.lock_timeout)
+        await self.lock.acquire(ctx.tid, mode, timeout=lock_timeout)
+        run.info.participants.add(host.id)
+        # ELR: joining after a prepared-but-uncommitted writer means
+        # sharing its fate (dirty read).
+        for outcome in self._elr_outcomes:
+            if not outcome.done() and outcome not in run.dependencies:
+                run.dependencies.append(outcome)
+        if mode == AccessMode.READ_WRITE and not run.wrote:
+            run.wrote = True
+            run.undo = copy.deepcopy(host._state)
+            run.epoch = self.epoch
+            run.info.writers.add(host.id)
+        return host._state
+
+    # -- 2PC participant role (TA-driven) ----------------------------------------
+    async def on_prepare(self, tid: int) -> List[Future]:
+        """Vote to commit; returns the ELR outcome futures this txn's
+        reads depend on (empty when no dirty state was observed)."""
+        host = self._host
+        await host.charge(
+            host._config.cpu_commit_op * host._config.overhead_factor
+        )
+        run = self._runs.get(tid)
+        if run is None:
+            raise TransactionAbortedError(
+                f"{host.id}: unknown txn {tid} at prepare", AbortReason.FAILURE
+            )
+        state = copy.deepcopy(host._state) if run.wrote else None
+        await host._loggers.persist(
+            host.id, ActPrepareRecord(tid=tid, actor=host.id, state=state)
+        )
+        if self.cc.early_lock_release:
+            # release now; expose an outcome future for dependents
+            outcome = Future(label=f"elr:{tid}")
+            self._elr_outcomes.append(outcome)
+            run.elr_outcome = outcome
+            self.lock.release(tid)
+        return list(run.dependencies)
+
+    async def on_commit(self, tid: int) -> None:
+        host = self._host
+        await host.charge(
+            host._config.cpu_commit_op * host._config.overhead_factor
+        )
+        await host._loggers.persist(
+            host.id, ActCommitRecord(tid=tid, actor=host.id)
+        )
+        run = self._runs.pop(tid, None)
+        self._resolve_elr(run, "committed")
+        if not self.cc.early_lock_release:
+            self.lock.release(tid)
+
+    async def on_abort(self, tid: int) -> None:
+        host = self._host
+        await host.charge(
+            host._config.cpu_commit_op * host._config.overhead_factor
+        )
+        run = self._runs.pop(tid, None)
+        if run is not None and run.wrote and run.undo is not None:
+            if run.epoch == self.epoch:
+                host._state = run.undo
+                self.epoch += 1  # dependents' undo images are now stale
+        self._resolve_elr(run, "aborted")
+        self.lock.abort_waiter(tid, AbortReason.ACT_CONFLICT)
+        self.lock.release(tid)
+
+    def _resolve_elr(self, run: Optional[OrleansRun],
+                     outcome: str) -> None:
+        future = run.elr_outcome if run is not None else None
+        if future is not None:
+            future.try_set_result(outcome)
+            if future in self._elr_outcomes:
+                self._elr_outcomes.remove(future)
+
+
 class OrleansTxnActor(Actor):
-    """Base class for actors under the OrleansTxn engine."""
+    """Base class for actors under the OrleansTxn engine.
+
+    Thin composition root mirroring :class:`TransactionalActor`: the
+    execution and locking live in :class:`OrleansActExecutor`; the
+    actor keeps the state blob and the RPC surface.
+    """
 
     reentrant = True
 
@@ -197,11 +359,23 @@ class OrleansTxnActor(Actor):
         self._config: OrleansTxnConfig = self.runtime.service("orleans_config")
         self._loggers: LoggerGroup = self.runtime.service("orleans_loggers")
         self._state = self.initial_state()
-        self._lock = ActorLock(wait_die=False, label=str(self.id))
-        self._txns: Dict[int, _OrleansTxnState] = {}
-        #: outcome futures of ELR writers that prepared but not committed.
-        self._elr_outcomes: List[Future] = []
-        self._epoch = 0
+        cc = (
+            TwoPhaseLockingELR()
+            if self._config.early_lock_release
+            else TimeoutOnly()
+        )
+        self._lock = ActorLock(cc, label=str(self.id))
+        self._engine = OrleansActExecutor(self, cc, self._lock)
+
+    def actor_ref(self, actor_id: ActorId) -> ActorRef:
+        return ActorRef(self.runtime, actor_id)
+
+    def _resolve_target(self, target: Union[ActorId, ActorRef, Any]) -> ActorId:
+        if isinstance(target, ActorRef):
+            return target.id
+        if isinstance(target, ActorId):
+            return target
+        return ActorId(self.id.kind, target)
 
     # -- public API (same shape as TransactionalActor) ----------------------
     async def start_txn(
@@ -220,7 +394,9 @@ class OrleansTxnActor(Actor):
         )
         participants: Set[ActorId] = set()
         try:
-            result_obj = await self._invoke(ctx, FuncCall(method, func_input))
+            result_obj = await self._engine.invoke(
+                ctx, FuncCall(method, func_input)
+            )
             t_exec = self.runtime.loop.now
             participants = set(result_obj.exe_info.participants)
             await ta.call("commit", tid, sorted(participants))
@@ -230,7 +406,7 @@ class OrleansTxnActor(Actor):
                 recorder.record("commit", self.runtime.loop.now - t_exec)
             return result_obj.result
         except Exception as exc:  # noqa: BLE001
-            info = getattr(exc, "partial_exe_info", None)
+            info: Optional[TxnExeInfo] = getattr(exc, "partial_exe_info", None)
             if info is not None:
                 participants |= set(info.participants)
             await ta.call("abort", tid, sorted(participants))
@@ -244,70 +420,6 @@ class OrleansTxnActor(Actor):
                 f"txn {tid} aborted: {exc!r}", AbortReason.USER_ABORT
             ) from exc
 
-    async def orleans_invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
-        return await self._invoke(ctx, call)
-
-    def _run_for(self, tid: int) -> _OrleansTxnState:
-        from repro.core.context import TxnExeInfo
-
-        run = self._txns.get(tid)
-        if run is None:
-            run = _OrleansTxnState(self._epoch)
-            run.info = TxnExeInfo()
-            self._txns[tid] = run
-        return run
-
-    async def _invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
-        method = getattr(self, call.method, None)
-        if method is None or not callable(method):
-            raise SimulationError(
-                f"{type(self).__name__} has no method {call.method!r}"
-            )
-        # model the measured per-call overhead of the Orleans txn stack
-        await self.charge(
-            self._config.cpu_state_access * (self._config.overhead_factor - 1)
-        )
-        run = self._run_for(ctx.tid)
-        try:
-            result = await method(ctx, call.func_input)
-            await self._settle_children(run)
-        except Exception as exc:  # noqa: BLE001
-            await self._settle_children(run)
-            partial = run.info.snapshot()
-            existing = getattr(exc, "partial_exe_info", None)
-            if existing is not None:
-                partial.merge(existing)
-            try:
-                exc.partial_exe_info = partial
-            except Exception:
-                pass
-            if (self.id not in run.info.participants
-                    and run.elr_outcome is None):
-                # this actor held nothing for the doomed txn (e.g. its
-                # lock acquisition timed out): drop the bookkeeping now,
-                # since no abort message will ever address it here.
-                self._txns.pop(ctx.tid, None)
-            raise
-        snapshot = run.info.snapshot()
-        if not run.info.participants and not run.dependencies:
-            self._txns.pop(ctx.tid, None)  # no-op participation
-        return ResultObj(result, snapshot)
-
-    async def _settle_children(self, run: _OrleansTxnState) -> None:
-        """Fold in participants from in-flight child calls (see the same
-        mechanism on TransactionalActor)."""
-        while run.outstanding:
-            fut = run.outstanding.pop(0)
-            try:
-                result_obj = await fut
-            except Exception as exc:  # noqa: BLE001
-                partial = getattr(exc, "partial_exe_info", None)
-                if partial is not None:
-                    run.info.merge(partial)
-            else:
-                if result_obj.exe_info is not None:
-                    run.info.merge(result_obj.exe_info)
-
     async def call_actor(
         self,
         ctx: TxnContext,
@@ -315,42 +427,8 @@ class OrleansTxnActor(Actor):
         call: FuncCall,
     ) -> Any:
         await self.charge(self.runtime.config.cpu_per_send)
-        if isinstance(target, ActorRef):
-            target = target.id
-        elif not isinstance(target, ActorId):
-            target = ActorId(self.id.kind, target)
-        run = self._txns.get(ctx.tid)
-        if run is None:
-            raise TransactionAbortedError(
-                f"txn {ctx.tid} is no longer active on {self.id}",
-                AbortReason.CASCADING,
-            )
-        fut = ActorRef(self.runtime, target).call("orleans_invoke", ctx, call)
-        run.outstanding.append(fut)
-        try:
-            result_obj: ResultObj = await fut
-        except Exception as exc:  # noqa: BLE001
-            partial = getattr(exc, "partial_exe_info", None)
-            if partial is not None:
-                run.info.merge(partial)
-            raise
-        finally:
-            if fut in run.outstanding:
-                run.outstanding.remove(fut)
-        if result_obj.exe_info is not None:
-            run.info.merge(result_obj.exe_info)
-        if self._txns.get(ctx.tid) is not run:
-            # aborted while the call was in flight: release the callee
-            if result_obj.exe_info is not None:
-                for participant in result_obj.exe_info.participants:
-                    ActorRef(self.runtime, participant).call(
-                        "orleans_abort", ctx.tid
-                    )
-            raise TransactionAbortedError(
-                f"txn {ctx.tid} aborted during a child call",
-                AbortReason.CASCADING,
-            )
-        return result_obj.result
+        target_id = self._resolve_target(target)
+        return await self._engine.call_child(ctx, target_id, call)
 
     async def get_state(
         self, ctx: TxnContext, mode: str = AccessMode.READ_WRITE
@@ -359,79 +437,20 @@ class OrleansTxnActor(Actor):
             (self._config.cpu_state_access + self._config.cpu_lock_op)
             * self._config.overhead_factor
         )
-        run = self._run_for(ctx.tid)
-        await self._lock.acquire(
-            ctx.tid, mode, timeout=self._config.lock_timeout
-        )
-        run.info.participants.add(self.id)
-        # ELR: joining after a prepared-but-uncommitted writer means
-        # sharing its fate (dirty read).
-        for outcome in self._elr_outcomes:
-            if not outcome.done() and outcome not in run.dependencies:
-                run.dependencies.append(outcome)
-        if mode == AccessMode.READ_WRITE and not run.wrote:
-            run.wrote = True
-            run.undo = copy.deepcopy(self._state)
-            run.epoch = self._epoch
-            run.info.writers.add(self.id)
-        return self._state
+        return await self._engine.acquire_state(ctx, mode)
 
-    # -- 2PC participant endpoints ----------------------------------------------
+    # -- RPC endpoints ----------------------------------------------------------
+    async def orleans_invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
+        return await self._engine.invoke(ctx, call)
+
     async def orleans_prepare(self, tid: int) -> List[Future]:
-        """Vote to commit; returns the ELR outcome futures this txn's
-        reads depend on (empty when no dirty state was observed)."""
-        await self.charge(
-            self._config.cpu_commit_op * self._config.overhead_factor
-        )
-        run = self._txns.get(tid)
-        if run is None:
-            raise TransactionAbortedError(
-                f"{self.id}: unknown txn {tid} at prepare", AbortReason.FAILURE
-            )
-        state = copy.deepcopy(self._state) if run.wrote else None
-        await self._loggers.persist(
-            self.id, ActPrepareRecord(tid=tid, actor=self.id, state=state)
-        )
-        if self._config.early_lock_release:
-            # release now; expose an outcome future for dependents
-            outcome = Future(label=f"elr:{tid}")
-            self._elr_outcomes.append(outcome)
-            run.elr_outcome = outcome
-            self._lock.release(tid)
-        return list(run.dependencies)
+        return await self._engine.on_prepare(tid)
 
     async def orleans_commit(self, tid: int) -> None:
-        await self.charge(
-            self._config.cpu_commit_op * self._config.overhead_factor
-        )
-        await self._loggers.persist(
-            self.id, ActCommitRecord(tid=tid, actor=self.id)
-        )
-        run = self._txns.pop(tid, None)
-        self._resolve_elr(run, "committed")
-        if not self._config.early_lock_release:
-            self._lock.release(tid)
+        await self._engine.on_commit(tid)
 
     async def orleans_abort(self, tid: int) -> None:
-        await self.charge(
-            self._config.cpu_commit_op * self._config.overhead_factor
-        )
-        run = self._txns.pop(tid, None)
-        if run is not None and run.wrote and run.undo is not None:
-            if run.epoch == self._epoch:
-                self._state = run.undo
-                self._epoch += 1  # dependents' undo images are now stale
-        self._resolve_elr(run, "aborted")
-        self._lock.abort_waiter(tid, AbortReason.ACT_CONFLICT)
-        self._lock.release(tid)
-
-    def _resolve_elr(self, run: Optional[_OrleansTxnState],
-                     outcome: str) -> None:
-        future = run.elr_outcome if run is not None else None
-        if future is not None:
-            future.try_set_result(outcome)
-            if future in self._elr_outcomes:
-                self._elr_outcomes.remove(future)
+        await self._engine.on_abort(tid)
 
 
 class OrleansTxnSystem:

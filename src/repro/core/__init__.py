@@ -16,6 +16,12 @@ execution strategy of §3-§4:
   ``submit_pact`` / ``submit_act`` and failure/recovery controls.
 * :class:`SnapperConfig` — every cost constant and protocol switch
   (ablations flip these).
+
+The per-actor protocol machinery itself lives in :mod:`repro.core.engine`
+as composable layers (``PactExecutor``, ``ActExecutor``,
+``HybridScheduler``, ``SerializabilityGuard``) over a pluggable
+:class:`ConcurrencyControl` strategy; the key names are re-exported
+here.
 """
 
 from repro.core.config import SnapperConfig
@@ -27,19 +33,43 @@ from repro.core.context import (
     TxnMode,
 )
 from repro.core.coordinator import CoordinatorActor
+from repro.core.engine import (
+    ActExecutor,
+    ConcurrencyControl,
+    HybridScheduler,
+    NoWait,
+    PactExecutor,
+    SerializabilityGuard,
+    TimeoutOnly,
+    TwoPhaseLockingELR,
+    WaitDie,
+    register_strategy,
+    resolve_concurrency_control,
+)
 from repro.core.registry import CommitRegistry
-from repro.core.transactional_actor import TransactionalActor
 from repro.core.system import SnapperSystem
+from repro.core.transactional_actor import TransactionalActor
 
 __all__ = [
     "AccessMode",
+    "ActExecutor",
     "CommitRegistry",
+    "ConcurrencyControl",
     "CoordinatorActor",
     "FuncCall",
+    "HybridScheduler",
+    "NoWait",
+    "PactExecutor",
+    "SerializabilityGuard",
     "SnapperConfig",
     "SnapperSystem",
+    "TimeoutOnly",
     "TransactionalActor",
+    "TwoPhaseLockingELR",
     "TxnContext",
     "TxnExeInfo",
     "TxnMode",
+    "WaitDie",
+    "register_strategy",
+    "resolve_concurrency_control",
 ]

@@ -7,6 +7,7 @@ library's bookkeeping contends with user code on a real silo.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional
 
 
@@ -38,7 +39,8 @@ class SnapperConfig:
         cpu_commit_op: float = 10e-6,
         # -- deadlock handling -----------------------------------------------
         deadlock_timeout: float = 0.05,
-        wait_die: bool = True,
+        concurrency_control: Optional[str] = None,
+        wait_die: Optional[bool] = None,
         # -- ablation switches -------------------------------------------------
         batching_enabled: bool = True,
         incomplete_after_set_optimization: bool = True,
@@ -80,9 +82,33 @@ class SnapperConfig:
         #: time an ACT may block (admission or lock wait) before it is
         #: presumed deadlocked and aborted (§4.4.2).
         self.deadlock_timeout = deadlock_timeout
-        #: use wait-die between ACTs (§4.3.2); False = timeout only,
-        #: which is what Orleans Transactions does.
-        self.wait_die = wait_die
+        #: ACT-ACT concurrency-control strategy, by name ("wait_die" —
+        #: §4.3.2 and the default, "timeout" — what Orleans Transactions
+        #: does, "no_wait", ...); see repro.core.engine.concurrency.
+        if wait_die is not None:
+            warnings.warn(
+                "SnapperConfig(wait_die=...) is deprecated; use "
+                "concurrency_control='wait_die' or 'timeout'",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            legacy = "wait_die" if wait_die else "timeout"
+            if concurrency_control is not None and concurrency_control != legacy:
+                raise ValueError(
+                    f"conflicting settings: wait_die={wait_die} but "
+                    f"concurrency_control={concurrency_control!r}"
+                )
+            concurrency_control = legacy
+        if concurrency_control is None:
+            concurrency_control = "wait_die"
+        from repro.core.engine.concurrency import CC_STRATEGIES
+
+        if concurrency_control not in CC_STRATEGIES:
+            raise ValueError(
+                f"unknown concurrency_control {concurrency_control!r}; "
+                f"known strategies: {sorted(CC_STRATEGIES)}"
+            )
+        self.concurrency_control = concurrency_control
 
         #: deliver sub-batches as one message per batch (True, §4.2.2) or
         #: one message per transaction (False; ablation).
@@ -104,3 +130,10 @@ class SnapperConfig:
         #: round-robins the ring across silos; an integer pins the whole
         #: ring to that silo.  Ignored in single-silo deployments.
         self.coordinator_placement = "spread"
+
+    @property
+    def wait_die(self) -> bool:
+        """Deprecated read-only alias for ``concurrency_control``.
+
+        True iff the configured strategy is ``"wait_die"``."""
+        return self.concurrency_control == "wait_die"

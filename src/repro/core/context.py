@@ -12,7 +12,7 @@ BeforeSet/AfterSet evidence the hybrid serializability check needs
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Optional, Set, Tuple
+from typing import Any, Optional, Set, Tuple
 
 from repro.actors.ref import ActorId
 

@@ -19,7 +19,7 @@ per-silo singleton that runs that procedure:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Set
 
 from repro.actors.ref import ActorId
 from repro.core.registry import CommitRegistry

@@ -20,15 +20,14 @@ Coordinators assign transaction IDs and drive the PACT batch protocol:
 
 from __future__ import annotations
 
-from typing import Any, Deque, Dict, List, Optional, Set, Tuple
-
 from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.actors.actor import Actor
-from repro.actors.ref import ActorId, ActorRef
-from repro.errors import TransactionAbortedError
+from repro.actors.ref import ActorId
 from repro.core.config import SnapperConfig
 from repro.core.context import SubBatch, TxnContext, TxnMode
+from repro.errors import TransactionAbortedError
 from repro.persistence.records import BatchCommitRecord, BatchInfoRecord
 from repro.sim.future import Future
 from repro.sim.loop import current_loop, spawn

@@ -1,0 +1,517 @@
+"""Nondeterministic (ACT-style) execution: shared core + Snapper engine.
+
+Two layers live here:
+
+* :class:`ActExecutionCore` — the engine-agnostic mechanics of running
+  a nondeterministic transaction across actors: per-transaction run
+  bookkeeping (:class:`ActRun`), folding in-flight child calls back
+  into the participant set (:meth:`ActExecutionCore.settle_children`),
+  and the transactional fan-out of ``call_actor``
+  (:meth:`ActExecutionCore.call_child`).  The OrleansTxn baseline
+  builds on this same core (with its own commit protocol), so both
+  engines share one implementation of the fiddly partial-failure
+  accounting — and one :class:`~repro.core.engine.concurrency.\
+ConcurrencyControl` interface for their locks.
+* :class:`ActExecutor` — Snapper's ACT engine (§4.3, hybrid §4.4):
+  S2PL through the pluggable concurrency control, hybrid admission and
+  BeforeSet/AfterSet evidence via the scheduler, the serializability
+  guard, and 2PC with presumed abort where the first accessed actor is
+  the coordinator (§4.3.3) — including the one-phase fast path for
+  single-participant commits.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List, Optional, Set
+
+from repro.actors.ref import ActorId
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    ResultObj,
+    TxnContext,
+    TxnExeInfo,
+    TxnMode,
+)
+from repro.errors import (
+    AbortReason,
+    DeadlockError,
+    SimulationError,
+    TransactionAbortedError,
+)
+from repro.persistence.records import (
+    ActCommitRecord,
+    ActPrepareRecord,
+    CoordCommitRecord,
+    CoordPrepareRecord,
+)
+from repro.sim.future import Future
+from repro.sim.loop import gather, spawn
+
+
+class ActRun:
+    """Per-transaction bookkeeping on one participating actor."""
+
+    __slots__ = ("info", "undo", "epoch", "wrote", "outstanding")
+
+    def __init__(self, epoch: int = 0):
+        self.info = TxnExeInfo()
+        self.undo: Any = None
+        self.epoch = epoch
+        self.wrote = False
+        #: in-flight child call futures (see settle_children): a failing
+        #: transaction must learn the participants its concurrent child
+        #: calls reached before it aborts, or their locks would leak.
+        self.outstanding: List[Future] = []
+
+
+class SnapperActRun(ActRun):
+    """Snapper ACT bookkeeping: also pins the cascade generation."""
+
+    __slots__ = ("generation",)
+
+    def __init__(self, generation: int, epoch: int):
+        super().__init__(epoch)
+        self.generation = generation
+
+
+class ActExecutionCore:
+    """Engine-agnostic mechanics shared by Snapper ACTs and OrleansTxn."""
+
+    #: RPC endpoint a child invocation is sent to.
+    invoke_endpoint = "act_invoke"
+    #: RPC endpoint that releases a participant of a dead transaction.
+    abort_endpoint = "act_abort"
+    #: how transactions are named in error messages.
+    txn_noun = "ACT"
+    #: record call targets in ``info.attempted`` (abort fan-out surface).
+    track_attempted = True
+
+    def __init__(self, host, cc, lock):
+        self._host = host
+        #: the pluggable conflict-handling discipline (shared interface).
+        self.cc = cc
+        #: the actor's S2PL lock table, policy delegated to ``cc``.
+        self.lock = lock
+        self._runs: Dict[int, ActRun] = {}
+
+    # -- run bookkeeping ------------------------------------------------------
+    def __getitem__(self, tid: int) -> ActRun:
+        return self._runs[tid]
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._runs
+
+    def get_run(self, tid: int) -> Optional[ActRun]:
+        return self._runs.get(tid)
+
+    def pop_run(self, tid: int) -> Optional[ActRun]:
+        return self._runs.pop(tid, None)
+
+    @property
+    def active_runs(self) -> Dict[int, ActRun]:
+        return self._runs
+
+    async def settle_children(self, run: ActRun) -> None:
+        """Wait for in-flight child calls and fold in their participant
+        info (success or failure), so no participant is ever orphaned."""
+        while run.outstanding:
+            fut = run.outstanding.pop(0)
+            try:
+                result_obj = await fut
+            except Exception as exc:  # noqa: BLE001 - only info matters
+                partial = getattr(exc, "partial_exe_info", None)
+                if partial is not None:
+                    run.info.merge(partial)
+            else:
+                if result_obj.exe_info is not None:
+                    run.info.merge(result_obj.exe_info)
+
+    # -- transactional fan-out (call_actor) ------------------------------------
+    async def call_child(
+        self, ctx: TxnContext, target_id: ActorId, call: FuncCall
+    ) -> Any:
+        """Invoke ``call`` on ``target_id`` within transaction ``ctx``."""
+        run = self._runs.get(ctx.tid)
+        if run is None:
+            # the transaction already aborted on this actor (e.g. a
+            # sibling call failed first): don't let a zombie call run.
+            raise TransactionAbortedError(
+                f"{self.txn_noun} {ctx.tid} is no longer active on "
+                f"{self._host.id}",
+                AbortReason.CASCADING,
+            )
+        if self.track_attempted:
+            run.info.attempted.add(target_id)
+        fut = self._host.actor_ref(target_id).call(
+            self.invoke_endpoint, ctx, call
+        )
+        run.outstanding.append(fut)
+        try:
+            result_obj: ResultObj = await fut
+        except Exception as exc:  # noqa: BLE001 - merge partial info
+            partial = getattr(exc, "partial_exe_info", None)
+            if partial is not None:
+                run.info.merge(partial)
+            raise
+        finally:
+            if fut in run.outstanding:
+                run.outstanding.remove(fut)
+        if result_obj.exe_info is not None:
+            run.info.merge(result_obj.exe_info)
+        if self._runs.get(ctx.tid) is not run:
+            # aborted while the call was in flight: the callee just did
+            # work for a dead transaction — release it explicitly.
+            if result_obj.exe_info is not None:
+                for participant in result_obj.exe_info.participants:
+                    self._host.actor_ref(participant).call(
+                        self.abort_endpoint, ctx.tid
+                    )
+            raise TransactionAbortedError(
+                f"{self.txn_noun} {ctx.tid} aborted during a child call",
+                AbortReason.CASCADING,
+            )
+        return result_obj.result
+
+
+class ActExecutor(ActExecutionCore):
+    """Snapper's ACT engine: execution, 2PC roles, hybrid integration."""
+
+    def __init__(self, host, scheduler, guard, cc, lock):
+        super().__init__(host, cc, lock)
+        self._scheduler = scheduler
+        self._guard = guard
+        #: bumped on cascading rollback; stale undo images must not apply.
+        self.rollback_epoch = 0
+        #: recently aborted ACT tids (bounded): a late-arriving invocation
+        #: of an aborted transaction must be rejected, not executed.
+        self._tombstones: Set[int] = set()
+        self._tombstone_order: List[int] = []
+
+    def is_tombstoned(self, tid: int) -> bool:
+        return tid in self._tombstones
+
+    def note_cascading_rollback(self) -> None:
+        """A PACT cascade rolled the actor back: undo images are stale."""
+        self.rollback_epoch += 1
+
+    # -- root ACT (start_txn without actorAccessInfo) ---------------------------
+    async def run_root(self, method: str, func_input: Any) -> Any:
+        host = self._host
+        # optional per-phase timing used by the Fig. 15 microbenchmark
+        recorder = host.runtime.services.get("breakdown_recorder")
+        t_start = host.runtime.loop.now
+        ctx: TxnContext = await host._coordinator.call("new_act", host.id)
+        t_tid = host.runtime.loop.now
+        host.trace(ctx.tid, "registered", mode=TxnMode.ACT)
+        try:
+            result_obj = await self.invoke(ctx, FuncCall(method, func_input))
+        except Exception as exc:  # noqa: BLE001 - abort whole ACT
+            info = getattr(exc, "partial_exe_info", None)
+            await self.abort(ctx, info)
+            abort = self._as_abort(exc)
+            host.trace(ctx.tid, "aborted", abort.reason)
+            raise abort from exc
+        t_exec = host.runtime.loop.now
+        host.trace(ctx.tid, "execution_done")
+        try:
+            await self.commit(ctx, result_obj.exe_info)
+        except Exception as exc:  # noqa: BLE001 - abort whole ACT
+            await self.abort(ctx, result_obj.exe_info)
+            abort = self._as_abort(exc)
+            host.trace(ctx.tid, "aborted", abort.reason)
+            raise abort from exc
+        host.trace(ctx.tid, "committed")
+        if recorder is not None:
+            t_commit = host.runtime.loop.now
+            recorder.record("tid_assign", t_tid - t_start)
+            recorder.record("execute", t_exec - t_tid)
+            recorder.record("commit", t_commit - t_exec)
+        return result_obj.result
+
+    @staticmethod
+    def _as_abort(exc: BaseException) -> TransactionAbortedError:
+        if isinstance(exc, TransactionAbortedError):
+            return exc
+        if isinstance(exc, TimeoutError):
+            return DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
+        return TransactionAbortedError(
+            f"ACT aborted by user code: {exc!r}", AbortReason.USER_ABORT
+        )
+
+    # -- invocation (§4.3.2, evidence §4.4.3) -------------------------------------
+    async def invoke_remote(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
+        """Endpoint body for ``act_invoke`` (rejects tombstoned tids)."""
+        if self.is_tombstoned(ctx.tid):
+            raise TransactionAbortedError(
+                f"ACT {ctx.tid} was already aborted on {self._host.id}",
+                AbortReason.CASCADING,
+            )
+        return await self.invoke(ctx, call)
+
+    async def invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
+        host = self._host
+        await host.charge(host._config.cpu_schedule_op)
+        run = self._runs.get(ctx.tid)
+        if run is None:
+            run = SnapperActRun(
+                host._controller.generation, self.rollback_epoch
+            )
+            self._runs[ctx.tid] = run
+        try:
+            method = host.user_method(call.method)
+            result = await method(ctx, call.func_input)
+            # user code may have left child calls unawaited (or swallowed
+            # a failed one): their participants must be accounted for.
+            await self.settle_children(run)
+        except Exception as exc:  # noqa: BLE001
+            # The transaction is doomed.  Do NOT wait for in-flight
+            # children (they may sit in long lock queues); instead the
+            # abort fans out to every *attempted* target, where it evicts
+            # queued lock requests and tombstones the tid.
+            partial = run.info.snapshot()
+            existing = getattr(exc, "partial_exe_info", None)
+            if existing is not None:
+                partial.merge(existing)
+            self.local_abort(ctx.tid)
+            try:
+                exc.partial_exe_info = partial
+            except Exception:  # exceptions with __slots__: fine, best effort
+                pass
+            raise
+        if host.id in run.info.participants:
+            # §4.4.3: evidence is collected when the invocation completes.
+            run.info.observe_before(self._scheduler.before_evidence(ctx.tid))
+            run.info.observe_before(self._scheduler.act_maxbs_carry)
+            run.info.observe_after(
+                host.id, self._scheduler.after_evidence(ctx.tid)
+            )
+        snapshot = run.info.snapshot()
+        if (
+            host.id not in run.info.participants
+            and self._scheduler.act_entry(ctx.tid) is None
+        ):
+            # no-op participation (no state access): nothing to commit,
+            # abort, or gate here — drop the bookkeeping (§5.2.3).
+            self._runs.pop(ctx.tid, None)
+        return ResultObj(result, snapshot)
+
+    # -- state access (get_state, ACT branch) --------------------------------------
+    async def acquire_state(self, ctx: TxnContext, mode: str) -> Any:
+        """Strict 2PL through the pluggable concurrency control (§4.3.2)."""
+        host = self._host
+        run = self._runs.get(ctx.tid)
+        if run is None:
+            if self.is_tombstoned(ctx.tid):
+                raise TransactionAbortedError(
+                    f"ACT {ctx.tid} was aborted while running on {host.id}",
+                    AbortReason.CASCADING,
+                )
+            raise SimulationError(
+                f"{host.id}: get_state for ACT {ctx.tid} outside invocation"
+            )
+        if run.generation != host._controller.generation:
+            raise TransactionAbortedError(
+                f"ACT {ctx.tid} crossed a cascading abort",
+                AbortReason.CASCADING,
+            )
+        await self._scheduler.admit_act(ctx.tid)
+        if host.id not in run.info.participants:
+            host.trace(ctx.tid, "admitted", str(host.id))
+        run.info.participants.add(host.id)
+        await host.charge(host._config.cpu_lock_op)
+        lock_timeout = self.cc.wait_timeout(host._config.deadlock_timeout)
+        try:
+            await self.lock.acquire(ctx.tid, mode, timeout=lock_timeout)
+        except DeadlockError as exc:
+            host.trace(ctx.tid, "cc_abort", exc.reason)
+            raise
+        if mode == AccessMode.READ_WRITE and not run.wrote:
+            run.wrote = True
+            run.undo = copy.deepcopy(host._state)
+            run.epoch = self.rollback_epoch
+            run.info.writers.add(host.id)
+        return host._state
+
+    # -- 2PC, first actor as coordinator (§4.3.3) ----------------------------------
+    async def commit(self, ctx: TxnContext, info: TxnExeInfo) -> None:
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        run = self._runs.get(ctx.tid)
+        if (
+            run is not None
+            and run.generation != host._controller.generation
+        ):
+            raise TransactionAbortedError(
+                f"ACT {ctx.tid} crossed a cascading abort",
+                AbortReason.CASCADING,
+            )
+        self._guard.check(ctx, info)
+        host.trace(ctx.tid, "check_passed")
+        if info.max_bs is not None:
+            # §4.4.4: dependent batches must commit before this ACT does.
+            await host._registry.wait_until_committed(
+                info.max_bs, timeout=host._config.batch_complete_timeout
+            )
+        participants = sorted(info.participants)
+        if not participants:
+            return  # pure no-op transaction: nothing to make durable
+        remote = [p for p in participants if p != host.id]
+        if not remote:
+            # one-phase commit: the only participant IS the coordinator,
+            # so no votes are needed — one state record plus the commit
+            # decision make the transaction durable (§4.3.3, Fig. 15's
+            # near-free I8 for single-writer ACTs).
+            self._prepare_local(ctx.tid)
+            await host._loggers.persist(
+                host.id,
+                ActPrepareRecord(
+                    tid=ctx.tid, actor=host.id,
+                    state=self.prepare_state(ctx.tid),
+                ),
+            )
+            await host._loggers.persist(
+                host.id, CoordCommitRecord(tid=ctx.tid)
+            )
+            self.commit_local(ctx.tid, info.max_bs)
+            return
+        await host._loggers.persist(
+            host.id,
+            CoordPrepareRecord(
+                tid=ctx.tid, coordinator=host.id,
+                participants=tuple(participants),
+            ),
+        )
+        # prepare phase: self locally (no messages — the first actor is
+        # the 2PC coordinator, §5.2.3) in parallel with the remote
+        # participants' prepare round.
+        votes = []
+        if host.id in info.participants:
+            self._prepare_local(ctx.tid)
+            votes.append(spawn(host._loggers.persist(
+                host.id,
+                ActPrepareRecord(
+                    tid=ctx.tid, actor=host.id,
+                    state=self.prepare_state(ctx.tid),
+                ),
+            )))
+        votes.extend(
+            host.actor_ref(p).call("act_prepare", ctx.tid) for p in remote
+        )
+        if votes:
+            await gather(*votes)
+        # decision
+        await host._loggers.persist(host.id, CoordCommitRecord(tid=ctx.tid))
+        if host.id in info.participants:
+            self.commit_local(ctx.tid, info.max_bs)
+        if remote:
+            await gather(
+                *[
+                    host.actor_ref(p).call("act_commit", ctx.tid, info.max_bs)
+                    for p in remote
+                ]
+            )
+
+    async def abort(
+        self, ctx: TxnContext, info: Optional[TxnExeInfo]
+    ) -> None:
+        """Presumed abort: notify every actor the transaction *reached for*
+        (not just confirmed participants — an invocation may still be in
+        flight or queued on a lock there), then clean up locally."""
+        host = self._host
+        targets: Set[ActorId] = set()
+        if info is not None:
+            targets |= info.participants
+            targets |= info.attempted
+        targets.add(host.id)
+        remote = [p for p in sorted(targets) if p != host.id]
+        self.local_abort(ctx.tid)
+        if remote:
+            await gather(
+                *[
+                    host.actor_ref(p).call("act_abort", ctx.tid)
+                    for p in remote
+                ]
+            )
+
+    # -- 2PC participant endpoints -----------------------------------------------
+    async def on_prepare(self, tid: int) -> bool:
+        """Endpoint body for ``act_prepare`` (Fig. 7): persist and vote."""
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        if tid not in self._runs:
+            raise TransactionAbortedError(
+                f"{host.id}: unknown ACT {tid} at prepare (crashed?)",
+                AbortReason.FAILURE,
+            )
+        self._prepare_local(tid)
+        await host._loggers.persist(
+            host.id,
+            ActPrepareRecord(
+                tid=tid, actor=host.id, state=self.prepare_state(tid)
+            ),
+        )
+        return True
+
+    async def on_commit(self, tid: int, max_bs: Optional[int]) -> None:
+        """Endpoint body for ``act_commit``: the 2PC commit decision."""
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        await host._loggers.persist(
+            host.id, ActCommitRecord(tid=tid, actor=host.id)
+        )
+        self.commit_local(tid, max_bs)
+
+    async def on_abort(self, tid: int) -> None:
+        """Endpoint body for ``act_abort`` (presumed abort: no logging)."""
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        self.local_abort(tid)
+
+    # -- local transitions ----------------------------------------------------------
+    def _prepare_local(self, tid: int) -> None:
+        run = self._runs.get(tid)
+        if run is None:
+            raise TransactionAbortedError(
+                f"{self._host.id}: unknown ACT {tid} at prepare",
+                AbortReason.FAILURE,
+            )
+
+    def prepare_state(self, tid: int) -> Any:
+        """State to persist at prepare: the updated blob (or its delta,
+        under incremental logging), or None if only read (§4.3.3)."""
+        host = self._host
+        run = self._runs.get(tid)
+        if run is None or not run.wrote:
+            return None
+        if host.incremental_logging:
+            return host.capture_delta()
+        return copy.deepcopy(host._state)
+
+    def commit_local(self, tid: int, max_bs: Optional[int]) -> None:
+        host = self._host
+        run = self._runs.pop(tid, None)
+        if run is not None and run.wrote:
+            host._committed_state = copy.deepcopy(host._state)
+        self.lock.release(tid)
+        self._scheduler.note_act_commit_carry(max_bs)
+        self._scheduler.act_ended(tid)
+
+    def local_abort(self, tid: int) -> None:
+        host = self._host
+        self._tombstones.add(tid)
+        self._tombstone_order.append(tid)
+        if len(self._tombstone_order) > 8192:
+            self._tombstones.discard(self._tombstone_order.pop(0))
+        if host._delta_buffer:
+            host._delta_buffer = [
+                (t, e) for t, e in host._delta_buffer if t != tid
+            ]
+        run = self._runs.pop(tid, None)
+        if run is not None and run.wrote and run.undo is not None:
+            if run.epoch == self.rollback_epoch:
+                host._state = run.undo
+        self.lock.abort_waiter(tid, AbortReason.ACT_CONFLICT)
+        self.lock.release(tid)
+        self._scheduler.act_ended(tid)

@@ -1,0 +1,63 @@
+"""The hybrid serializability guard (§4.4.3-§4.4.4, Theorem 4.2).
+
+An ACT that interleaved with PACT batches is serializable iff every
+batch in its BeforeSet is ordered before every batch in its AfterSet:
+``max(BS) < min(AS)``.  Evidence is collected per actor by the
+:class:`~repro.core.engine.hybrid.HybridScheduler` and accumulated in
+:class:`~repro.core.context.TxnExeInfo`; this guard evaluates the
+condition at commit time, including the paper's two conservative
+refinements:
+
+* an *incomplete* AfterSet (no batch scheduled after the ACT on some
+  actor) aborts, unless the incomplete-AfterSet optimization applies —
+  the BeforeSet is empty or fully committed, so no future batch can be
+  ordered before it (§4.4.3);
+* the commit *wait*: even a passing ACT may only commit after every
+  BeforeSet batch has committed (§4.4.4) — that wait stays in the
+  commit protocol; the guard only decides pass/abort.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import TxnContext, TxnExeInfo
+from repro.errors import AbortReason, SerializabilityError
+
+
+class SerializabilityGuard:
+    """Evaluates the BeforeSet/AfterSet condition for one actor's ACTs."""
+
+    def __init__(self, config, registry):
+        self._config = config
+        self._registry = registry
+
+    def check(self, ctx: TxnContext, info: TxnExeInfo) -> None:
+        """Theorem 4.2 condition (3), with the incomplete-AfterSet rule.
+
+        Raises :class:`SerializabilityError` when the ACT must abort.
+        """
+        if not info.after_set_complete:
+            if not self._config.incomplete_after_set_optimization:
+                raise SerializabilityError(
+                    f"ACT {ctx.tid}: AfterSet incomplete on "
+                    f"{sorted(map(str, info.as_incomplete_on))}",
+                    AbortReason.INCOMPLETE_AFTER_SET,
+                )
+            bs_settled = info.max_bs is None or self._registry.is_committed(
+                info.max_bs
+            )
+            if not bs_settled:
+                raise SerializabilityError(
+                    f"ACT {ctx.tid}: AfterSet incomplete and BeforeSet "
+                    f"(max bid {info.max_bs}) not yet committed",
+                    AbortReason.INCOMPLETE_AFTER_SET,
+                )
+        if (
+            info.max_bs is not None
+            and info.min_as is not None
+            and not info.max_bs < info.min_as
+        ):
+            raise SerializabilityError(
+                f"ACT {ctx.tid}: max(BS)={info.max_bs} >= "
+                f"min(AS)={info.min_as}",
+                AbortReason.SERIALIZABILITY,
+            )

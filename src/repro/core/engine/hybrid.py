@@ -1,0 +1,101 @@
+"""The hybrid scheduler layer: interleaving PACT batches and ACTs.
+
+:class:`HybridScheduler` owns one actor's
+:class:`~repro.core.schedule.LocalSchedule` and is the only component
+that touches it.  It enforces the two interleaving rules of §4.4.1 —
+
+1. an ACT may start executing once every earlier batch has *completed*
+   its operations on this actor (not necessarily committed);
+2. a batch may start executing once every earlier ACT has *committed or
+   aborted* —
+
+and answers the BeforeSet/AfterSet evidence queries (§4.4.3) that the
+:class:`~repro.core.engine.guard.SerializabilityGuard` evaluates at
+commit time.  ACT admission waits carry the deadlock timeout: every
+hybrid PACT-ACT cycle (Fig. 9) contains a schedule-admission edge, so
+timing out admission (and only admission) breaks all such cycles
+(§4.4.2), letting wait-die keep unbounded lock waits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.context import SubBatch
+from repro.core.schedule import ActEntry, BatchEntry, LocalSchedule
+from repro.errors import AbortReason, DeadlockError
+from repro.sim.loop import wait_for
+
+
+class HybridScheduler:
+    """One actor's schedule of PACT sub-batches interleaved with ACTs."""
+
+    def __init__(self, label: str, deadlock_timeout: Optional[float]):
+        self.schedule = LocalSchedule(actor_label=label)
+        self.label = label
+        self._deadlock_timeout = deadlock_timeout
+
+    # -- wiring -------------------------------------------------------------
+    @property
+    def on_subbatch_complete(self) -> Optional[Callable[[BatchEntry], None]]:
+        return self.schedule.on_subbatch_complete
+
+    @on_subbatch_complete.setter
+    def on_subbatch_complete(
+        self, callback: Optional[Callable[[BatchEntry], None]]
+    ) -> None:
+        self.schedule.on_subbatch_complete = callback
+
+    # -- PACT side (§4.2.3) --------------------------------------------------
+    def register_batch(self, sub_batch: SubBatch) -> None:
+        self.schedule.register_batch(sub_batch)
+
+    async def await_pact_turn(self, bid: int, tid: int) -> None:
+        await self.schedule.await_pact_turn(bid, tid)
+
+    def pact_access_done(self, bid: int, tid: int) -> None:
+        self.schedule.pact_access_done(bid, tid)
+
+    def batch_entry(self, bid: int) -> Optional[BatchEntry]:
+        return self.schedule.batch_entry(bid)
+
+    def batch_committed(self, bid: int) -> None:
+        self.schedule.batch_committed(bid)
+
+    def rollback_batches(self) -> List[int]:
+        return self.schedule.rollback_batches()
+
+    # -- ACT side (§4.4.1 rule 1) ---------------------------------------------
+    def act_entry(self, tid: int) -> Optional[ActEntry]:
+        return self.schedule.act_entry(tid)
+
+    async def admit_act(self, tid: int) -> None:
+        """Hybrid rule 1: an ACT joins this actor's schedule on first
+        state access and waits for earlier batches to complete."""
+        entry = self.schedule.ensure_act(tid)
+        if not entry.admission.done():
+            try:
+                await wait_for(
+                    entry.admission,
+                    self._deadlock_timeout,
+                    message=f"ACT {tid} admission timed out on {self.label}",
+                )
+            except TimeoutError as exc:
+                raise DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
+
+    def act_ended(self, tid: int) -> None:
+        self.schedule.act_ended(tid)
+
+    # -- hybrid evidence (§4.4.3) ------------------------------------------------
+    def before_evidence(self, tid: int) -> Optional[int]:
+        return self.schedule.before_evidence(tid)
+
+    def after_evidence(self, tid: int) -> Optional[int]:
+        return self.schedule.after_evidence(tid)
+
+    @property
+    def act_maxbs_carry(self) -> Optional[int]:
+        return self.schedule.act_maxbs_carry
+
+    def note_act_commit_carry(self, max_bs: Optional[int]) -> None:
+        self.schedule.note_act_commit_carry(max_bs)

@@ -1,0 +1,189 @@
+"""Deterministic PACT execution (§4.2): the batch side of the engine.
+
+:class:`PactExecutor` owns everything a transactional actor does for
+pre-declared transactions: running the root PACT against its
+coordinator, executing invocations in deterministic batch order through
+the :class:`~repro.core.engine.hybrid.HybridScheduler`, the per-batch
+completion snapshot and ``BatchComplete`` vote (Fig. 6), installing
+committed snapshots on ``BatchCommit``, and rolling the actor back on a
+cascading abort (§4.2.4).
+
+The executor reads and writes its host actor's state blob
+(``host._state`` / ``host._committed_state`` / ``host._delta_buffer``)
+— see :class:`~repro.core.transactional_actor.TransactionalActor` for
+the host contract.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, List
+
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    SubBatch,
+    TxnContext,
+    TxnMode,
+)
+from repro.core.schedule import BatchEntry
+from repro.errors import (
+    AbortReason,
+    SimulationError,
+    TransactionAbortedError,
+)
+from repro.persistence.records import BatchCompleteRecord
+from repro.sim.future import Future
+from repro.sim.loop import spawn
+
+
+class PactExecutor:
+    """Batch execution + BatchComplete/BatchCommit handling for one actor."""
+
+    def __init__(self, host, scheduler, acts):
+        self._host = host
+        self._scheduler = scheduler
+        self._acts = acts  # ActExecutor: cascades invalidate its undo images
+        #: bid -> completion snapshot awaiting the batch commit (§4.2.4).
+        self._batch_snapshots: Dict[int, Any] = {}
+        #: bid -> futures of root PACTs waiting for that batch's commit.
+        self._commit_waiters: Dict[int, List[Future]] = {}
+        scheduler.on_subbatch_complete = self._subbatch_completed
+
+    # -- root PACT (start_txn with actorAccessInfo) ---------------------------
+    async def run_root(self, method: str, func_input: Any, access) -> Any:
+        host = self._host
+        ctx: TxnContext = await host._coordinator.call(
+            "new_pact", host.id, access
+        )
+        host.trace(ctx.tid, "registered", f"bid={ctx.bid}", mode=TxnMode.PACT)
+        commit_wait = Future(label=f"commit:{ctx.bid}:{ctx.tid}")
+        self._commit_waiters.setdefault(ctx.bid, []).append(commit_wait)
+        try:
+            result = await self.invoke(ctx, FuncCall(method, func_input))
+            host.trace(ctx.tid, "execution_done")
+            await commit_wait  # raises on cascading abort
+        except TransactionAbortedError as exc:
+            host.trace(ctx.tid, "aborted", exc.reason)
+            raise
+        host.trace(ctx.tid, "committed")
+        return result
+
+    # -- deterministic invocation (§4.2.3) -------------------------------------
+    async def invoke(self, ctx: TxnContext, call: FuncCall) -> Any:
+        host = self._host
+        await host.charge(host._config.cpu_schedule_op)
+        await self._scheduler.await_pact_turn(ctx.bid, ctx.tid)
+        host.trace(ctx.tid, "turn_started", str(host.id))
+        try:
+            method = host.user_method(call.method)
+            result = await method(ctx, call.func_input)
+        except TransactionAbortedError:
+            raise  # already part of an abort cascade
+        except Exception as exc:  # noqa: BLE001 - user abort (§3.2.3)
+            host._controller.report_pact_failure(ctx.bid, exc)
+            raise TransactionAbortedError(
+                f"PACT {ctx.tid} aborted by user code: {exc!r}",
+                AbortReason.USER_ABORT,
+            ) from exc
+        self._scheduler.pact_access_done(ctx.bid, ctx.tid)
+        return result
+
+    # -- state access (get_state, PACT branch) ----------------------------------
+    def state_access(self, ctx: TxnContext, mode: str) -> Any:
+        """A PACT touches its actor's state: deterministic turn order
+        makes locks unnecessary; writes mark the batch entry so the
+        completion snapshot knows state changed (§4.2.4)."""
+        host = self._host
+        if mode == AccessMode.READ_WRITE:
+            entry = self._scheduler.batch_entry(ctx.bid)
+            if entry is None:
+                raise SimulationError(
+                    f"{host.id}: get_state outside a scheduled batch"
+                )
+            entry.wrote_state = True
+        return host._state
+
+    # -- completion snapshot + vote (§4.2.4, Fig. 6) ----------------------------
+    def _subbatch_completed(self, entry: BatchEntry) -> None:
+        """Synchronous snapshot point: runs inside the schedule pump the
+        moment the sub-batch's last access finishes, before any later
+        entry can execute (§4.2.4)."""
+        host = self._host
+        snapshot = (
+            copy.deepcopy(host._state) if entry.wrote_state else None
+        )
+        self._batch_snapshots[entry.bid] = snapshot
+        payload = snapshot
+        if host.incremental_logging and entry.wrote_state:
+            payload = host.capture_delta()
+        spawn(
+            self._vote_batch_complete(entry.sub_batch, payload),
+            label=f"vote:{entry.bid}",
+        )
+
+    async def _vote_batch_complete(
+        self, sub_batch: SubBatch, payload: Any
+    ) -> None:
+        # WAL first (Fig. 6), then the BatchComplete vote.
+        host = self._host
+        await host._loggers.persist(
+            host.id,
+            BatchCompleteRecord(
+                bid=sub_batch.bid, actor=host.id, state=payload
+            ),
+        )
+        coordinator = host.runtime.service("coordinator_by_key")(
+            sub_batch.coordinator_key
+        )
+        coordinator.call("batch_complete", sub_batch.bid, host.id)
+
+    # -- coordinator-facing endpoints (§4.2.2, §4.2.4) ----------------------------
+    async def receive_batch(self, sub_batch: SubBatch) -> None:
+        """A coordinator delivered a BatchMsg (§4.2.2)."""
+        host = self._host
+        await host.charge(host._config.cpu_schedule_op)
+        if host._registry.is_aborted(sub_batch.bid):
+            return  # stale message from before a cascading abort
+        self._scheduler.register_batch(sub_batch)
+
+    async def batch_committed(self, bid: int) -> None:
+        """BatchCommit from the coordinator (§4.2.4)."""
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        snapshot = self._batch_snapshots.pop(bid, None)
+        if snapshot is not None:
+            host._committed_state = snapshot
+        self._scheduler.batch_committed(bid)
+        for waiter in self._commit_waiters.pop(bid, []):
+            waiter.try_set_result(None)
+
+    async def rollback_uncommitted(self) -> None:
+        """Cascading abort — restore the last committed state and drop
+        every uncommitted batch (§4.2.4)."""
+        host = self._host
+        await host.charge(host._config.cpu_commit_op)
+        self._acts.note_cascading_rollback()
+        host._state = copy.deepcopy(host._committed_state)
+        self._batch_snapshots.clear()
+        host._delta_buffer.clear()
+        dropped = self._scheduler.rollback_batches()
+        for bid in dropped:
+            for waiter in self._commit_waiters.pop(bid, []):
+                waiter.try_set_exception(
+                    TransactionAbortedError(
+                        f"batch {bid} rolled back", AbortReason.CASCADING
+                    )
+                )
+        # Any remaining waiters belong to aborted bids too (e.g. batches
+        # whose BatchMsg never reached this actor before the cascade).
+        for bid in [
+            b for b in self._commit_waiters
+            if host._registry.is_aborted(b)
+        ]:
+            for waiter in self._commit_waiters.pop(bid, []):
+                waiter.try_set_exception(
+                    TransactionAbortedError(
+                        f"batch {bid} rolled back", AbortReason.CASCADING
+                    )
+                )

@@ -1,0 +1,88 @@
+"""Actor-level state recovery from the WAL (§4.2.5, §4.3.4).
+
+A re-activated actor scans the logger group for its own state records
+and restores the newest one *covered* by a commit record — a
+``BatchCompleteRecord`` covered by a ``BatchCommitRecord``, or an
+``ActPrepareRecord`` covered by an ``ActCommitRecord`` /
+``CoordCommitRecord`` — ordered by the machine-wide LSN.  Under
+incremental logging (§5.4.2) it restores the newest covered full
+snapshot and replays the covered deltas logged after it.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, List, Set
+
+from repro.persistence.records import (
+    ActCommitRecord,
+    ActPrepareRecord,
+    BatchCommitRecord,
+    BatchCompleteRecord,
+    CoordCommitRecord,
+)
+
+#: tags delta payloads in state records (incremental logging, §5.4.2).
+DELTA_MARKER = "__snapper_delta__"
+
+
+def is_delta(payload: Any) -> bool:
+    """Is this state-record payload a logged delta rather than a blob?"""
+    return (
+        isinstance(payload, tuple)
+        and len(payload) == 2
+        and payload[0] == DELTA_MARKER
+    )
+
+
+def recover_state(
+    actor_id: Any,
+    loggers: Any,
+    state: Any,
+    apply_delta: Callable[[Any, List[Any]], Any],
+) -> Any:
+    """Return ``state`` advanced to the last committed WAL image.
+
+    ``state`` is the actor's initial state; it is returned unchanged
+    when logging is disabled or no covered record exists.
+    """
+    if not loggers.enabled:
+        return state
+    committed_bids: Set[int] = set()
+    committed_tids: Set[int] = set()
+    state_records: List[Any] = []
+    for record in loggers.all_records():
+        if isinstance(record, BatchCommitRecord):
+            committed_bids.add(record.bid)
+        elif isinstance(record, (ActCommitRecord, CoordCommitRecord)):
+            committed_tids.add(record.tid)
+        elif isinstance(record, BatchCompleteRecord):
+            if record.actor == actor_id and record.state is not None:
+                state_records.append(record)
+        elif isinstance(record, ActPrepareRecord):
+            if record.actor == actor_id and record.state is not None:
+                state_records.append(record)
+    covered = sorted(
+        (
+            r for r in state_records
+            if (isinstance(r, BatchCompleteRecord)
+                and r.bid in committed_bids)
+            or (isinstance(r, ActPrepareRecord)
+                and r.tid in committed_tids)
+        ),
+        key=lambda r: r.lsn,
+    )
+    if not covered:
+        return state
+    # start from the latest full-state record (if any), then replay
+    # the delta records logged after it (incremental logging, §5.4.2)
+    base_index = -1
+    for index, record in enumerate(covered):
+        if not is_delta(record.state):
+            base_index = index
+    if base_index >= 0:
+        state = copy.deepcopy(covered[base_index].state)
+    for record in covered[base_index + 1:]:
+        delta = copy.deepcopy(record.state[1])
+        state = apply_delta(state, delta)
+    return state

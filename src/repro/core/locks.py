@@ -1,23 +1,32 @@
-"""Per-actor S2PL lock table with wait-die deadlock avoidance (§4.3.2).
+"""Per-actor S2PL lock table (§4.3.2): mechanism only.
 
 Actor state is a single value blob (§5.4.2), so each transactional actor
 has exactly one read/write lock.  ACTs acquire it through ``get_state``
 and hold it until the second phase of 2PC (strict two-phase locking).
 
-Wait-die (§4.3.2): an older requester (smaller tid) is allowed to wait
-for a younger holder; a younger requester dies immediately.  This keeps
-ACT-ACT deadlocks impossible while letting the hybrid layer use timeouts
-only for PACT-ACT cycles.  ``wait_die=False`` switches to pure timeout
-waiting, which is what the OrleansTxn baseline uses.
+The lock implements *mechanism* — grant compatibility, a FIFO queue,
+timeout races — and delegates *policy* (what to do on conflict, whether
+waits are bounded) to a pluggable
+:class:`~repro.core.engine.concurrency.ConcurrencyControl` strategy:
+wait-die (the paper's §4.3.2 default), timeout-only (what Orleans
+Transactions uses), no-wait, or anything registered by name.  The old
+``wait_die=`` boolean constructor argument is kept as a shim that picks
+between the first two.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Union
 
-from repro.errors import AbortReason, DeadlockError, SimulationError
 from repro.core.context import AccessMode
+from repro.core.engine.concurrency import (
+    ConcurrencyControl,
+    TimeoutOnly,
+    WaitDie,
+    resolve_concurrency_control,
+)
+from repro.errors import AbortReason, DeadlockError, SimulationError
 from repro.sim.future import Future
 from repro.sim.loop import current_loop
 
@@ -34,16 +43,34 @@ class _Request:
 class ActorLock:
     """One read/write lock guarding an actor's state blob."""
 
-    def __init__(self, wait_die: bool = True, label: str = "actor"):
-        self.wait_die = wait_die
+    def __init__(
+        self,
+        cc: Union[ConcurrencyControl, str, bool, None] = None,
+        label: str = "actor",
+        *,
+        wait_die: Optional[bool] = None,
+    ):
+        if isinstance(cc, bool):  # legacy positional ActorLock(wait_die)
+            cc, wait_die = None, cc
+        if cc is None:
+            cc = WaitDie() if wait_die in (None, True) else TimeoutOnly()
+        elif wait_die is not None:
+            raise SimulationError("pass either a strategy or wait_die, not both")
+        self.cc = resolve_concurrency_control(cc)
         self.label = label
         self._holders: Dict[int, str] = {}  # tid -> mode held
         self._queue: Deque[_Request] = deque()
-        # statistics for the experiment harness
+        # statistics for the experiment harness, bumped by the strategies
         self.wait_die_aborts = 0
         self.timeout_aborts = 0
+        self.no_wait_aborts = 0
 
     # -- queries -----------------------------------------------------------
+    @property
+    def wait_die(self) -> bool:
+        """Legacy introspection: is the wait-die discipline in force?"""
+        return isinstance(self.cc, WaitDie)
+
     def held_by(self, tid: int) -> Optional[str]:
         return self._holders.get(tid)
 
@@ -52,8 +79,22 @@ class ActorLock:
         return set(self._holders)
 
     @property
+    def oldest_holder(self) -> Optional[int]:
+        return min(self._holders) if self._holders else None
+
+    @property
     def queue_length(self) -> int:
         return len(self._queue)
+
+    def live_queued_requests(self) -> List[_Request]:
+        """Queued requests still waiting (strategy eviction surface)."""
+        return [r for r in self._queue if not r.future.done()]
+
+    def kill_request(self, request: _Request, exc: BaseException) -> None:
+        """Evict one queued request with ``exc`` (strategy eviction surface)."""
+        if request in self._queue:
+            self._queue.remove(request)
+        request.future.try_set_exception(exc)
 
     def _compatible(self, tid: int, mode: str) -> bool:
         """Can ``tid`` acquire ``mode`` given current holders?"""
@@ -69,8 +110,8 @@ class ActorLock:
                       timeout: Optional[float] = None) -> None:
         """Acquire (or upgrade to) ``mode`` for transaction ``tid``.
 
-        Raises :class:`DeadlockError` when wait-die kills the requester
-        or the timeout expires.
+        Raises :class:`DeadlockError` when the concurrency-control
+        strategy kills the requester or the timeout expires.
         """
         if mode not in (AccessMode.READ, AccessMode.READ_WRITE):
             raise SimulationError(f"bad lock mode {mode!r}")
@@ -79,16 +120,9 @@ class ActorLock:
             return  # re-entrant / already sufficient
         if self._compatible(tid, mode) and not self._blocked_by_queue(tid, mode):
             self._holders[tid] = mode
-            self._enforce_wait_die()
+            self.cc.on_holders_changed(self)
             return
-        if self.wait_die and any(t < tid for t in self._holders if t != tid):
-            # A younger transaction never waits for an older holder: die.
-            self.wait_die_aborts += 1
-            raise DeadlockError(
-                f"{self.label}: txn {tid} died (wait-die) waiting for "
-                f"{sorted(self._holders)}",
-                AbortReason.ACT_CONFLICT,
-            )
+        self.cc.on_conflict(self, tid, mode)  # may raise instead of waiting
         request = _Request(tid, mode)
         self._queue.append(request)
         if timeout is None:
@@ -136,29 +170,7 @@ class ActorLock:
                 self._holders[head.tid] = head.mode
                 head.future.try_set_result(None)
                 granted = True
-        self._enforce_wait_die()
-
-    def _enforce_wait_die(self) -> None:
-        """Wait-die invariant: nobody may *wait* for an older holder.
-
-        Checked whenever the holder set changes — a queued request that
-        arrived while the (younger) previous holder was active can find
-        itself behind an older one after a grant, and must die then."""
-        if not self.wait_die or not self._queue or not self._holders:
-            return
-        oldest_holder = min(self._holders)
-        victims = [r for r in self._queue
-                   if r.tid > oldest_holder and not r.future.done()]
-        for request in victims:
-            self._queue.remove(request)
-            self.wait_die_aborts += 1
-            request.future.try_set_exception(
-                DeadlockError(
-                    f"{self.label}: txn {request.tid} died (wait-die) "
-                    f"waiting behind older holder {oldest_holder}",
-                    AbortReason.ACT_CONFLICT,
-                )
-            )
+        self.cc.on_holders_changed(self)
 
     def abort_waiter(self, tid: int, reason: str, message: str = "") -> None:
         """Fail a queued request for ``tid`` (cascading abort path)."""

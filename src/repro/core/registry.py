@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.actors.ref import ActorId
-from repro.errors import SimulationError, TransactionAbortedError, AbortReason
+from repro.errors import AbortReason, SimulationError, TransactionAbortedError
 from repro.sim.sync import Condition
 
 

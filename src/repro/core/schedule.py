@@ -25,12 +25,12 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.context import SubBatch
 from repro.errors import (
     AbortReason,
     SimulationError,
     TransactionAbortedError,
 )
-from repro.core.context import SubBatch
 from repro.sim.future import Future
 
 

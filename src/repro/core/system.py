@@ -31,7 +31,6 @@ from repro.core.coordinator import CoordinatorActor, Token
 from repro.core.registry import CommitRegistry
 from repro.persistence.logger import LoggerGroup
 from repro.persistence.records import (
-    ActPrepareRecord,
     BatchCommitRecord,
     BatchCompleteRecord,
     BatchInfoRecord,

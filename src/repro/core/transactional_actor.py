@@ -1,15 +1,24 @@
 """``TransactionalActor``: the base class user actors extend (§3, §4).
 
 It implements the three-API surface of Table 1 — ``start_txn``,
-``call_actor``, ``get_state`` — plus every per-actor protocol mechanism:
+``call_actor``, ``get_state`` — as a thin *composition root* over the
+layered engine in :mod:`repro.core.engine`:
 
-* the hybrid local schedule (PACT turns, ACT admission, §4.2.3/§4.4.1);
-* S2PL with wait-die for ACTs, locks held until the end of 2PC (§4.3.2);
-* speculative PACT execution with per-batch completion snapshots and
-  the three-message batch protocol (§4.2.3-4.2.4);
-* 2PC with presumed abort, the first accessed actor acting as the 2PC
-  coordinator (§4.3.3), and the hybrid serializability check (§4.4.3-4);
-* rollback on cascading abort, and crash recovery from the WAL (§4.2.5).
+* :class:`~repro.core.engine.pact.PactExecutor` — deterministic batch
+  execution, completion snapshots, batch commit, cascading rollback;
+* :class:`~repro.core.engine.act.ActExecutor` — nondeterministic
+  execution, S2PL through a pluggable
+  :class:`~repro.core.engine.concurrency.ConcurrencyControl` strategy,
+  and 2PC with the first accessed actor as coordinator;
+* :class:`~repro.core.engine.hybrid.HybridScheduler` — the two
+  interleaving rules over the actor's local schedule (§4.4.1);
+* :class:`~repro.core.engine.guard.SerializabilityGuard` — the
+  BeforeSet/AfterSet commit-time check (§4.4.3-4).
+
+The actor itself owns only its state blobs (``_state``,
+``_committed_state``, the incremental-logging ``_delta_buffer``) and
+the RPC surface; every protocol decision lives in the engine layers,
+which makes each one swappable, ablatable, and testable on its own.
 
 User subclasses implement ``initial_state()`` and ``async`` transaction
 methods taking ``(ctx, func_input)``, exactly like Fig. 2's
@@ -19,69 +28,24 @@ methods taking ``(ctx, func_input)``, exactly like Fig. 2's
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
-from repro.errors import (
-    AbortReason,
-    DeadlockError,
-    SerializabilityError,
-    SimulationError,
-    TransactionAbortedError,
-)
 from repro.core.config import SnapperConfig
-from repro.core.context import (
-    AccessMode,
-    FuncCall,
-    ResultObj,
-    SubBatch,
-    TxnContext,
-    TxnExeInfo,
-    TxnMode,
+from repro.core.context import AccessMode, FuncCall, ResultObj, TxnContext
+from repro.core.engine import (
+    ActExecutor,
+    HybridScheduler,
+    PactExecutor,
+    SerializabilityGuard,
+    recover_state,
+    resolve_concurrency_control,
 )
+from repro.core.engine.recovery import DELTA_MARKER
 from repro.core.locks import ActorLock
-from repro.core.schedule import BatchEntry, LocalSchedule
-from repro.persistence.records import (
-    ActCommitRecord,
-    ActPrepareRecord,
-    BatchCompleteRecord,
-    BatchCommitRecord,
-    CoordCommitRecord,
-    CoordPrepareRecord,
-)
-from repro.sim.future import Future
-from repro.sim.loop import gather, spawn, wait_for
-
-
-#: tags delta payloads in state records (incremental logging, §5.4.2).
-_DELTA_MARKER = "__snapper_delta__"
-
-
-def _is_delta(payload: Any) -> bool:
-    return (
-        isinstance(payload, tuple)
-        and len(payload) == 2
-        and payload[0] == _DELTA_MARKER
-    )
-
-
-class _ActRuntime:
-    """Per-transaction bookkeeping on one participating actor."""
-
-    __slots__ = ("info", "undo", "generation", "epoch", "wrote",
-                 "outstanding")
-
-    def __init__(self, generation: int, epoch: int):
-        self.info = TxnExeInfo()
-        self.undo: Any = None
-        self.generation = generation
-        self.epoch = epoch
-        self.wrote = False
-        #: in-flight child call futures (see _settle_children): a failing
-        #: transaction must learn the participants its concurrent child
-        #: calls reached before it aborts, or their locks would leak.
-        self.outstanding: List[Future] = []
+from repro.core.schedule import LocalSchedule
+from repro.errors import SimulationError
 
 
 class TransactionalActor(Actor):
@@ -116,7 +80,7 @@ class TransactionalActor(Actor):
             "implement apply_delta()"
         )
 
-    def log_delta(self, ctx: "TxnContext", entry: Any) -> None:
+    def log_delta(self, ctx: TxnContext, entry: Any) -> None:
         """Record one logical change for incremental logging.
 
         Call this alongside the in-place state mutation; the entries
@@ -126,7 +90,7 @@ class TransactionalActor(Actor):
         self._delta_buffer.append((ctx.tid, entry))
 
     # ------------------------------------------------------------------
-    # lifecycle
+    # lifecycle: wire the engine layers
     # ------------------------------------------------------------------
     async def on_activate(self) -> None:
         self._config: SnapperConfig = self.runtime.service("snapper_config")
@@ -137,68 +101,23 @@ class TransactionalActor(Actor):
             self.id
         )
 
-        self._schedule = LocalSchedule(actor_label=str(self.id))
-        self._schedule.on_subbatch_complete = self._subbatch_completed
-        self._lock = ActorLock(
-            wait_die=self._config.wait_die, label=str(self.id)
+        self._scheduler = HybridScheduler(
+            label=str(self.id),
+            deadlock_timeout=self._config.deadlock_timeout,
         )
-        self._acts: Dict[int, _ActRuntime] = {}
-        self._batch_snapshots: Dict[int, Any] = {}
-        self._bid_commit_waiters: Dict[int, List[Future]] = {}
-        #: bumped on rollback; stale undo images must not be applied.
-        self._rollback_epoch = 0
-        #: recently aborted ACT tids (bounded): a late-arriving invocation
-        #: of an aborted transaction must be rejected, not executed.
-        self._act_tombstones: Set[int] = set()
-        self._act_tombstone_order: List[int] = []
+        cc = resolve_concurrency_control(self._config.concurrency_control)
+        self._lock = ActorLock(cc, label=str(self.id))
+        guard = SerializabilityGuard(self._config, self._registry)
+        self._acts = ActExecutor(self, self._scheduler, guard, cc, self._lock)
+        self._pact = PactExecutor(self, self._scheduler, self._acts)
+
         #: (tid, entry) changes since the last persist (incremental mode).
         self._delta_buffer: List[tuple] = []
-
         self._state = self.initial_state()
-        await self._recover_state()
-        self._committed_state = copy.deepcopy(self._state)
-
-    async def _recover_state(self) -> None:
-        """Restore the last committed state from the WAL (§4.2.5)."""
-        if not self._loggers.enabled:
-            return
-        committed_bids: Set[int] = set()
-        committed_tids: Set[int] = set()
-        state_records: List[Any] = []
-        for record in self._loggers.all_records():
-            if isinstance(record, BatchCommitRecord):
-                committed_bids.add(record.bid)
-            elif isinstance(record, (ActCommitRecord, CoordCommitRecord)):
-                committed_tids.add(record.tid)
-            elif isinstance(record, BatchCompleteRecord):
-                if record.actor == self.id and record.state is not None:
-                    state_records.append(record)
-            elif isinstance(record, ActPrepareRecord):
-                if record.actor == self.id and record.state is not None:
-                    state_records.append(record)
-        covered = sorted(
-            (
-                r for r in state_records
-                if (isinstance(r, BatchCompleteRecord)
-                    and r.bid in committed_bids)
-                or (isinstance(r, ActPrepareRecord)
-                    and r.tid in committed_tids)
-            ),
-            key=lambda r: r.lsn,
+        self._state = recover_state(
+            self.id, self._loggers, self._state, self.apply_delta
         )
-        if not covered:
-            return
-        # start from the latest full-state record (if any), then replay
-        # the delta records logged after it (incremental logging, §5.4.2)
-        base_index = -1
-        for index, record in enumerate(covered):
-            if not _is_delta(record.state):
-                base_index = index
-        if base_index >= 0:
-            self._state = copy.deepcopy(covered[base_index].state)
-        for record in covered[base_index + 1:]:
-            delta = copy.deepcopy(record.state[1])
-            self._state = self.apply_delta(self._state, delta)
+        self._committed_state = copy.deepcopy(self._state)
 
     # ------------------------------------------------------------------
     # Table 1: StartTxn
@@ -221,8 +140,8 @@ class TransactionalActor(Actor):
         await self.charge(self._config.cpu_txn_setup)
         if actor_access_info is not None:
             access = self._normalize_access_info(actor_access_info)
-            return await self._run_pact(method, func_input, access)
-        return await self._run_act(method, func_input)
+            return await self._pact.run_root(method, func_input, access)
+        return await self._acts.run_root(method, func_input)
 
     def _normalize_access_info(
         self, info: Dict[Any, int]
@@ -249,465 +168,6 @@ class TransactionalActor(Actor):
         return ActorId(self.id.kind, target)  # raw key: same kind as self
 
     # ------------------------------------------------------------------
-    # PACT path (§4.2)
-    # ------------------------------------------------------------------
-    def _trace(self, tid: int, event: str, detail: Any = None,
-               mode: Optional[str] = None) -> None:
-        tracer = self.runtime.services.get("txn_tracer")
-        if tracer is not None:
-            tracer.record(self.runtime.loop.now, tid, event, detail, mode)
-
-    async def _run_pact(
-        self, method: str, func_input: Any, access: Dict[ActorId, int]
-    ) -> Any:
-        ctx: TxnContext = await self._coordinator.call(
-            "new_pact", self.id, access
-        )
-        self._trace(ctx.tid, "registered", f"bid={ctx.bid}", mode=TxnMode.PACT)
-        commit_wait = Future(label=f"commit:{ctx.bid}:{ctx.tid}")
-        self._bid_commit_waiters.setdefault(ctx.bid, []).append(commit_wait)
-        try:
-            result = await self._invoke_pact(ctx, FuncCall(method, func_input))
-            self._trace(ctx.tid, "execution_done")
-            await commit_wait  # raises on cascading abort
-        except TransactionAbortedError as exc:
-            self._trace(ctx.tid, "aborted", exc.reason)
-            raise
-        self._trace(ctx.tid, "committed")
-        return result
-
-    async def pact_invoke(self, ctx: TxnContext, call: FuncCall) -> Any:
-        """RPC endpoint for PACT method invocations (via ``call_actor``)."""
-        return await self._invoke_pact(ctx, call)
-
-    async def _invoke_pact(self, ctx: TxnContext, call: FuncCall) -> Any:
-        await self.charge(self._config.cpu_schedule_op)
-        await self._schedule.await_pact_turn(ctx.bid, ctx.tid)
-        self._trace(ctx.tid, "turn_started", str(self.id))
-        try:
-            method = self._user_method(call.method)
-            result = await method(ctx, call.func_input)
-        except TransactionAbortedError:
-            raise  # already part of an abort cascade
-        except Exception as exc:  # noqa: BLE001 - user abort (§3.2.3)
-            self._controller.report_pact_failure(ctx.bid, exc)
-            raise TransactionAbortedError(
-                f"PACT {ctx.tid} aborted by user code: {exc!r}",
-                AbortReason.USER_ABORT,
-            ) from exc
-        self._schedule.pact_access_done(ctx.bid, ctx.tid)
-        return result
-
-    def _subbatch_completed(self, entry: BatchEntry) -> None:
-        """Synchronous snapshot point: runs inside the schedule pump the
-        moment the sub-batch's last access finishes, before any later
-        entry can execute (§4.2.4)."""
-        snapshot = (
-            copy.deepcopy(self._state) if entry.wrote_state else None
-        )
-        self._batch_snapshots[entry.bid] = snapshot
-        payload = snapshot
-        if self.incremental_logging and entry.wrote_state:
-            payload = self._capture_delta()
-        spawn(
-            self._vote_batch_complete(entry.sub_batch, payload),
-            label=f"vote:{entry.bid}",
-        )
-
-    def _capture_delta(self) -> tuple:
-        """Drain the delta buffer into a loggable payload (§5.4.2 ext)."""
-        entries = [entry for _tid, entry in self._delta_buffer]
-        self._delta_buffer.clear()
-        return (_DELTA_MARKER, entries)
-
-    async def _vote_batch_complete(
-        self, sub_batch: SubBatch, payload: Any
-    ) -> None:
-        # WAL first (Fig. 6), then the BatchComplete vote.
-        await self._loggers.persist(
-            self.id,
-            BatchCompleteRecord(
-                bid=sub_batch.bid, actor=self.id, state=payload
-            ),
-        )
-        coordinator = self.runtime.service("coordinator_by_key")(
-            sub_batch.coordinator_key
-        )
-        coordinator.call("batch_complete", sub_batch.bid, self.id)
-
-    async def receive_batch(self, sub_batch: SubBatch) -> None:
-        """RPC endpoint: a coordinator delivered a BatchMsg (§4.2.2)."""
-        await self.charge(self._config.cpu_schedule_op)
-        if self._registry.is_aborted(sub_batch.bid):
-            return  # stale message from before a cascading abort
-        self._schedule.register_batch(sub_batch)
-
-    async def batch_committed(self, bid: int) -> None:
-        """RPC endpoint: BatchCommit from the coordinator (§4.2.4)."""
-        await self.charge(self._config.cpu_commit_op)
-        snapshot = self._batch_snapshots.pop(bid, None)
-        if snapshot is not None:
-            self._committed_state = snapshot
-        self._schedule.batch_committed(bid)
-        for waiter in self._bid_commit_waiters.pop(bid, []):
-            waiter.try_set_result(None)
-
-    async def rollback_uncommitted(self) -> None:
-        """RPC endpoint: cascading abort — restore last committed state
-        and drop every uncommitted batch (§4.2.4)."""
-        await self.charge(self._config.cpu_commit_op)
-        self._rollback_epoch += 1
-        self._state = copy.deepcopy(self._committed_state)
-        self._batch_snapshots.clear()
-        self._delta_buffer.clear()
-        dropped = self._schedule.rollback_batches()
-        for bid in dropped:
-            for waiter in self._bid_commit_waiters.pop(bid, []):
-                waiter.try_set_exception(
-                    TransactionAbortedError(
-                        f"batch {bid} rolled back", AbortReason.CASCADING
-                    )
-                )
-        # Any remaining waiters belong to aborted bids too (e.g. batches
-        # whose BatchMsg never reached this actor before the cascade).
-        for bid in [
-            b for b in self._bid_commit_waiters
-            if self._registry.is_aborted(b)
-        ]:
-            for waiter in self._bid_commit_waiters.pop(bid, []):
-                waiter.try_set_exception(
-                    TransactionAbortedError(
-                        f"batch {bid} rolled back", AbortReason.CASCADING
-                    )
-                )
-
-    # ------------------------------------------------------------------
-    # ACT path (§4.3, hybrid §4.4)
-    # ------------------------------------------------------------------
-    async def _run_act(self, method: str, func_input: Any) -> Any:
-        # optional per-phase timing used by the Fig. 15 microbenchmark
-        recorder = self.runtime.services.get("breakdown_recorder")
-        t_start = self.runtime.loop.now
-        ctx: TxnContext = await self._coordinator.call("new_act", self.id)
-        t_tid = self.runtime.loop.now
-        self._trace(ctx.tid, "registered", mode=TxnMode.ACT)
-        try:
-            result_obj = await self._invoke_act(ctx, FuncCall(method, func_input))
-        except Exception as exc:  # noqa: BLE001 - abort whole ACT
-            info = getattr(exc, "partial_exe_info", None)
-            await self._abort_act(ctx, info)
-            abort = self._as_abort(exc)
-            self._trace(ctx.tid, "aborted", abort.reason)
-            raise abort from exc
-        t_exec = self.runtime.loop.now
-        self._trace(ctx.tid, "execution_done")
-        try:
-            await self._commit_act(ctx, result_obj.exe_info)
-        except Exception as exc:  # noqa: BLE001 - abort whole ACT
-            await self._abort_act(ctx, result_obj.exe_info)
-            abort = self._as_abort(exc)
-            self._trace(ctx.tid, "aborted", abort.reason)
-            raise abort from exc
-        self._trace(ctx.tid, "committed")
-        if recorder is not None:
-            t_commit = self.runtime.loop.now
-            recorder.record("tid_assign", t_tid - t_start)
-            recorder.record("execute", t_exec - t_tid)
-            recorder.record("commit", t_commit - t_exec)
-        return result_obj.result
-
-    @staticmethod
-    def _as_abort(exc: BaseException) -> TransactionAbortedError:
-        if isinstance(exc, TransactionAbortedError):
-            return exc
-        if isinstance(exc, TimeoutError):
-            return DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
-        return TransactionAbortedError(
-            f"ACT aborted by user code: {exc!r}", AbortReason.USER_ABORT
-        )
-
-    async def act_invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
-        """RPC endpoint for ACT method invocations (via ``call_actor``)."""
-        if ctx.tid in self._act_tombstones:
-            raise TransactionAbortedError(
-                f"ACT {ctx.tid} was already aborted on {self.id}",
-                AbortReason.CASCADING,
-            )
-        return await self._invoke_act(ctx, call)
-
-    async def _invoke_act(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
-        await self.charge(self._config.cpu_schedule_op)
-        run = self._acts.get(ctx.tid)
-        if run is None:
-            run = _ActRuntime(self._controller.generation, self._rollback_epoch)
-            self._acts[ctx.tid] = run
-        try:
-            method = self._user_method(call.method)
-            result = await method(ctx, call.func_input)
-            # user code may have left child calls unawaited (or swallowed
-            # a failed one): their participants must be accounted for.
-            await self._settle_children(run)
-        except Exception as exc:  # noqa: BLE001
-            # The transaction is doomed.  Do NOT wait for in-flight
-            # children (they may sit in long lock queues); instead the
-            # abort fans out to every *attempted* target, where it evicts
-            # queued lock requests and tombstones the tid.
-            partial = run.info.snapshot()
-            existing = getattr(exc, "partial_exe_info", None)
-            if existing is not None:
-                partial.merge(existing)
-            self._local_act_abort(ctx.tid)
-            try:
-                exc.partial_exe_info = partial
-            except Exception:  # exceptions with __slots__: fine, best effort
-                pass
-            raise
-        if self.id in run.info.participants:
-            # §4.4.3: evidence is collected when the invocation completes.
-            run.info.observe_before(self._schedule.before_evidence(ctx.tid))
-            run.info.observe_before(self._schedule.act_maxbs_carry)
-            run.info.observe_after(
-                self.id, self._schedule.after_evidence(ctx.tid)
-            )
-        snapshot = run.info.snapshot()
-        if (
-            self.id not in run.info.participants
-            and self._schedule.act_entry(ctx.tid) is None
-        ):
-            # no-op participation (no state access): nothing to commit,
-            # abort, or gate here — drop the bookkeeping (§5.2.3).
-            self._acts.pop(ctx.tid, None)
-        return ResultObj(result, snapshot)
-
-    async def _settle_children(self, run: _ActRuntime) -> None:
-        """Wait for in-flight child calls and fold in their participant
-        info (success or failure), so no participant is ever orphaned."""
-        while run.outstanding:
-            fut = run.outstanding.pop(0)
-            try:
-                result_obj = await fut
-            except Exception as exc:  # noqa: BLE001 - only info matters
-                partial = getattr(exc, "partial_exe_info", None)
-                if partial is not None:
-                    run.info.merge(partial)
-            else:
-                if result_obj.exe_info is not None:
-                    run.info.merge(result_obj.exe_info)
-
-    async def _admit_act(self, ctx: TxnContext) -> None:
-        """Hybrid rule 1 (§4.4.1): an ACT joins this actor's schedule on
-        first state access and waits for earlier batches to complete."""
-        entry = self._schedule.ensure_act(ctx.tid)
-        if not entry.admission.done():
-            try:
-                await wait_for(
-                    entry.admission,
-                    self._config.deadlock_timeout,
-                    message=f"ACT {ctx.tid} admission timed out on {self.id}",
-                )
-            except TimeoutError as exc:
-                raise DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
-
-    # -- 2PC, first actor as coordinator (§4.3.3) -------------------------
-    async def _commit_act(self, ctx: TxnContext, info: TxnExeInfo) -> None:
-        await self.charge(self._config.cpu_commit_op)
-        run = self._acts.get(ctx.tid)
-        if run is not None and run.generation != self._controller.generation:
-            raise TransactionAbortedError(
-                f"ACT {ctx.tid} crossed a cascading abort",
-                AbortReason.CASCADING,
-            )
-        self._check_serializability(ctx, info)
-        self._trace(ctx.tid, "check_passed")
-        if info.max_bs is not None:
-            # §4.4.4: dependent batches must commit before this ACT does.
-            await self._registry.wait_until_committed(
-                info.max_bs, timeout=self._config.batch_complete_timeout
-            )
-        participants = sorted(info.participants)
-        if not participants:
-            return  # pure no-op transaction: nothing to make durable
-        remote = [p for p in participants if p != self.id]
-        if not remote:
-            # one-phase commit: the only participant IS the coordinator,
-            # so no votes are needed — one state record plus the commit
-            # decision make the transaction durable (§4.3.3, Fig. 15's
-            # near-free I8 for single-writer ACTs).
-            self._prepare_act_local(ctx.tid)
-            await self._loggers.persist(
-                self.id,
-                ActPrepareRecord(
-                    tid=ctx.tid, actor=self.id,
-                    state=self._act_prepare_state(ctx.tid),
-                ),
-            )
-            await self._loggers.persist(
-                self.id, CoordCommitRecord(tid=ctx.tid)
-            )
-            self._commit_act_local(ctx.tid, info.max_bs)
-            return
-        await self._loggers.persist(
-            self.id,
-            CoordPrepareRecord(
-                tid=ctx.tid, coordinator=self.id,
-                participants=tuple(participants),
-            ),
-        )
-        # prepare phase: self locally (no messages — the first actor is
-        # the 2PC coordinator, §5.2.3) in parallel with the remote
-        # participants' prepare round.
-        votes = []
-        if self.id in info.participants:
-            self._prepare_act_local(ctx.tid)
-            votes.append(spawn(self._loggers.persist(
-                self.id,
-                ActPrepareRecord(
-                    tid=ctx.tid, actor=self.id,
-                    state=self._act_prepare_state(ctx.tid),
-                ),
-            )))
-        votes.extend(
-            self._actor_ref(p).call("act_prepare", ctx.tid) for p in remote
-        )
-        if votes:
-            await gather(*votes)
-        # decision
-        await self._loggers.persist(self.id, CoordCommitRecord(tid=ctx.tid))
-        if self.id in info.participants:
-            self._commit_act_local(ctx.tid, info.max_bs)
-        if remote:
-            await gather(
-                *[
-                    self._actor_ref(p).call("act_commit", ctx.tid, info.max_bs)
-                    for p in remote
-                ]
-            )
-
-    def _check_serializability(self, ctx: TxnContext, info: TxnExeInfo) -> None:
-        """Theorem 4.2 condition (3), with the incomplete-AfterSet rule."""
-        if not info.after_set_complete:
-            if not self._config.incomplete_after_set_optimization:
-                raise SerializabilityError(
-                    f"ACT {ctx.tid}: AfterSet incomplete on "
-                    f"{sorted(map(str, info.as_incomplete_on))}",
-                    AbortReason.INCOMPLETE_AFTER_SET,
-                )
-            bs_settled = info.max_bs is None or self._registry.is_committed(
-                info.max_bs
-            )
-            if not bs_settled:
-                raise SerializabilityError(
-                    f"ACT {ctx.tid}: AfterSet incomplete and BeforeSet "
-                    f"(max bid {info.max_bs}) not yet committed",
-                    AbortReason.INCOMPLETE_AFTER_SET,
-                )
-        if (
-            info.max_bs is not None
-            and info.min_as is not None
-            and not info.max_bs < info.min_as
-        ):
-            raise SerializabilityError(
-                f"ACT {ctx.tid}: max(BS)={info.max_bs} >= "
-                f"min(AS)={info.min_as}",
-                AbortReason.SERIALIZABILITY,
-            )
-
-    async def _abort_act(
-        self, ctx: TxnContext, info: Optional[TxnExeInfo]
-    ) -> None:
-        """Presumed abort: notify every actor the transaction *reached for*
-        (not just confirmed participants — an invocation may still be in
-        flight or queued on a lock there), then clean up locally."""
-        targets: Set[ActorId] = set()
-        if info is not None:
-            targets |= info.participants
-            targets |= info.attempted
-        targets.add(self.id)
-        remote = [p for p in sorted(targets) if p != self.id]
-        self._local_act_abort(ctx.tid)
-        if remote:
-            await gather(
-                *[
-                    self._actor_ref(p).call("act_abort", ctx.tid)
-                    for p in remote
-                ]
-            )
-
-    # -- 2PC participant endpoints -----------------------------------------
-    async def act_prepare(self, tid: int) -> bool:
-        """RPC endpoint: 2PC prepare; persists state and votes (Fig. 7)."""
-        await self.charge(self._config.cpu_commit_op)
-        if tid not in self._acts:
-            raise TransactionAbortedError(
-                f"{self.id}: unknown ACT {tid} at prepare (crashed?)",
-                AbortReason.FAILURE,
-            )
-        self._prepare_act_local(tid)
-        await self._loggers.persist(
-            self.id,
-            ActPrepareRecord(
-                tid=tid, actor=self.id, state=self._act_prepare_state(tid)
-            ),
-        )
-        return True
-
-    async def act_commit(self, tid: int, max_bs: Optional[int]) -> None:
-        """RPC endpoint: 2PC commit decision."""
-        await self.charge(self._config.cpu_commit_op)
-        await self._loggers.persist(
-            self.id, ActCommitRecord(tid=tid, actor=self.id)
-        )
-        self._commit_act_local(tid, max_bs)
-
-    async def act_abort(self, tid: int) -> None:
-        """RPC endpoint: 2PC abort decision (presumed abort: no logging)."""
-        await self.charge(self._config.cpu_commit_op)
-        self._local_act_abort(tid)
-
-    def _prepare_act_local(self, tid: int) -> None:
-        run = self._acts.get(tid)
-        if run is None:
-            raise TransactionAbortedError(
-                f"{self.id}: unknown ACT {tid} at prepare",
-                AbortReason.FAILURE,
-            )
-
-    def _act_prepare_state(self, tid: int) -> Any:
-        """State to persist at prepare: the updated blob (or its delta,
-        under incremental logging), or None if only read (§4.3.3)."""
-        run = self._acts.get(tid)
-        if run is None or not run.wrote:
-            return None
-        if self.incremental_logging:
-            return self._capture_delta()
-        return copy.deepcopy(self._state)
-
-    def _commit_act_local(self, tid: int, max_bs: Optional[int]) -> None:
-        run = self._acts.pop(tid, None)
-        if run is not None and run.wrote:
-            self._committed_state = copy.deepcopy(self._state)
-        self._lock.release(tid)
-        self._schedule.note_act_commit_carry(max_bs)
-        self._schedule.act_ended(tid)
-
-    def _local_act_abort(self, tid: int) -> None:
-        self._act_tombstones.add(tid)
-        self._act_tombstone_order.append(tid)
-        if len(self._act_tombstone_order) > 8192:
-            self._act_tombstones.discard(self._act_tombstone_order.pop(0))
-        if self._delta_buffer:
-            self._delta_buffer = [
-                (t, e) for t, e in self._delta_buffer if t != tid
-            ]
-        run = self._acts.pop(tid, None)
-        if run is not None and run.wrote and run.undo is not None:
-            if run.epoch == self._rollback_epoch:
-                self._state = run.undo
-        self._lock.abort_waiter(tid, AbortReason.ACT_CONFLICT)
-        self._lock.release(tid)
-        self._schedule.act_ended(tid)
-
-    # ------------------------------------------------------------------
     # Table 1: CallActor and GetState
     # ------------------------------------------------------------------
     async def call_actor(
@@ -719,104 +179,89 @@ class TransactionalActor(Actor):
         """Invoke a method on another actor within transaction ``ctx``."""
         await self.charge(self.runtime.config.cpu_per_send)
         target_id = self._resolve_target(target)
-        ref = self._actor_ref(target_id)
         if ctx.is_pact:
-            return await ref.call("pact_invoke", ctx, call)
-        run = self._acts.get(ctx.tid)
-        if run is None:
-            # the transaction already aborted on this actor (e.g. a
-            # sibling call failed first): don't let a zombie call run.
-            raise TransactionAbortedError(
-                f"ACT {ctx.tid} is no longer active on {self.id}",
-                AbortReason.CASCADING,
+            return await self.actor_ref(target_id).call(
+                "pact_invoke", ctx, call
             )
-        run.info.attempted.add(target_id)
-        fut = ref.call("act_invoke", ctx, call)
-        run.outstanding.append(fut)
-        try:
-            result_obj: ResultObj = await fut
-        except Exception as exc:  # noqa: BLE001 - merge partial info
-            partial = getattr(exc, "partial_exe_info", None)
-            if partial is not None:
-                run.info.merge(partial)
-            raise
-        finally:
-            if fut in run.outstanding:
-                run.outstanding.remove(fut)
-        if result_obj.exe_info is not None:
-            run.info.merge(result_obj.exe_info)
-        if self._acts.get(ctx.tid) is not run:
-            # aborted while the call was in flight: the callee just did
-            # work for a dead transaction — release it explicitly.
-            if result_obj.exe_info is not None:
-                for participant in result_obj.exe_info.participants:
-                    self._actor_ref(participant).call("act_abort", ctx.tid)
-            raise TransactionAbortedError(
-                f"ACT {ctx.tid} aborted during a child call",
-                AbortReason.CASCADING,
-            )
-        return result_obj.result
+        return await self._acts.call_child(ctx, target_id, call)
 
-    async def get_state(self, ctx: TxnContext, mode: str = AccessMode.READ_WRITE) -> Any:
+    async def get_state(
+        self, ctx: TxnContext, mode: str = AccessMode.READ_WRITE
+    ) -> Any:
         """Access this actor's state under transaction ``ctx`` (Fig. 2).
 
         Returns the live state object; with ``ReadWrite`` the caller may
-        mutate it in place.
+        mutate it in place.  PACTs rely on deterministic turn order;
+        ACTs go through the concurrency-control strategy (§4.3.2).
         """
         await self.charge(self._config.cpu_state_access)
         if ctx.is_pact:
-            if mode == AccessMode.READ_WRITE:
-                entry = self._schedule.batch_entry(ctx.bid)
-                if entry is None:
-                    raise SimulationError(
-                        f"{self.id}: get_state outside a scheduled batch"
-                    )
-                entry.wrote_state = True
-            return self._state
-        # ACT: strict 2PL with wait-die (§4.3.2)
-        run = self._acts.get(ctx.tid)
-        if run is None:
-            if ctx.tid in self._act_tombstones:
-                raise TransactionAbortedError(
-                    f"ACT {ctx.tid} was aborted while running on {self.id}",
-                    AbortReason.CASCADING,
-                )
-            raise SimulationError(
-                f"{self.id}: get_state for ACT {ctx.tid} outside invocation"
-            )
-        if run.generation != self._controller.generation:
-            raise TransactionAbortedError(
-                f"ACT {ctx.tid} crossed a cascading abort",
-                AbortReason.CASCADING,
-            )
-        await self._admit_act(ctx)
-        if self.id not in run.info.participants:
-            self._trace(ctx.tid, "admitted", str(self.id))
-        run.info.participants.add(self.id)
-        await self.charge(self._config.cpu_lock_op)
-        # Under wait-die, lock waits need no timeout: ACT-ACT deadlocks
-        # cannot form (§4.3.2) and every hybrid PACT-ACT cycle (Fig. 9)
-        # contains a schedule-admission edge, which does time out.
-        # Timing out lock waits would break wait-die's liveness
-        # guarantee (the oldest transaction never dies).
-        lock_timeout = (
-            None if self._config.wait_die else self._config.deadlock_timeout
-        )
-        await self._lock.acquire(ctx.tid, mode, timeout=lock_timeout)
-        if mode == AccessMode.READ_WRITE and not run.wrote:
-            run.wrote = True
-            run.undo = copy.deepcopy(self._state)
-            run.epoch = self._rollback_epoch
-            run.info.writers.add(self.id)
-        return self._state
+            return self._pact.state_access(ctx, mode)
+        return await self._acts.acquire_state(ctx, mode)
 
     # ------------------------------------------------------------------
-    # helpers
+    # RPC endpoints: PACT protocol (§4.2)
     # ------------------------------------------------------------------
-    def _actor_ref(self, actor_id: ActorId) -> ActorRef:
+    async def pact_invoke(self, ctx: TxnContext, call: FuncCall) -> Any:
+        """RPC endpoint for PACT method invocations (via ``call_actor``)."""
+        return await self._pact.invoke(ctx, call)
+
+    async def receive_batch(self, sub_batch) -> None:
+        """RPC endpoint: a coordinator delivered a BatchMsg (§4.2.2)."""
+        await self._pact.receive_batch(sub_batch)
+
+    async def batch_committed(self, bid: int) -> None:
+        """RPC endpoint: BatchCommit from the coordinator (§4.2.4)."""
+        await self._pact.batch_committed(bid)
+
+    async def rollback_uncommitted(self) -> None:
+        """RPC endpoint: cascading abort — restore last committed state
+        and drop every uncommitted batch (§4.2.4)."""
+        await self._pact.rollback_uncommitted()
+
+    # ------------------------------------------------------------------
+    # RPC endpoints: ACT protocol (§4.3)
+    # ------------------------------------------------------------------
+    async def act_invoke(self, ctx: TxnContext, call: FuncCall) -> ResultObj:
+        """RPC endpoint for ACT method invocations (via ``call_actor``)."""
+        return await self._acts.invoke_remote(ctx, call)
+
+    async def act_prepare(self, tid: int) -> bool:
+        """RPC endpoint: 2PC prepare; persists state and votes (Fig. 7)."""
+        return await self._acts.on_prepare(tid)
+
+    async def act_commit(self, tid: int, max_bs: Optional[int]) -> None:
+        """RPC endpoint: 2PC commit decision."""
+        await self._acts.on_commit(tid, max_bs)
+
+    async def act_abort(self, tid: int) -> None:
+        """RPC endpoint: 2PC abort decision (presumed abort: no logging)."""
+        await self._acts.on_abort(tid)
+
+    # ------------------------------------------------------------------
+    # host surface for the engine layers
+    # ------------------------------------------------------------------
+    @property
+    def _schedule(self) -> LocalSchedule:
+        """Legacy introspection alias for the scheduler's LocalSchedule."""
+        return self._scheduler.schedule
+
+    def actor_ref(self, actor_id: ActorId) -> ActorRef:
         return ActorRef(self.runtime, actor_id)
 
-    def _user_method(self, name: str):
+    def trace(self, tid: int, event: str, detail: Any = None,
+              mode: Optional[str] = None) -> None:
+        tracer = self.runtime.services.get("txn_tracer")
+        if tracer is not None:
+            tracer.record(self.runtime.loop.now, tid, event, detail, mode)
+
+    def capture_delta(self) -> tuple:
+        """Drain the delta buffer into a loggable payload (§5.4.2 ext)."""
+        entries = [entry for _tid, entry in self._delta_buffer]
+        self._delta_buffer.clear()
+        return (DELTA_MARKER, entries)
+
+    def user_method(self, name: str):
         if name.startswith("_") or name in _PROTOCOL_METHODS:
             raise SimulationError(f"{name!r} is not a transaction method")
         method = getattr(self, name, None)

@@ -15,7 +15,6 @@ import os
 import sys
 import time
 
-from repro.experiments.settings import ExperimentScale, print_settings
 from repro.experiments import (
     ablations,
     fig12_overhead,
@@ -25,6 +24,7 @@ from repro.experiments import (
     fig16_hybrid,
     fig17_scalability,
 )
+from repro.experiments.settings import ExperimentScale, print_settings
 
 
 def main() -> int:

@@ -10,8 +10,9 @@ measures the SmallBank throughput impact:
 * **group commit** — logger flush batching on/off (§4.1.1);
 * **incomplete-AfterSet optimization** — on/off (§4.4.3: without it,
   tail ACTs abort spuriously under hybrid load);
-* **wait-die** — wait-die vs timeout-only deadlock handling for ACTs
-  (§4.3.2).
+* **wait-die** — the ACT concurrency-control strategy, swapped purely
+  through ``SnapperConfig.concurrency_control``: wait-die (§4.3.2) vs
+  timeout-only (what Orleans Transactions does) vs no-wait.
 """
 
 from __future__ import annotations
@@ -81,14 +82,14 @@ def run(scale: ExperimentScale) -> List[Dict]:
             "abort_rate": result.metrics.abort_rate,
         })
 
-    for wait_die in (True, False):
+    for strategy in ("wait_die", "timeout", "no_wait"):
         result = run_smallbank(
             "act", scale, skew="medium", pipeline=8,
-            snapper_overrides={"wait_die": wait_die},
+            snapper_overrides={"concurrency_control": strategy},
         )
         rows.append({
             "ablation": "wait-die",
-            "setting": "wait-die" if wait_die else "timeout",
+            "setting": strategy.replace("_", "-"),
             "engine": "act",
             "throughput": result.metrics.throughput,
             "abort_rate": result.metrics.abort_rate,

@@ -6,9 +6,9 @@ import random
 from typing import Any, Dict, Optional
 
 from repro.actors.runtime import SiloConfig
-from repro.core.config import SnapperConfig
 from repro.baselines.orleans_txn import OrleansTxnConfig
-from repro.experiments.settings import ExperimentScale, PIPELINE_SIZES
+from repro.core.config import SnapperConfig
+from repro.experiments.settings import PIPELINE_SIZES, ExperimentScale
 from repro.workloads.distributions import make_distribution
 from repro.workloads.runner import EngineRunner, EpochResult, run_epochs
 from repro.workloads.smallbank import (

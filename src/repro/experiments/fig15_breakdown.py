@@ -23,12 +23,11 @@ with the number of write participants.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, List
 
 from repro.actors.runtime import SiloConfig
-from repro.core.config import SnapperConfig
 from repro.baselines.orleans_txn import OrleansTxnConfig
+from repro.core.config import SnapperConfig
 from repro.experiments.common import SMALLBANK_FAMILIES
 from repro.experiments.settings import ExperimentScale
 from repro.experiments.tables import format_table

@@ -17,9 +17,10 @@ all reproduced here:
   commit), which is what amortizes logging cost over a batch.
 """
 
+from repro.persistence.logger import Logger, LoggerGroup
 from repro.persistence.records import (
-    ActPrepareRecord,
     ActCommitRecord,
+    ActPrepareRecord,
     BatchCommitRecord,
     BatchCompleteRecord,
     BatchInfoRecord,
@@ -28,7 +29,6 @@ from repro.persistence.records import (
     LogRecord,
 )
 from repro.persistence.wal import FileLogStorage, InMemoryLogStorage, WriteAheadLog
-from repro.persistence.logger import Logger, LoggerGroup
 
 __all__ = [
     "LogRecord",

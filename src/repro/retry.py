@@ -11,7 +11,7 @@ jittered exponential backoff in simulated time.
 from __future__ import annotations
 
 import random
-from typing import Any, Awaitable, Callable, Iterable, Optional, Type
+from typing import Any, Awaitable, Callable, Iterable, Optional
 
 from repro.errors import AbortReason, TransactionAbortedError
 from repro.sim.loop import current_loop

@@ -18,7 +18,6 @@ Public surface:
 """
 
 from repro.sim.future import Future
-from repro.sim.task import Task
 from repro.sim.loop import (
     SimLoop,
     current_loop,
@@ -28,8 +27,9 @@ from repro.sim.loop import (
     spawn,
     wait_for,
 )
-from repro.sim.sync import Condition, Event, Lock, Queue, Semaphore
 from repro.sim.resources import CpuPool, IoDevice
+from repro.sim.sync import Condition, Event, Lock, Queue, Semaphore
+from repro.sim.task import Task
 
 __all__ = [
     "SimLoop",

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, Coroutine, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Coroutine, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.future import Future

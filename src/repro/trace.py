@@ -14,9 +14,18 @@ Events (each ``(time, event, detail)``):
 ``admitted``              an ACT joined an actor's hybrid schedule
 ``execution_done``        the root method returned
 ``check_passed``          the hybrid serializability check passed (ACT)
+``cc_abort``              a lock acquisition was refused by the
+                          concurrency-control strategy (wait-die wound,
+                          no-wait conflict, or lock-wait timeout); the
+                          detail is the :class:`AbortReason`
 ``committed``             final commit (batch commit / 2PC decision)
 ``aborted``               terminal abort, with the reason
 ========================  =====================================================
+
+``cc_abort`` is emitted per *acquisition attempt*, before the abort
+fans out — a transaction that is retried can accumulate several; use
+:meth:`TxnTracer.cc_aborts` to pull them out when comparing
+concurrency-control strategies (the wait-die ablation).
 
 Tracing is entirely optional: when no tracer service is registered the
 hooks cost one dictionary lookup.
@@ -98,6 +107,17 @@ class TxnTracer:
 
     def by_outcome(self, outcome: str) -> List[TxnTrace]:
         return [t for t in self.traces.values() if t.outcome == outcome]
+
+    def cc_aborts(self) -> List[Tuple[int, Any]]:
+        """All ``(tid, reason)`` lock acquisitions the concurrency-control
+        strategy refused — the per-strategy abort surface of the
+        wait-die-vs-timeout ablation."""
+        return [
+            (trace.tid, detail)
+            for trace in self.traces.values()
+            for _, name, detail in trace.events
+            if name == "cc_abort"
+        ]
 
     def mean_duration(self, start: str, end: str) -> Optional[float]:
         durations = [

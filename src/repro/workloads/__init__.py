@@ -15,15 +15,15 @@
   every experiment.
 """
 
+from repro.workloads.client import ClientPool, TxnRequest
 from repro.workloads.distributions import (
+    SKEW_LEVELS,
     HotspotDistribution,
     UniformDistribution,
     ZipfDistribution,
-    SKEW_LEVELS,
     make_distribution,
 )
 from repro.workloads.metrics import MetricsCollector, percentile
-from repro.workloads.client import ClientPool, TxnRequest
 from repro.workloads.runner import EngineRunner, EpochResult, run_epochs
 
 __all__ = [

@@ -11,7 +11,7 @@ sampling (numpy for the Zipf tables).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

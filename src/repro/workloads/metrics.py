@@ -12,8 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.errors import AbortReason
-
 
 def percentile(values: Sequence[float], pct: float) -> float:
     """Nearest-rank percentile; 0.0 for an empty sequence."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.baselines.nontransactional import NonTransactionalActor
 from repro.baselines.orleans_txn import OrleansTxnActor

@@ -3,7 +3,7 @@ notification, tombstones, and lock hygiene after failures."""
 
 import pytest
 
-from repro import AbortReason, FuncCall, TransactionAbortedError, sim
+from repro import FuncCall, TransactionAbortedError, sim
 from repro.sim import gather, spawn
 
 from tests.conftest import AccountActor, build_system

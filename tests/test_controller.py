@@ -108,7 +108,7 @@ def test_concurrent_failures_trigger_single_cascade():
 def test_generation_dooms_concurrent_acts():
     """An ACT that overlaps a cascade aborts rather than committing on
     possibly-rolled-back state."""
-    from repro import FuncCall, TransactionAbortedError
+    from repro import TransactionAbortedError
 
     system = build_system(seed=64)
 

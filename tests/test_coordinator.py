@@ -1,7 +1,5 @@
 """Tests for coordinator behavior: token ring, batching, tid ranges."""
 
-import pytest
-
 from repro import sim
 from repro.core.system import COORDINATOR_KIND
 from repro.sim import gather, spawn

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import AbortReason, TransactionAbortedError
-from repro.core.system import COORDINATOR_KIND
 from repro.sim import gather, spawn
 
 from tests.conftest import build_system

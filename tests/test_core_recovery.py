@@ -4,7 +4,7 @@ import pytest
 
 from repro import TransactionAbortedError
 from repro.errors import ActorCrashedError
-from repro.sim import gather, spawn
+from repro.sim import spawn
 
 from tests.conftest import build_system
 

@@ -7,8 +7,6 @@ produces structurally complete rows and tables.
 
 import pytest
 
-from repro.experiments import format_table
-from repro.experiments.settings import ExperimentScale, print_settings
 from repro.experiments import (
     ablations,
     fig12_overhead,
@@ -17,7 +15,9 @@ from repro.experiments import (
     fig15_breakdown,
     fig16_hybrid,
     fig17_scalability,
+    format_table,
 )
+from repro.experiments.settings import ExperimentScale, print_settings
 
 TINY = ExperimentScale("tiny", num_actors=500, epochs=2, epoch_duration=0.1,
                        warmup_epochs=1)

@@ -5,8 +5,6 @@ a brand-new system instance pointed at the same directory recovers the
 committed state — the strongest durability story the library offers.
 """
 
-import pytest
-
 from repro import SnapperConfig, SnapperSystem
 
 from tests.conftest import AccountActor

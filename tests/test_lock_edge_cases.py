@@ -1,0 +1,137 @@
+"""Edge cases of the lock table and hybrid admission (§4.3.2, §4.4.2).
+
+Three corners the main suites skate past:
+
+* wait-die's *wound ordering*: the discipline is enforced not only at
+  request time but whenever a grant changes the oldest holder — and an
+  equal-age retry (the same tid re-acquiring) is never a victim;
+* an ACT whose admission is blocked behind an uncompleted PACT batch
+  times out with a HYBRID_DEADLOCK abort after exactly the configured
+  deadlock timeout (§4.4.2);
+* on an abort, the dead transaction's queued request is evicted
+  *before* the release drains the queue, so the dead tid is never
+  granted a lock post-mortem and survivors are granted in FIFO order.
+"""
+
+import pytest
+
+from repro import sim
+from repro.core.context import AccessMode, SubBatch
+from repro.core.engine.concurrency import TimeoutOnly, WaitDie
+from repro.core.engine.hybrid import HybridScheduler
+from repro.core.locks import ActorLock
+from repro.errors import AbortReason, DeadlockError
+from repro.sim import SimLoop
+
+
+def run(coro):
+    return SimLoop().run_until_complete(coro)
+
+
+# -- wait-die wound ordering --------------------------------------------------
+
+def test_wait_die_wounds_queued_request_when_older_txn_is_granted():
+    """tid 8 legally queues behind young holder 10; when old tid 7 is
+    granted instead, 8 now waits *behind an older holder* and must die
+    (the wait-die invariant is re-checked on every grant)."""
+    lock = ActorLock(WaitDie())
+
+    async def main():
+        await lock.acquire(10, AccessMode.READ_WRITE)
+        old = sim.spawn(lock.acquire(7, AccessMode.READ_WRITE))
+        young = sim.spawn(lock.acquire(8, AccessMode.READ_WRITE))
+        await sim.sleep(1)
+        assert not old.done() and not young.done()  # both legally queued
+        lock.release(10)
+        await old  # FIFO: the older waiter is granted first
+        assert lock.holders == {7}
+        with pytest.raises(DeadlockError) as excinfo:
+            await young
+        assert excinfo.value.reason == AbortReason.ACT_CONFLICT
+        assert lock.wait_die_aborts == 1
+
+    run(main())
+
+
+def test_wait_die_equal_age_retry_is_never_wounded():
+    """A retry by the lock holder itself (same tid, hence same age) is
+    granted reentrantly — wait-die only wounds strictly younger txns."""
+    lock = ActorLock(WaitDie())
+
+    async def main():
+        await lock.acquire(5, AccessMode.READ_WRITE)
+        await lock.acquire(5, AccessMode.READ_WRITE)  # retry, same age
+        await lock.acquire(5, AccessMode.READ)
+        assert lock.holders == {5}
+        assert lock.wait_die_aborts == 0
+        lock.release(5)
+        assert lock.holders == set()
+
+    run(main())
+
+
+# -- hybrid admission timeout (§4.4.2) ----------------------------------------
+
+def test_act_admission_times_out_behind_uncompleted_pact_batch():
+    """An ACT arriving after a registered-but-never-finishing batch must
+    not wait forever: admission carries the deadlock timeout and aborts
+    with HYBRID_DEADLOCK (the schedule-admission edge of every Fig. 9
+    cycle is the one that breaks)."""
+    scheduler = HybridScheduler(label="a", deadlock_timeout=0.02)
+    scheduler.register_batch(SubBatch(
+        bid=1, prev_bid=None, coordinator_key=0, plans=((1, 1),),
+    ))
+
+    async def main():
+        start = sim.now()
+        with pytest.raises(DeadlockError) as excinfo:
+            await scheduler.admit_act(100)
+        assert excinfo.value.reason == AbortReason.HYBRID_DEADLOCK
+        assert sim.now() - start == pytest.approx(0.02)
+        # the batch never ran: a later ACT is still gated, not corrupted
+        assert scheduler.act_entry(100) is not None
+
+    run(main())
+
+
+def test_act_admission_immediate_when_no_earlier_batch():
+    scheduler = HybridScheduler(label="a", deadlock_timeout=0.02)
+
+    async def main():
+        await scheduler.admit_act(100)  # nothing ahead: no wait, no timeout
+
+    run(main())
+
+
+# -- release ordering on abort -------------------------------------------------
+
+def test_aborted_txn_queued_request_evicted_before_release_drains():
+    """Abort hygiene (as on cascading aborts, §4.2.4): the dead tid's
+    queued request is killed first, then the release grants the
+    remaining waiters in FIFO order — the dead tid never holds the lock."""
+    lock = ActorLock(TimeoutOnly())
+    granted = []
+
+    async def waiter(tid):
+        await lock.acquire(tid, AccessMode.READ_WRITE)
+        granted.append(tid)
+
+    async def main():
+        await lock.acquire(1, AccessMode.READ_WRITE)
+        dead = sim.spawn(waiter(2))
+        survivor = sim.spawn(waiter(3))
+        await sim.sleep(1)
+        assert lock.queue_length == 2
+        # the abort path: evict the waiter, then release holdings
+        lock.abort_waiter(2, AbortReason.ACT_CONFLICT)
+        lock.release(2)  # no-op: tid 2 held nothing
+        assert lock.holders == {1}, "abort of a waiter must not free holders"
+        with pytest.raises(DeadlockError):
+            await dead
+        assert not survivor.done()
+        lock.release(1)
+        await survivor
+        assert granted == [3]
+        assert lock.holders == {3}
+
+    run(main())

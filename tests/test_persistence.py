@@ -14,7 +14,6 @@ from repro.persistence import (
     CoordCommitRecord,
     CoordPrepareRecord,
     FileLogStorage,
-    InMemoryLogStorage,
     Logger,
     LoggerGroup,
     WriteAheadLog,

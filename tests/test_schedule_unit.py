@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.context import SubBatch
-from repro.core.schedule import ActEntry, BatchEntry, LocalSchedule
+from repro.core.schedule import LocalSchedule
 from repro.errors import TransactionAbortedError
 
 

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.workloads.client import ClientPool
 from repro.workloads.distributions import (
     HotspotDistribution,
     UniformDistribution,
