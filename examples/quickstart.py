@@ -18,30 +18,36 @@ from repro import (
 
 
 class AccountActor(TransactionalActor):
-    """One bank account per actor; the state blob is a float balance."""
+    """One bank account per actor; the state blob holds the balance.
 
-    def initial_state(self) -> float:
-        return 100.0
+    All mutation goes through the ``get_state`` handle — reassigning
+    ``self._state`` directly would bypass the transactional write
+    tracking (snapper-lint rule SNAP010).
+    """
+
+    def initial_state(self) -> dict:
+        return {"balance": 100.0}
 
     async def balance(self, ctx, _input=None) -> float:
-        return await self.get_state(ctx, AccessMode.READ)
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["balance"]
 
     async def deposit(self, ctx, money: float) -> float:
-        balance = await self.get_state(ctx, AccessMode.READ_WRITE)
-        self._state = balance + money
-        return self._state
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["balance"] += money
+        return state["balance"]
 
     async def transfer(self, ctx, txn_input) -> float:
         """Withdraw here, deposit on the target account (Fig. 2)."""
         money, to_account = txn_input
-        balance = await self.get_state(ctx, AccessMode.READ_WRITE)
-        if balance < money:
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        if state["balance"] < money:
             raise ValueError("balance insufficient")
-        self._state = balance - money
+        state["balance"] -= money
         await self.call_actor(
             ctx, self.ref("account", to_account).id, FuncCall("deposit", money)
         )
-        return self._state
+        return state["balance"]
 
 
 def main() -> None:

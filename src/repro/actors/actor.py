@@ -38,6 +38,17 @@ class Actor:
         """Hook run when the runtime deactivates an idle actor."""
 
     # -- conveniences ------------------------------------------------------
+    @property
+    def sim_now(self) -> float:
+        """The deterministic simulation clock, in seconds.
+
+        Transaction bodies that need a timestamp (e.g. TPC-C's
+        ``O_ENTRY_D``) must read this instead of ``time.time()``: the
+        sim clock is identical across reruns and replays, so batches
+        stay deterministic (snapper-lint rule SNAP003).
+        """
+        return self.runtime.loop.now
+
     def ref(self, kind: str, key: Any) -> ActorRef:
         """Get a reference to another actor in the same runtime."""
         return self.runtime.ref(kind, key)

@@ -1,0 +1,44 @@
+"""Correctness tooling for Snapper code and executions.
+
+Two halves:
+
+* **snapper-lint** (:mod:`repro.analysis.lint`) — AST-based static
+  checks with stable ``SNAP0xx`` rule IDs
+  (:mod:`repro.analysis.rules`): PACT access-declaration mismatches,
+  nondeterminism in transaction bodies, concurrency hazards, and state
+  mutation that bypasses the transactional API.
+* **schedule checker** (:mod:`repro.analysis.tracecheck`) — a post-hoc
+  serializability oracle over :mod:`repro.trace` event streams:
+  conflict-graph acyclicity plus the Theorem 4.2
+  ``max(BS) < min(AS)`` condition.
+
+CLI: ``python -m repro.analysis lint src examples`` and
+``python -m repro.analysis check-trace run.jsonl``.  See
+``docs/analysis.md`` for the rule catalogue and data model.
+"""
+
+from repro.analysis.lint import (
+    Finding,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.rules import ALL_RULE_IDS, RULES, Rule
+from repro.analysis.tracecheck import (
+    BsAsViolation,
+    ScheduleReport,
+    check_trace_file,
+    check_tracer,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "BsAsViolation",
+    "Finding",
+    "RULES",
+    "Rule",
+    "ScheduleReport",
+    "check_trace_file",
+    "check_tracer",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,99 @@
+"""CLI for :mod:`repro.analysis`.
+
+Usage::
+
+    python -m repro.analysis lint [PATH ...] [--select SNAP0xx ...]
+    python -m repro.analysis lint --list-rules
+    python -m repro.analysis check-trace TRACE.jsonl [...]
+
+``lint`` exits 1 when findings remain (after ``# snapper: noqa``
+suppressions), ``check-trace`` exits 1 when a trace fails either the
+conflict-graph or the BeforeSet/AfterSet audit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import RULES
+from repro.analysis.tracecheck import check_trace_file
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.id}  {rule.name}  [{rule.scope}]")
+            print(f"    {rule.summary}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (try: lint src examples)",
+              file=sys.stderr)
+        return 2
+    unknown = [r for r in args.select or [] if r not in RULES]
+    if unknown:
+        print(f"error: unknown rule id(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(args.paths, rules=args.select)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"snapper-lint: {len(findings)} finding(s)")
+        return 1
+    print("snapper-lint: clean")
+    return 0
+
+
+def _cmd_check_trace(args: argparse.Namespace) -> int:
+    status = 0
+    for path in args.traces:
+        report = check_trace_file(path)
+        print(f"== {path}")
+        print(report.render())
+        if not report.ok:
+            status = 1
+    return status
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Snapper correctness tooling: static lint and "
+        "trace-based serializability checking.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_p = sub.add_parser(
+        "lint", help="run snapper-lint over files/directories"
+    )
+    lint_p.add_argument("paths", nargs="*", help="files or directories")
+    lint_p.add_argument(
+        "--select", nargs="+", metavar="SNAP0xx",
+        help="only run the listed rule IDs",
+    )
+    lint_p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint_p.set_defaults(func=_cmd_lint)
+
+    trace_p = sub.add_parser(
+        "check-trace",
+        help="audit dumped TxnTracer JSONL traces for serializability",
+    )
+    trace_p.add_argument(
+        "traces", nargs="+", metavar="TRACE.jsonl",
+        help="trace files written by TxnTracer.dump_jsonl",
+    )
+    trace_p.set_defaults(func=_cmd_check_trace)
+
+    args = parser.parse_args(argv)
+    result: int = args.func(args)
+    return result
+
+
+if __name__ == "__main__":
+    sys.exit(main())

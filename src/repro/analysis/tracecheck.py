@@ -1,0 +1,190 @@
+"""Post-hoc schedule checking over :mod:`repro.trace` event streams.
+
+The engine's :class:`~repro.core.engine.guard.SerializabilityGuard`
+enforces Theorem 4.2 *online*; this module re-derives the same
+guarantees *offline*, from the enriched trace a run leaves behind, so
+tests and experiments can audit executions without trusting the engine
+under test:
+
+1. **Conflict serializability** — per-actor access logs are rebuilt
+   from ``state_access`` events (committed transactions only), the
+   cross-transaction conflict graph is built with
+   :func:`repro.verify.build_serialization_graph`, and any cycle is
+   reported.
+2. **BeforeSet/AfterSet condition** — for every committed ACT, the
+   nearest committed batch scheduled before (after) it on each actor it
+   touched is recovered from the global event order; Theorem 4.2
+   requires ``max(BS) < min(AS)``.
+
+Data model: one :class:`~repro.trace.TraceEvent` per access, carrying
+``tid`` (transaction), ``actor`` (the accessed actor), ``access``
+(``Read``/``ReadWrite``), ``bid`` (the PACT's batch, None for ACTs) and
+``seq`` (global recording order).  Anything that records those five
+fields can be checked — the JSONL files written by
+:meth:`repro.trace.TxnTracer.dump_jsonl` round-trip them.
+
+Use :func:`check_tracer` on a live :class:`~repro.trace.TxnTracer`, or
+:func:`check_trace_file` / ``python -m repro.analysis check-trace`` on
+a dumped JSONL file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.context import TxnMode
+from repro.trace import TraceEvent, TxnTracer
+from repro.verify import build_serialization_graph, find_cycle
+
+
+@dataclass(frozen=True)
+class BsAsViolation:
+    """One committed ACT whose schedule violates ``max(BS) < min(AS)``.
+
+    ``evidence`` maps each actor the ACT touched to the
+    ``(nearest-before bid, nearest-after bid)`` pair observed there.
+    """
+
+    tid: int
+    max_bs: int
+    min_as: int
+    evidence: Dict[str, Tuple[Optional[int], Optional[int]]]
+
+    def render(self) -> str:
+        per_actor = ", ".join(
+            f"{actor}: before={before} after={after}"
+            for actor, (before, after) in sorted(self.evidence.items())
+        )
+        return (
+            f"ACT {self.tid}: max(BS)={self.max_bs} >= "
+            f"min(AS)={self.min_as}  [{per_actor}]"
+        )
+
+
+@dataclass
+class ScheduleReport:
+    """The verdict of one trace audit."""
+
+    num_events: int = 0
+    num_txns: int = 0
+    num_committed: int = 0
+    acts_checked: int = 0
+    #: a conflict-graph cycle (tids), or None when acyclic.
+    cycle: Optional[List[int]] = None
+    violations: List[BsAsViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.cycle is None and not self.violations
+
+    def render(self) -> str:
+        lines = [
+            f"trace: {self.num_events} access events, "
+            f"{self.num_txns} transactions "
+            f"({self.num_committed} committed, "
+            f"{self.acts_checked} ACTs checked)"
+        ]
+        if self.cycle is not None:
+            lines.append(
+                f"FAIL conflict graph has a cycle: "
+                f"{' -> '.join(map(str, self.cycle + self.cycle[:1]))}"
+            )
+        else:
+            lines.append("ok   conflict graph is acyclic")
+        if self.violations:
+            lines.append("FAIL BeforeSet/AfterSet violations:")
+            lines.extend(f"     {v.render()}" for v in self.violations)
+        else:
+            lines.append("ok   max(BS) < min(AS) for every committed ACT")
+        return "\n".join(lines)
+
+
+def _committed_tids(tracer: TxnTracer) -> Dict[int, str]:
+    """tid -> mode for every transaction that reached ``committed``."""
+    return {
+        trace.tid: trace.mode
+        for trace in tracer.traces.values()
+        if trace.outcome == "committed"
+    }
+
+
+def _access_events(tracer: TxnTracer) -> List[TraceEvent]:
+    return [
+        event
+        for event in tracer.all_events()
+        if event.name == "state_access" and event.actor is not None
+    ]
+
+
+def check_tracer(tracer: TxnTracer) -> ScheduleReport:
+    """Audit one recorded execution (see module docstring)."""
+    committed = _committed_tids(tracer)
+    accesses = _access_events(tracer)
+    report = ScheduleReport(
+        num_events=len(accesses),
+        num_txns=len(tracer),
+        num_committed=len(committed),
+    )
+
+    # -- 1. conflict serializability over committed transactions ----------
+    logs: Dict[str, List[Tuple[int, str]]] = {}
+    for event in accesses:
+        if event.tid in committed and event.access is not None:
+            logs.setdefault(str(event.actor), []).append(
+                (int(event.tid), event.access)  # type: ignore[arg-type]
+            )
+    report.cycle = find_cycle(build_serialization_graph(logs))
+
+    # -- 2. Theorem 4.2: max(BS) < min(AS) per committed ACT ---------------
+    # Per-actor schedules in global recording order; only committed
+    # transactions constrain the order (aborted ones rolled back).
+    schedules: Dict[str, List[TraceEvent]] = {}
+    for event in accesses:
+        if event.tid in committed:
+            schedules.setdefault(str(event.actor), []).append(event)
+
+    act_tids = sorted(
+        tid for tid, mode in committed.items() if mode == TxnMode.ACT
+    )
+    for tid in act_tids:
+        evidence: Dict[str, Tuple[Optional[int], Optional[int]]] = {}
+        for actor, schedule in schedules.items():
+            own = [e.seq for e in schedule if e.tid == tid]
+            if not own:
+                continue
+            first, last = min(own), max(own)
+            before = [
+                e.bid for e in schedule
+                if e.bid is not None and e.seq < first
+            ]
+            after = [
+                e.bid for e in schedule
+                if e.bid is not None and e.seq > last
+            ]
+            evidence[actor] = (
+                max(before) if before else None,
+                min(after) if after else None,
+            )
+        if not evidence:
+            continue
+        report.acts_checked += 1
+        befores = [b for b, _ in evidence.values() if b is not None]
+        afters = [a for _, a in evidence.values() if a is not None]
+        if not befores or not afters:
+            continue  # BS or AS empty: condition (3) holds vacuously
+        max_bs, min_as = max(befores), min(afters)
+        if max_bs >= min_as:
+            report.violations.append(
+                BsAsViolation(
+                    tid=tid, max_bs=max_bs, min_as=min_as,
+                    evidence=evidence,
+                )
+            )
+    return report
+
+
+def check_trace_file(path: str) -> ScheduleReport:
+    """Audit a JSONL trace written by
+    :meth:`repro.trace.TxnTracer.dump_jsonl`."""
+    return check_tracer(TxnTracer.load_jsonl(path))

@@ -318,15 +318,16 @@ class ActExecutor(ActExecutionCore):
             )
         await self._scheduler.admit_act(ctx.tid)
         if host.id not in run.info.participants:
-            host.trace(ctx.tid, "admitted", str(host.id))
+            host.trace(ctx.tid, "admitted", str(host.id), actor=host.id)
         run.info.participants.add(host.id)
         await host.charge(host._config.cpu_lock_op)
         lock_timeout = self.cc.wait_timeout(host._config.deadlock_timeout)
         try:
             await self.lock.acquire(ctx.tid, mode, timeout=lock_timeout)
         except DeadlockError as exc:
-            host.trace(ctx.tid, "cc_abort", exc.reason)
+            host.trace(ctx.tid, "cc_abort", exc.reason, actor=host.id)
             raise
+        host.trace(ctx.tid, "state_access", mode, actor=host.id, access=mode)
         if mode == AccessMode.READ_WRITE and not run.wrote:
             run.wrote = True
             run.undo = copy.deepcopy(host._state)
@@ -348,7 +349,10 @@ class ActExecutor(ActExecutionCore):
                 AbortReason.CASCADING,
             )
         self._guard.check(ctx, info)
-        host.trace(ctx.tid, "check_passed")
+        host.trace(
+            ctx.tid, "check_passed",
+            {"max_bs": info.max_bs, "min_as": info.min_as},
+        )
         if info.max_bs is not None:
             # §4.4.4: dependent batches must commit before this ACT does.
             await host._registry.wait_until_committed(

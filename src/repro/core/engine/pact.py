@@ -56,7 +56,8 @@ class PactExecutor:
         ctx: TxnContext = await host._coordinator.call(
             "new_pact", host.id, access
         )
-        host.trace(ctx.tid, "registered", f"bid={ctx.bid}", mode=TxnMode.PACT)
+        host.trace(ctx.tid, "registered", f"bid={ctx.bid}", mode=TxnMode.PACT,
+                   bid=ctx.bid, actor=host.id)
         commit_wait = Future(label=f"commit:{ctx.bid}:{ctx.tid}")
         self._commit_waiters.setdefault(ctx.bid, []).append(commit_wait)
         try:
@@ -74,7 +75,8 @@ class PactExecutor:
         host = self._host
         await host.charge(host._config.cpu_schedule_op)
         await self._scheduler.await_pact_turn(ctx.bid, ctx.tid)
-        host.trace(ctx.tid, "turn_started", str(host.id))
+        host.trace(ctx.tid, "turn_started", str(host.id),
+                   bid=ctx.bid, actor=host.id)
         try:
             method = host.user_method(call.method)
             result = await method(ctx, call.func_input)
@@ -102,6 +104,8 @@ class PactExecutor:
                     f"{host.id}: get_state outside a scheduled batch"
                 )
             entry.wrote_state = True
+        host.trace(ctx.tid, "state_access", mode,
+                   bid=ctx.bid, actor=host.id, access=mode)
         return host._state
 
     # -- completion snapshot + vote (§4.2.4, Fig. 6) ----------------------------

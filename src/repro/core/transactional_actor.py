@@ -250,10 +250,12 @@ class TransactionalActor(Actor):
         return ActorRef(self.runtime, actor_id)
 
     def trace(self, tid: int, event: str, detail: Any = None,
-              mode: Optional[str] = None) -> None:
+              mode: Optional[str] = None, *, bid: Optional[int] = None,
+              actor: Any = None, access: Optional[str] = None) -> None:
         tracer = self.runtime.services.get("txn_tracer")
         if tracer is not None:
-            tracer.record(self.runtime.loop.now, tid, event, detail, mode)
+            tracer.record(self.runtime.loop.now, tid, event, detail, mode,
+                          bid=bid, actor=actor, access=access)
 
     def capture_delta(self) -> tuple:
         """Drain the delta buffer into a loggable payload (§5.4.2 ext)."""

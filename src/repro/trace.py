@@ -4,16 +4,24 @@ Install a :class:`TxnTracer` as the ``txn_tracer`` service and Snapper
 records timestamped lifecycle events for every transaction — useful for
 debugging protocol behaviour, for latency attribution beyond Fig. 15's
 aggregated phases, and as an observability surface a downstream user
-would expect a transaction library to have.
+would expect a transaction library to have.  The recorded stream is
+also the input of the post-hoc schedule checker in
+:mod:`repro.analysis.tracecheck`, which is why events carry structured
+identity fields rather than free-form detail strings.
 
-Events (each ``(time, event, detail)``):
+Events (each a :class:`TraceEvent`):
 
 ========================  =====================================================
 ``registered``            tid assigned (PACT: batch formed; ACT: immediate)
 ``turn_started``          a PACT invocation reached its deterministic turn
 ``admitted``              an ACT joined an actor's hybrid schedule
+``state_access``          one ``get_state`` access; carries the actor and the
+                          access kind (``Read`` / ``ReadWrite``), plus the
+                          bid for PACTs — the read/write-set surface the
+                          serializability checker consumes
 ``execution_done``        the root method returned
-``check_passed``          the hybrid serializability check passed (ACT)
+``check_passed``          the hybrid serializability check passed (ACT); the
+                          detail records the ``max_bs`` / ``min_as`` evidence
 ``cc_abort``              a lock acquisition was refused by the
                           concurrency-control strategy (wait-die wound,
                           no-wait conflict, or lock-wait timeout); the
@@ -27,14 +35,112 @@ fans out — a transaction that is retried can accumulate several; use
 :meth:`TxnTracer.cc_aborts` to pull them out when comparing
 concurrency-control strategies (the wait-die ablation).
 
+Backwards compatibility: a :class:`TraceEvent` unpacks and indexes like
+the historical ``(time, event, detail)`` triple, so existing consumers
+(``for when, name, detail in trace.events``) keep working; the enriched
+``tid`` / ``bid`` / ``actor`` / ``access`` fields are attributes.  The
+old positional names remain available as the ``when`` / ``event``
+aliases.
+
 Tracing is entirely optional: when no tracer service is registered the
 hooks cost one dictionary lookup.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class TraceEvent:
+    """One recorded event, enriched with identity fields.
+
+    Tuple-compatible with the legacy ``(time, event, detail)`` triple:
+    iteration and ``event[0..2]`` expose exactly those three values.
+    """
+
+    __slots__ = ("time", "name", "detail", "tid", "bid", "actor", "access",
+                 "seq")
+
+    def __init__(
+        self,
+        time: float,
+        name: str,
+        detail: Any = None,
+        *,
+        tid: Optional[int] = None,
+        bid: Optional[int] = None,
+        actor: Any = None,
+        access: Optional[str] = None,
+        seq: int = 0,
+    ):
+        self.time = time
+        self.name = name
+        self.detail = detail
+        self.tid = tid
+        self.bid = bid
+        self.actor = actor
+        self.access = access
+        #: global recording order; breaks simulated-time ties so the
+        #: schedule checker can reconstruct per-actor access order
+        #: without heuristics.
+        self.seq = seq
+
+    # -- legacy field-name aliases ----------------------------------------
+    @property
+    def when(self) -> float:
+        return self.time
+
+    @property
+    def event(self) -> str:
+        return self.name
+
+    # -- legacy tuple behaviour -------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.time, self.name, self.detail))
+
+    def __getitem__(self, index: int) -> Any:
+        return (self.time, self.name, self.detail)[index]
+
+    def __len__(self) -> int:
+        return 3
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extras = ", ".join(
+            f"{name}={getattr(self, name)!r}"
+            for name in ("tid", "bid", "actor", "access")
+            if getattr(self, name) is not None
+        )
+        return (f"TraceEvent({self.time!r}, {self.name!r}, {self.detail!r}"
+                + (f", {extras}" if extras else "") + ")")
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "time": self.time, "name": self.name, "seq": self.seq,
+        }
+        if self.detail is not None:
+            detail = self.detail
+            if not isinstance(detail, (str, int, float, bool, dict, list)):
+                detail = str(detail)
+            data["detail"] = detail
+        for key in ("tid", "bid", "access"):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        if self.actor is not None:
+            data["actor"] = str(self.actor)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TraceEvent":
+        return cls(
+            data["time"], data["name"], data.get("detail"),
+            tid=data.get("tid"), bid=data.get("bid"),
+            actor=data.get("actor"), access=data.get("access"),
+            seq=data.get("seq", 0),
+        )
 
 
 @dataclass
@@ -43,6 +149,8 @@ class TxnTrace:
 
     tid: int
     mode: str = "?"
+    #: the PACT's batch id, once known (None for ACTs).
+    bid: Optional[int] = None
     events: List[Tuple[float, str, Any]] = field(default_factory=list)
 
     def event_names(self) -> List[str]:
@@ -86,9 +194,12 @@ class TxnTracer:
         self.capacity = capacity
         self.traces: Dict[int, TxnTrace] = {}
         self._order: List[int] = []
+        self._seq = 0
 
     def record(self, now: float, tid: int, event: str,
-               detail: Any = None, mode: Optional[str] = None) -> None:
+               detail: Any = None, mode: Optional[str] = None, *,
+               bid: Optional[int] = None, actor: Any = None,
+               access: Optional[str] = None) -> None:
         trace = self.traces.get(tid)
         if trace is None:
             if len(self._order) >= self.capacity:
@@ -99,7 +210,13 @@ class TxnTracer:
             self._order.append(tid)
         if mode is not None:
             trace.mode = mode
-        trace.events.append((now, event, detail))
+        if bid is not None and trace.bid is None:
+            trace.bid = bid
+        self._seq += 1
+        trace.events.append(TraceEvent(
+            now, event, detail,
+            tid=tid, bid=bid, actor=actor, access=access, seq=self._seq,
+        ))
 
     # -- queries ----------------------------------------------------------
     def trace_of(self, tid: int) -> Optional[TxnTrace]:
@@ -119,6 +236,24 @@ class TxnTracer:
             if name == "cc_abort"
         ]
 
+    def all_events(self) -> List[TraceEvent]:
+        """Every recorded event across all traces, in recording order.
+
+        Legacy plain-tuple events (tests may append them directly) are
+        wrapped so the result is uniformly :class:`TraceEvent`.
+        """
+        events: List[TraceEvent] = []
+        for trace in self.traces.values():
+            for event in trace.events:
+                if not isinstance(event, TraceEvent):
+                    event = TraceEvent(
+                        event[0], event[1], event[2], tid=trace.tid,
+                        bid=trace.bid,
+                    )
+                events.append(event)
+        events.sort(key=lambda e: (e.seq, e.time))
+        return events
+
     def mean_duration(self, start: str, end: str) -> Optional[float]:
         durations = [
             d for d in (
@@ -132,3 +267,42 @@ class TxnTracer:
 
     def __len__(self) -> int:
         return len(self.traces)
+
+    # -- persistence --------------------------------------------------------
+    def dump_jsonl(self, path: str) -> int:
+        """Write one JSON object per event (with its trace's tid/mode),
+        consumable by ``python -m repro.analysis check-trace``.  Returns
+        the number of events written."""
+        count = 0
+        with open(path, "w", encoding="utf-8") as fh:
+            for trace in self.traces.values():
+                for event in trace.events:
+                    if not isinstance(event, TraceEvent):
+                        event = TraceEvent(
+                            event[0], event[1], event[2], tid=trace.tid,
+                        )
+                    data = event.to_dict()
+                    data.setdefault("tid", trace.tid)
+                    data["mode"] = trace.mode
+                    fh.write(json.dumps(data, default=str) + "\n")
+                    count += 1
+        return count
+
+    @classmethod
+    def load_jsonl(cls, path: str) -> "TxnTracer":
+        """Rebuild a tracer from a :meth:`dump_jsonl` file."""
+        tracer = cls()
+        rows = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    rows.append(json.loads(line))
+        rows.sort(key=lambda r: r.get("seq", 0))
+        for row in rows:
+            tracer.record(
+                row["time"], row["tid"], row["name"], row.get("detail"),
+                row.get("mode"), bid=row.get("bid"), actor=row.get("actor"),
+                access=row.get("access"),
+            )
+        return tracer

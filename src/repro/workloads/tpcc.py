@@ -139,14 +139,16 @@ class ItemLogic:
         return {"prices": {}}
 
     async def read_items(self, ctx, i_ids):
+        # Read-only access: do NOT cache the derived price back into the
+        # state blob — mutating state under AccessMode.READ bypasses the
+        # write tracking (snapper-lint SNAP011) and would diverge the
+        # live state from the committed snapshot.
         state = await self.get_state(ctx, AccessMode.READ)
         prices = state["prices"]
-        result = {}
-        for i_id in i_ids:
-            if i_id not in prices:
-                prices[i_id] = 1.0 + (i_id % 100) / 10.0
-            result[i_id] = prices[i_id]
-        return result
+        return {
+            i_id: prices.get(i_id, 1.0 + (i_id % 100) / 10.0)
+            for i_id in i_ids
+        }
 
 
 class StockLogic:
@@ -264,8 +266,11 @@ class NewOrderRootLogic(DistrictLogic):
             total += amount
             lines.append({"i_id": i_id, "qty": qty, "amount": amount})
         total *= (1 + w_tax + d_tax) * (1 - customer["c_discount"])
+        # O_ENTRY_D from the deterministic sim clock, never time.time()
+        # (SNAP003: wall-clock reads would break batch replay).
         order = {"o_id": o_id, "d_id": d_id, "c_id": c_id,
-                 "total": total, "lines": lines}
+                 "total": total, "lines": lines,
+                 "entry_d": self.sim_now}
 
         # writes: stock updates and the order insert.  PACTs need not
         # await them (per-actor completion counting, §4.2); ACTs and the

@@ -1,0 +1,54 @@
+"""Fixture: idiomatic Snapper actor code that must lint clean.
+
+Exercises the patterns the rules must NOT flag: ReadWrite mutation
+through the get_state handle, fire-and-forget ActorRef.call futures,
+spawned coroutines, seeded randomness outside transaction bodies, the
+sim clock, and sorted iteration over set-shaped data.
+"""
+
+import random
+
+from repro.core.context import AccessMode, FuncCall
+from repro.sim import gather, spawn
+
+
+class AccountActor:
+    async def balance(self, ctx, _input=None):
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["balance"]
+
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["balance"] += money
+        state["entry_d"] = self.sim_now
+        return state["balance"]
+
+    async def multi_transfer(self, ctx, txn_input):
+        money, to_keys = txn_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["balance"] -= money * len(to_keys)
+        await gather(*[
+            spawn(self.call_actor(
+                ctx, self.ref("account", key).id,
+                FuncCall("deposit", money),
+            ))
+            for key in sorted(set(to_keys))
+        ])
+        return state["balance"]
+
+
+class Workload:
+    """Generators are not transaction bodies: seeded RNG is fine here."""
+
+    def __init__(self, seed=0):
+        self.rng = random.Random(seed)
+
+    def next_amount(self):
+        return self.rng.uniform(1.0, 10.0)
+
+
+async def submit(system):
+    return await system.submit_pact(
+        "account", "alice", "multi_transfer", (1.0, ["bob"]),
+        access={"alice": 1, "bob": 1},
+    )

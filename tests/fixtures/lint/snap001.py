@@ -1,0 +1,8 @@
+"""Fixture: SNAP001 — actorAccessInfo omits the start actor."""
+
+
+async def submit(system):
+    return await system.submit_pact(
+        "account", "alice", "transfer", (10.0, "bob"),
+        access={"bob": 1},
+    )

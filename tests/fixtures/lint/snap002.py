@@ -1,0 +1,22 @@
+"""Fixture: SNAP002 — the transaction body calls an undeclared actor."""
+
+
+class FakeFuncCall:
+    def __init__(self, method, func_input=None):
+        self.method = method
+        self.func_input = func_input
+
+
+class TransferActor:
+    async def transfer(self, ctx, txn_input):
+        await self.call_actor(
+            ctx, "carol", FakeFuncCall("deposit", 1.0)
+        )
+        return None
+
+
+async def submit(system):
+    return await system.submit_pact(
+        "account", "alice", "transfer", None,
+        access={"alice": 1, "bob": 1},
+    )

@@ -1,0 +1,10 @@
+"""Fixture: SNAP003 — wall-clock read inside a transaction body."""
+
+import time
+
+
+class ClockActor:
+    async def stamp(self, ctx, _input=None):
+        state = await self.get_state(ctx)
+        state["stamped_at"] = time.time()
+        return state["stamped_at"]

@@ -1,0 +1,14 @@
+"""Fixture: SNAP004 — global / unseeded randomness in a transaction body."""
+
+import random
+
+
+class LotteryActor:
+    async def draw(self, ctx, _input=None):
+        state = await self.get_state(ctx)
+        state["winner"] = random.randint(0, 99)
+        return state["winner"]
+
+    async def draw_unseeded(self, ctx, _input=None):
+        rng = random.Random()
+        return rng.random()

@@ -1,0 +1,11 @@
+"""Fixture: SNAP005 — uuid generation inside a transaction body."""
+
+import uuid
+
+
+class OrderActor:
+    async def insert(self, ctx, order):
+        state = await self.get_state(ctx)
+        order_id = str(uuid.uuid4())
+        state[order_id] = order
+        return order_id

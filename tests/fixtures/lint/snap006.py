@@ -1,0 +1,10 @@
+"""Fixture: SNAP006 — iteration over a set inside a transaction body."""
+
+
+class FanoutActor:
+    async def settle(self, ctx, keys):
+        state = await self.get_state(ctx)
+        for key in set(keys):
+            state[key] = 0.0
+        total = sum(state[k] for k in {"a", "b"})
+        return total

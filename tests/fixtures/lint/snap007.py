@@ -1,0 +1,11 @@
+"""Fixture: SNAP007 — environment / I-O reads inside a transaction body."""
+
+import os
+
+
+class ConfigActor:
+    async def reload(self, ctx, _input=None):
+        state = await self.get_state(ctx)
+        state["region"] = os.getenv("REGION", "us-east-1")
+        state["home"] = os.environ["HOME"]
+        return state["region"]

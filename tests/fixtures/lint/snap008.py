@@ -1,0 +1,13 @@
+"""Fixture: SNAP008 — a coroutine is created but never awaited."""
+
+
+class AuditActor:
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        state["balance"] += money
+        self.audit(ctx, money)  # coroutine silently dropped
+        return state["balance"]
+
+    async def audit(self, ctx, money):
+        state = await self.get_state(ctx)
+        state["audit_log"].append(money)

@@ -1,0 +1,9 @@
+"""Fixture: SNAP009 — awaiting while holding an ActorLock."""
+
+
+class ManualLockActor:
+    async def critical(self, ctx, _input=None):
+        await self._lock.acquire(ctx.tid, "ReadWrite")
+        await self.charge(0.001)  # suspended while holding the lock
+        self._lock.release(ctx.tid)
+        return "done"

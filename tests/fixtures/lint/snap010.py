@@ -1,0 +1,8 @@
+"""Fixture: SNAP010 — direct self._state assignment in a transaction body."""
+
+
+class BalanceActor:
+    async def deposit(self, ctx, money):
+        balance = await self.get_state(ctx)
+        self._state = balance + money
+        return self._state

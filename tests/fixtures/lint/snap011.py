@@ -1,0 +1,20 @@
+"""Fixture: SNAP011 — mutating state obtained with AccessMode.READ.
+
+This is the shape of a real bug once present in the TPC-C item actor:
+a READ-mode access whose returned blob was then used as a write-through
+cache.
+"""
+
+from repro.core.context import AccessMode
+
+
+class ItemActor:
+    async def read_items(self, ctx, i_ids):
+        state = await self.get_state(ctx, AccessMode.READ)
+        prices = state["prices"]
+        result = {}
+        for i_id in i_ids:
+            if i_id not in prices:
+                prices[i_id] = 1.0  # write under READ access
+            result[i_id] = prices[i_id]
+        return result

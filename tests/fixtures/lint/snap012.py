@@ -1,0 +1,9 @@
+"""Fixture: SNAP012 — blocking call inside an async actor method."""
+
+import time
+
+
+class SlowActor:
+    async def throttle(self, ctx, _input=None):
+        time.sleep(0.1)  # blocks the whole event loop
+        return "done"

@@ -1,0 +1,14 @@
+"""Fixture: violations silenced with ``# snapper: noqa`` comments."""
+
+import random
+import time
+import uuid
+
+
+class SuppressedActor:
+    async def stamp(self, ctx, _input=None):
+        state = await self.get_state(ctx)
+        state["at"] = time.time()  # snapper: noqa SNAP003
+        state["id"] = str(uuid.uuid4())  # snapper: noqa
+        state["lucky"] = random.random()  # snapper: noqa SNAP004, SNAP003
+        return state

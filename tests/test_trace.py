@@ -3,7 +3,7 @@
 import pytest
 
 from repro import TransactionAbortedError
-from repro.trace import TxnTrace, TxnTracer
+from repro.trace import TraceEvent, TxnTrace, TxnTracer
 
 from tests.conftest import build_system
 
@@ -46,6 +46,73 @@ def test_tracer_mean_duration():
     assert tracer.mean_duration("a", "zzz") is None
 
 
+def test_trace_event_is_tuple_compatible():
+    event = TraceEvent(1.5, "state_access", "ReadWrite",
+                       tid=7, bid=3, actor="account/1",
+                       access="ReadWrite", seq=42)
+    # legacy (time, event, detail) unpacking and indexing
+    when, name, detail = event
+    assert (when, name, detail) == (1.5, "state_access", "ReadWrite")
+    assert event[0] == 1.5 and event[1] == "state_access"
+    assert len(event) == 3
+    # positional aliases and enrichment attributes
+    assert event.when == event.time == 1.5
+    assert event.event == event.name == "state_access"
+    assert (event.tid, event.bid, event.actor, event.access, event.seq) == (
+        7, 3, "account/1", "ReadWrite", 42
+    )
+
+
+def test_trace_event_dict_round_trip():
+    event = TraceEvent(1.0, "state_access", "Read",
+                       tid=5, bid=2, actor="a/x", access="Read", seq=9)
+    clone = TraceEvent.from_dict(event.to_dict())
+    assert tuple(clone) == tuple(event)
+    assert (clone.tid, clone.bid, clone.actor, clone.access, clone.seq) == (
+        5, 2, "a/x", "Read", 9
+    )
+
+
+def test_record_enriched_fields_and_bid_capture():
+    tracer = TxnTracer()
+    tracer.record(0.0, 1, "registered", "bid=4", "PACT", bid=4, actor="a/1")
+    tracer.record(0.1, 1, "state_access", "Read", bid=4, actor="a/1",
+                  access="Read")
+    trace = tracer.trace_of(1)
+    assert trace.bid == 4
+    events = tracer.all_events()
+    assert [e.seq for e in events] == sorted(e.seq for e in events)
+    access = events[-1]
+    assert access.access == "Read" and access.actor == "a/1"
+
+
+def test_all_events_wraps_legacy_tuples():
+    tracer = TxnTracer()
+    tracer.record(0.0, 1, "registered")
+    tracer.traces[1].events.append((0.5, "committed", None))
+    events = tracer.all_events()
+    assert all(isinstance(e, TraceEvent) for e in events)
+    assert {e.name for e in events} == {"registered", "committed"}
+    assert all(e.tid == 1 for e in events)
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = TxnTracer()
+    tracer.record(0.0, 1, "registered", "bid=2", "PACT", bid=2, actor="a/1")
+    tracer.record(0.1, 1, "state_access", "ReadWrite", bid=2, actor="a/1",
+                  access="ReadWrite")
+    tracer.record(0.2, 1, "committed")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.dump_jsonl(str(path)) == 3
+    loaded = TxnTracer.load_jsonl(str(path))
+    assert len(loaded) == 1
+    trace = loaded.trace_of(1)
+    assert trace.mode == "PACT" and trace.bid == 2
+    assert trace.event_names() == ["registered", "state_access", "committed"]
+    access = loaded.all_events()[1]
+    assert access.actor == "a/1" and access.access == "ReadWrite"
+
+
 # ---------------------------------------------------------------------------
 # wired into the engine
 # ---------------------------------------------------------------------------
@@ -84,6 +151,27 @@ def test_act_lifecycle_traced():
     assert "check_passed" in names
     assert names.index("execution_done") < names.index("check_passed")
     assert names[-1] == "committed"
+
+
+def test_engine_emits_enriched_state_access_events():
+    system, tracer = traced_system()
+
+    async def main():
+        await system.submit_pact("account", 1, "deposit", 5.0, access={1: 1})
+        await system.submit_act("account", 1, "transfer", (5.0, 2))
+
+    system.run(main())
+    accesses = [e for e in tracer.all_events() if e.name == "state_access"]
+    assert accesses, "engine should emit state_access events"
+    assert all(e.actor is not None and e.access is not None
+               for e in accesses)
+    pact_accesses = [e for e in accesses if e.bid is not None]
+    act_accesses = [e for e in accesses if e.bid is None]
+    assert pact_accesses and act_accesses
+    # the ACT's check_passed detail carries the BS/AS evidence
+    act = next(t for t in tracer.traces.values() if t.mode == "ACT")
+    check = act.first("check_passed")
+    assert set(check[2]) == {"max_bs", "min_as"}
 
 
 def test_aborted_act_traced_with_reason():
