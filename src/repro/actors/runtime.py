@@ -21,7 +21,7 @@ lock logic, 2PC bookkeeping) is charged explicitly by the layers above.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable, Deque, Dict, Hashable, Optional
+from typing import Any, Callable, Deque, Dict, Hashable, Optional, Tuple
 
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
@@ -137,10 +137,24 @@ class ActorRuntime:
         #: in-memory singletons shared by all actors on the machine
         #: (loggers, commit registry, ...), keyed by name.
         self.services: Dict[str, Any] = {}
+        #: delivery-path interception hook (:mod:`repro.chaos`): a
+        #: callable ``(target, method, delay) -> None | (action, extra)``
+        #: consulted once per outgoing message.  ``None`` delivers
+        #: normally; ``("drop", d)`` loses the message (the sender's
+        #: reply fails with :class:`ActorCrashedError` after ``d`` extra
+        #: seconds, modelling a transport timeout); ``("delay", d)``
+        #: postpones delivery by ``d``; ``("duplicate", d)`` delivers
+        #: twice, the copy ``d`` seconds later.
+        self.message_interceptor: Optional[
+            Callable[[ActorId, str, float], Optional[Tuple[str, float]]]
+        ] = None
         # message statistics for the experiment harness
         self.messages_sent = 0
         self.cross_silo_messages = 0
         self.activations_created = 0
+        self.messages_dropped = 0
+        self.messages_delayed = 0
+        self.messages_duplicated = 0
         self._rng = loop.rng
 
     # -- registration & refs ------------------------------------------------
@@ -190,7 +204,36 @@ class ActorRuntime:
         delay = self._message_delay(target)
         envelope = _Envelope(method, args, kwargs, reply, self.loop.now)
         self.messages_sent += 1
-        self.loop.call_later(delay, self._deliver, target, envelope)
+        verdict = None
+        if self.message_interceptor is not None:
+            verdict = self.message_interceptor(target, method, delay)
+        if verdict is None:
+            self.loop.call_later(delay, self._deliver, target, envelope)
+            return reply
+        action, extra = verdict
+        if action == "drop":
+            self.messages_dropped += 1
+            self.loop.call_later(
+                delay + extra, reply.try_set_exception,
+                ActorCrashedError(
+                    f"message {target}.{method} lost (fault injection)"
+                ),
+            )
+        elif action == "delay":
+            self.messages_delayed += 1
+            self.loop.call_later(delay + extra, self._deliver, target, envelope)
+        elif action == "duplicate":
+            self.messages_duplicated += 1
+            self.loop.call_later(delay, self._deliver, target, envelope)
+            copy = _Envelope(
+                method, args, kwargs,
+                Future(label=f"dup:{target}.{method}"), self.loop.now,
+            )
+            self.loop.call_later(delay + extra, self._deliver, target, copy)
+        else:
+            raise SimulationError(
+                f"unknown message-interceptor action {action!r}"
+            )
         return reply
 
     def _message_delay(self, target: ActorId) -> float:

@@ -1,0 +1,57 @@
+"""Deterministic fault injection and crash-recovery checking.
+
+The subsystem has four parts, mirroring how chaos tooling is usually
+layered:
+
+* :mod:`repro.chaos.plan` — a :class:`FaultPlan` is a *finite, explicit*
+  schedule of faults at virtual-time points, generated from a seed.
+  Because the plan is data (not per-message probability draws), a run is
+  exactly reproducible and a failing seed can be replayed or shipped as
+  a JSON file.
+* :mod:`repro.chaos.injector` — :class:`ChaosInjector` executes a plan
+  against a live :class:`~repro.core.system.SnapperSystem` through the
+  runtime's interception hooks: timed actor/coordinator/silo crashes,
+  message drop/delay/duplicate, WAL append failures, and record-triggered
+  crash points ("kill the silo right after the Nth CoordPrepareRecord
+  becomes durable" — the way the 2PC windows of §4.3.4 are targeted).
+* :mod:`repro.chaos.workload` — a marker-stamping transfer workload:
+  every transaction writes a unique client marker into each actor it
+  touches, which turns durability/atomicity checking into set algebra.
+* :mod:`repro.chaos.oracle` — invariant checks over the *recovered*
+  state: committed work survives, presumed-aborted work does not,
+  in-doubt work is all-or-nothing, money is conserved, schedules resume
+  past every logged bid, and the recorded trace stays serializable.
+
+:mod:`repro.chaos.harness` ties them together; ``python -m repro.chaos``
+is the CLI (see ``docs/chaos.md``).
+"""
+
+from repro.chaos.harness import ChaosHarness, ChaosReport
+from repro.chaos.injector import ChaosInjector, ChaosLogStorage
+from repro.chaos.oracle import OracleCheck, OracleReport, recovered_states
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.chaos.workload import (
+    CHAOS_ACCOUNT_KIND,
+    INITIAL_BALANCE,
+    ChaosAccountActor,
+    ChaosOutcome,
+    ChaosWorkload,
+)
+
+__all__ = [
+    "CHAOS_ACCOUNT_KIND",
+    "INITIAL_BALANCE",
+    "ChaosAccountActor",
+    "ChaosHarness",
+    "ChaosInjector",
+    "ChaosLogStorage",
+    "ChaosOutcome",
+    "ChaosReport",
+    "ChaosWorkload",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "OracleCheck",
+    "OracleReport",
+    "recovered_states",
+]

@@ -1,0 +1,132 @@
+"""CLI: run a seeded chaos schedule and audit the recovery invariants.
+
+Examples::
+
+    # one seeded run against the marker workload
+    python -m repro.chaos --seed 7
+
+    # quick deterministic smoke (used by CI): short run, executed twice,
+    # reports must match bit for bit and every invariant must hold
+    python -m repro.chaos --smoke
+
+    # save a failing schedule, then replay it exactly
+    python -m repro.chaos --seed 7 --dump-plan failing.json
+    python -m repro.chaos --plan failing.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.chaos.harness import ChaosHarness, ChaosReport
+from repro.chaos.plan import FaultPlan
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="deterministic fault injection for the Snapper repro",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (default 0)")
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="faulted-run length in simulated seconds")
+    parser.add_argument("--rate", type=float, default=1.0,
+                        help="fault-rate multiplier over the default rates")
+    parser.add_argument("--num-actors", type=int, default=16)
+    parser.add_argument("--pact-fraction", type=float, default=0.5,
+                        help="fraction of transactions submitted as PACTs")
+    parser.add_argument("--workload", choices=("smallbank", "tpcc"),
+                        default="smallbank")
+    parser.add_argument("--plan", metavar="FILE",
+                        help="replay a saved fault plan instead of "
+                             "generating one from --seed")
+    parser.add_argument("--dump-plan", metavar="FILE",
+                        help="write the generated plan as JSON before "
+                             "running it")
+    parser.add_argument("--show-plan", action="store_true",
+                        help="print the fault schedule before running")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run the plan twice and require identical "
+                             "reports")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: short run with determinism "
+                             "check (equivalent to --duration 1.0 "
+                             "--check-determinism)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    return parser
+
+
+def _build_plan(args: argparse.Namespace) -> FaultPlan:
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as fh:
+            return FaultPlan.from_json(fh.read())
+    return FaultPlan.generate(
+        args.seed,
+        duration=args.duration,
+        num_actors=args.num_actors,
+        num_coordinators=2,
+        num_loggers=2,
+        rate_multiplier=args.rate,
+    )
+
+
+def _run_once(plan: FaultPlan, args: argparse.Namespace) -> ChaosReport:
+    harness = ChaosHarness(
+        plan,
+        num_actors=args.num_actors,
+        pact_fraction=args.pact_fraction,
+        workload=args.workload,
+    )
+    return harness.run()
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.smoke:
+        args.duration = min(args.duration, 1.0)
+        args.check_determinism = True
+
+    plan = _build_plan(args)
+    if args.dump_plan:
+        with open(args.dump_plan, "w", encoding="utf-8") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(f"fault plan written to {args.dump_plan}", file=sys.stderr)
+    if args.show_plan:
+        print(plan.render(), file=sys.stderr)
+
+    report = _run_once(plan, args)
+    deterministic = True
+    if args.check_determinism:
+        second = _run_once(plan, args)
+        deterministic = report.to_dict() == second.to_dict()
+
+    if args.json:
+        payload = report.to_dict()
+        if args.check_determinism:
+            payload["deterministic"] = deterministic
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        if args.check_determinism:
+            print("determinism: "
+                  + ("identical reports across two runs" if deterministic
+                     else "REPORTS DIVERGED between two runs"))
+    if not report.ok or not deterministic:
+        if not args.plan and not args.dump_plan:
+            print(
+                f"replay exactly with: python -m repro.chaos "
+                f"--seed {plan.seed} --duration {plan.duration} "
+                f"--rate {args.rate} --workload {args.workload}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

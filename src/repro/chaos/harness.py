@@ -1,0 +1,344 @@
+"""One end-to-end chaos run: system + workload + injector + oracle.
+
+The harness builds a Snapper deployment, runs the marker workload under
+a :class:`~repro.chaos.plan.FaultPlan`, then performs the *audit
+sequence*:
+
+1. stop the clients and drain briefly (in-flight work resolves or stays
+   in doubt);
+2. crash the silo one final time — dropping unflushed appends — so the
+   audit always judges a post-crash recovery, never a lucky clean
+   shutdown;
+3. run the production recovery routine;
+4. reconstruct every actor's state from the WAL (before any probe can
+   append new records) and hand it to the oracle;
+5. probe the recovered system with fresh PACTs (liveness: the new
+   schedule must commit, at bids above everything before the crash);
+6. run the serializability checker over the full recorded trace.
+
+Everything is derived from the plan's seed, so the same seed yields the
+same report twice — the property the CLI's ``--check-determinism`` flag
+asserts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.actors.ref import ActorId
+from repro.actors.runtime import SiloConfig
+from repro.analysis.tracecheck import check_tracer
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.oracle import OracleReport, classify, recovered_states, verify
+from repro.chaos.plan import FaultPlan
+from repro.chaos.workload import (
+    CHAOS_ACCOUNT_KIND,
+    ChaosAccountActor,
+    ChaosOutcome,
+    ChaosWorkload,
+)
+from repro.core.config import SnapperConfig
+from repro.core.system import SnapperSystem
+from repro.errors import TransactionAbortedError
+from repro.persistence.records import BatchInfoRecord
+from repro.trace import TxnTracer
+
+
+@dataclass
+class ChaosReport:
+    """Everything one chaos run produced, in a deterministic shape."""
+
+    seed: int
+    duration: float
+    workload: str
+    num_txns: int
+    outcome_tally: Dict[str, int]
+    class_tally: Dict[str, int]
+    injector_stats: Dict[str, int]
+    message_stats: Dict[str, int]
+    oracle: OracleReport = field(default_factory=OracleReport)
+
+    @property
+    def ok(self) -> bool:
+        return self.oracle.ok
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "workload": self.workload,
+            "num_txns": self.num_txns,
+            "outcome_tally": dict(sorted(self.outcome_tally.items())),
+            "class_tally": dict(sorted(self.class_tally.items())),
+            "injector_stats": dict(sorted(self.injector_stats.items())),
+            "message_stats": dict(sorted(self.message_stats.items())),
+            "oracle": self.oracle.to_dict(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chaos run: seed={self.seed} duration={self.duration}s "
+            f"workload={self.workload}",
+            f"  transactions: {self.num_txns} "
+            + " ".join(f"{k}={v}"
+                       for k, v in sorted(self.class_tally.items())),
+            "  outcomes: "
+            + " ".join(f"{k}={v}"
+                       for k, v in sorted(self.outcome_tally.items())),
+            "  faults: "
+            + " ".join(f"{k}={v}"
+                       for k, v in sorted(self.injector_stats.items())),
+            "  messages: "
+            + " ".join(f"{k}={v}"
+                       for k, v in sorted(self.message_stats.items())),
+            "oracle:",
+        ]
+        lines.append(self.oracle.render())
+        lines.append("VERDICT: " + ("OK" if self.ok else "INVARIANT VIOLATED"))
+        return "\n".join(lines)
+
+
+class ChaosHarness:
+    """Builds, runs, and audits one faulted deployment."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        num_actors: int = 16,
+        num_clients: int = 2,
+        pipeline_size: int = 4,
+        pact_fraction: float = 0.5,
+        txn_size: int = 3,
+        workload: str = "smallbank",
+    ):
+        if workload not in ("smallbank", "tpcc"):
+            raise ValueError(f"unknown chaos workload {workload!r}")
+        self.plan = plan
+        self.num_actors = num_actors
+        self.num_clients = num_clients
+        self.pipeline_size = pipeline_size
+        self.pact_fraction = pact_fraction
+        self.txn_size = txn_size
+        self.workload_name = workload
+
+        meta = plan.meta
+        self.config = SnapperConfig(
+            num_coordinators=int(meta.get("num_coordinators", 2)),
+            num_loggers=int(meta.get("num_loggers", 2)),
+            # short enough that a crashed participant's batch resolves
+            # well within the run, long enough to be off the commit path
+            batch_complete_timeout=0.1,
+            deadlock_timeout=0.03,
+        )
+        self.system = SnapperSystem(
+            config=self.config,
+            silo=SiloConfig(seed=plan.seed),
+            seed=plan.seed,
+        )
+        self.tracer = TxnTracer(capacity=50_000)
+        self.system.runtime.services["txn_tracer"] = self.tracer
+
+        rng = random.Random(plan.seed ^ 0x5EED)
+        if workload == "smallbank":
+            self.workload = ChaosWorkload(
+                num_actors=num_actors,
+                rng=rng,
+                txn_size=txn_size,
+                pact_fraction=pact_fraction,
+            )
+            self.system.register_actor(CHAOS_ACCOUNT_KIND, ChaosAccountActor)
+            self.injector = ChaosInjector(self.system, plan)
+        else:
+            from repro.workloads.tpcc import (
+                TpccLayout,
+                TpccWorkload,
+                tpcc_actor_families,
+            )
+            layout = TpccLayout()
+            self.workload = TpccWorkload(layout=layout, rng=rng)
+            for kind, factory in tpcc_actor_families()["snapper"].items():
+                self.system.register_actor(kind, factory)
+            self.injector = ChaosInjector(
+                self.system, plan, actor_kind="district",
+                actor_id_for=lambda key: ActorId(
+                    *layout.district(key % layout.num_warehouses,
+                                     key % 10)),
+            )
+        self._stopped = False
+
+    # -- client pipelines ---------------------------------------------------
+    async def _slot(self) -> None:
+        while not self._stopped:
+            generated = self.workload.next_txn()
+            if self.workload_name == "smallbank":
+                spec, outcome = generated
+            else:
+                spec = generated
+                outcome = ChaosOutcome(
+                    marker=f"tpcc{len(self.workload_outcomes)}",
+                    mode="pact" if spec.is_pact else "act",
+                    source=spec.start_key, destinations=(), amount=0.0)
+                self.workload_outcomes.append(outcome)
+            try:
+                await self._submit(spec)
+            except TransactionAbortedError as exc:
+                outcome.status = f"aborted:{exc.reason}"
+                outcome.reason = exc.reason
+            except Exception as exc:  # noqa: BLE001 - crashes stay in doubt
+                outcome.status = f"failure:{type(exc).__name__}"
+            else:
+                outcome.status = "committed"
+
+    async def _submit(self, spec) -> Any:
+        if spec.is_pact:
+            return await self.system.submit_pact(
+                spec.kind, spec.start_key, spec.method, spec.func_input,
+                access=spec.access)
+        return await self.system.submit_act(
+            spec.kind, spec.start_key, spec.method, spec.func_input)
+
+    # -- the run ------------------------------------------------------------
+    def run(self) -> ChaosReport:
+        plan = self.plan
+        system = self.system
+        self.workload_outcomes: List[ChaosOutcome] = (
+            self.workload.outcomes if self.workload_name == "smallbank"
+            else [])
+        system.start()
+        self.injector.attach()
+        for client in range(self.num_clients):
+            for slot in range(self.pipeline_size):
+                system.loop.create_task(
+                    self._slot(), label=f"chaos-client{client}.{slot}")
+        system.loop.run(until=plan.duration)
+        self._stopped = True
+        system.loop.run(until=plan.duration + 0.3)  # drain in-flight work
+
+        # -- audit sequence ------------------------------------------------
+        self.injector.detach()
+        pre_crash_max_bid = self._max_bid()
+        self.injector.crash_silo_dropping_unflushed()
+        self._recover()
+        system.run_for(0.1)
+
+        outcomes = list(self.workload_outcomes)
+        if self.workload_name == "smallbank":
+            # key the audit states by raw actor key — outcomes refer to
+            # actors the way clients do, not by ActorId
+            by_actor_id = recovered_states(
+                system.loggers,
+                [ActorId(CHAOS_ACCOUNT_KIND, key)
+                 for key in range(self.num_actors)],
+            )
+            states = {aid.key: state for aid, state in by_actor_id.items()}
+        else:
+            states = {}
+
+        liveness = self._probe_liveness(pre_crash_max_bid)
+        schedule = check_tracer(self.tracer)
+        serializable = (
+            schedule.ok,
+            f"{schedule.num_events} access events, "
+            f"{schedule.acts_checked} ACTs checked",
+        )
+
+        if self.workload_name == "smallbank":
+            oracle = verify(states, outcomes, liveness=liveness,
+                            serializable=serializable)
+        else:
+            # TPC-C states are not marker-stamped: the generic subset.
+            oracle = verify({}, [], liveness=liveness,
+                            serializable=serializable)
+
+        system.shutdown()
+        tally: Dict[str, int] = {}
+        classes: Dict[str, int] = {}
+        for outcome in outcomes:
+            key = outcome.status.split(":", 1)[0]
+            tally[key] = tally.get(key, 0) + 1
+            verdict = classify(outcome)
+            classes[verdict] = classes.get(verdict, 0) + 1
+        runtime = system.runtime
+        return ChaosReport(
+            seed=plan.seed,
+            duration=plan.duration,
+            workload=self.workload_name,
+            num_txns=len(outcomes),
+            outcome_tally=tally,
+            class_tally=classes,
+            injector_stats=dict(self.injector.stats),
+            message_stats={
+                "sent": runtime.messages_sent,
+                "dropped": runtime.messages_dropped,
+                "delayed": runtime.messages_delayed,
+                "duplicated": runtime.messages_duplicated,
+            },
+            oracle=oracle,
+        )
+
+    # -- audit helpers ------------------------------------------------------
+    def _max_bid(self) -> int:
+        max_bid = -1
+        for record in self.system.loggers.all_records():
+            if isinstance(record, BatchInfoRecord):
+                max_bid = max(max_bid, record.bid)
+        return max_bid
+
+    def _recover(self, attempts: int = 3) -> None:
+        last: Optional[BaseException] = None
+        for _ in range(attempts):
+            try:
+                self.system.run(self.system.recover())
+                return
+            except Exception as exc:  # noqa: BLE001 - retried
+                last = exc
+        raise RuntimeError(f"recovery failed {attempts} times: {last!r}")
+
+    def _probe_liveness(self, pre_crash_max_bid: int):
+        """Submit fresh PACTs against the recovered system; they must
+        commit, in batches scheduled above everything pre-crash."""
+        system = self.system
+        deadline = system.loop.now + 30.0
+        probes = self._probe_specs()
+        try:
+            for spec in probes:
+                system.run(
+                    system.submit_pact(
+                        spec.kind, spec.start_key, spec.method,
+                        spec.func_input, access=spec.access),
+                    until=deadline,
+                )
+        except Exception as exc:  # noqa: BLE001 - any failure = not live
+            return (False, f"post-recovery probe failed: {exc!r}")
+        post_max_bid = self._max_bid()
+        if post_max_bid <= pre_crash_max_bid:
+            return (
+                False,
+                f"no new batches after recovery (max bid stuck at "
+                f"{pre_crash_max_bid})",
+            )
+        return (
+            True,
+            f"{len(probes)} probe PACT(s) committed; batches resumed at "
+            f"bid {post_max_bid} > pre-crash {pre_crash_max_bid}",
+        )
+
+    def _probe_specs(self):
+        from repro.workloads.smallbank import TxnSpec
+        if self.workload_name == "smallbank":
+            return [
+                TxnSpec(
+                    kind=CHAOS_ACCOUNT_KIND, start_key=key, method="probe",
+                    func_input=None, access={key: 1}, is_pact=True,
+                )
+                for key in range(min(4, self.num_actors))
+            ]
+        specs = []
+        for _ in range(3):
+            spec = self.workload.next_txn()
+            spec.is_pact = True
+            specs.append(spec)
+        return specs

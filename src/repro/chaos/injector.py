@@ -1,0 +1,299 @@
+"""Executes a :class:`~repro.chaos.plan.FaultPlan` against a live system.
+
+The injector owns no protocol knowledge; it drives the three
+interception surfaces the runtime exposes:
+
+* ``ActorRuntime.message_interceptor`` — message drop/delay/duplicate;
+* ``LoggerGroup.on_persist`` — record-triggered crash points ("kill the
+  silo right after the Nth CoordPrepareRecord becomes durable");
+* :class:`ChaosLogStorage`, wrapped around each logger's WAL storage —
+  failed and torn appends.
+
+Crashes go through the system facade (``crash_actor`` / ``crash_silo``
+/ ``recover`` / ``reinitiate_token``), so the injector exercises exactly
+the recovery paths a user of the library would.
+
+Every injected fault is recorded as a ``fault_injected`` trace event
+under :data:`~repro.trace.SYSTEM_TID`, so a chaos trace tells the whole
+story: faults, crashes, recoveries, and transaction lifecycles on one
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.actors.ref import ActorId
+from repro.chaos.plan import FaultKind, FaultPlan, FaultSpec
+from repro.chaos.workload import CHAOS_ACCOUNT_KIND
+from repro.core.system import COORDINATOR_KIND, SnapperSystem
+from repro.persistence.records import LogRecord
+from repro.trace import SYSTEM_TID
+
+
+class ChaosLogStorage:
+    """A log-storage wrapper that can fail or tear the next append.
+
+    * ``arm("fail")`` — the next append raises :class:`IOError` and
+      stores nothing (a full write failure: the device rejected it).
+    * ``arm("torn")`` — the next append *stores* the record but raises,
+      and the record's LSN joins a filter set that :meth:`scan` skips
+      forever after (a torn write: bytes reached the disk but are
+      unreadable — the caller saw a failure, recovery sees nothing).
+
+    The wrapper also lets the injector drop records retroactively (a
+    silo crash loses appends whose flush had not completed), through
+    :meth:`exclude_lsn`.  It stays attached after a chaos run ends so a
+    post-run audit scans the same damaged log the recovery saw.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self._armed: Optional[str] = None
+        self._torn_lsns: Set[int] = set()
+        self.appends_failed = 0
+        self.appends_torn = 0
+
+    def arm(self, mode: str) -> None:
+        if mode not in ("fail", "torn"):
+            raise ValueError(f"unknown ChaosLogStorage mode {mode!r}")
+        self._armed = mode
+
+    def exclude_lsn(self, lsn: int) -> None:
+        """Retroactively drop the record with ``lsn`` from every scan."""
+        self._torn_lsns.add(lsn)
+
+    def append(self, record: LogRecord) -> None:
+        armed, self._armed = self._armed, None
+        if armed == "fail":
+            self.appends_failed += 1
+            raise IOError(f"injected append failure ({record.kind})")
+        if armed == "torn":
+            self.inner.append(record)
+            self._torn_lsns.add(record.lsn)
+            self.appends_torn += 1
+            raise IOError(f"injected torn append ({record.kind})")
+        self.inner.append(record)
+
+    def scan(self) -> Iterator[LogRecord]:
+        for record in self.inner.scan():
+            if record.lsn in self._torn_lsns:
+                continue
+            yield record
+
+    def truncate(self) -> None:
+        self.inner.truncate()
+        self._torn_lsns.clear()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __len__(self) -> int:
+        return max(0, len(self.inner) - len(self._torn_lsns))
+
+    def __enter__(self) -> "ChaosLogStorage":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ChaosInjector:
+    """Schedules and fires the faults of one :class:`FaultPlan`."""
+
+    #: virtual seconds between a crash and its detection/handling —
+    #: models the failure detector of the hosting framework.
+    detect_delay = 0.02
+
+    def __init__(self, system: SnapperSystem, plan: FaultPlan,
+                 actor_kind: str = CHAOS_ACCOUNT_KIND,
+                 actor_id_for=None):
+        self.system = system
+        self.plan = plan
+        self.actor_kind = actor_kind
+        #: maps a plan's integer crash target to an :class:`ActorId` —
+        #: override for workloads whose actors are not keyed 0..n-1.
+        self.actor_id_for = actor_id_for or (
+            lambda key: ActorId(actor_kind, key))
+        self._active = False
+        #: armed one-shot message faults, consumed in arming order:
+        #: ``(method, action, extra_delay)``.
+        self._armed_msgs: List[Tuple[str, str, float]] = []
+        #: armed record triggers: ``[record_kind, remaining_count]``.
+        self._armed_records: List[List] = []
+        self.storages: List[ChaosLogStorage] = []
+        self.stats: Dict[str, int] = {
+            "faults_fired": 0,
+            "actor_crashes": 0,
+            "coordinator_crashes": 0,
+            "silo_crashes": 0,
+            "recoveries": 0,
+            "recovery_retries": 0,
+            "record_triggers": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self) -> None:
+        """Install the hooks and schedule every fault in the plan."""
+        if self._active:
+            return
+        self._active = True
+        for logger in self.system.loggers.loggers:
+            if not isinstance(logger.wal.storage, ChaosLogStorage):
+                logger.wal.storage = ChaosLogStorage(logger.wal.storage)
+            self.storages.append(logger.wal.storage)
+        self.system.loggers.on_persist = self._on_persist
+        self.system.runtime.message_interceptor = self._intercept
+        loop = self.system.loop
+        for fault in self.plan.faults:
+            loop.call_clamped(fault.at, self._fire, fault)
+
+    def detach(self) -> None:
+        """Disarm everything.
+
+        The :class:`ChaosLogStorage` wrappers stay on the loggers —
+        disarmed they are transparent, and removing them would un-tear
+        the torn records a post-run audit must not see.
+        """
+        self._active = False
+        self._armed_msgs.clear()
+        self._armed_records.clear()
+        for storage in self.storages:
+            storage._armed = None
+        self.system.loggers.on_persist = None
+        self.system.runtime.message_interceptor = None
+
+    # -- fault dispatch -----------------------------------------------------
+    def _fire(self, fault: FaultSpec) -> None:
+        if not self._active:
+            return
+        self.stats["faults_fired"] += 1
+        self._trace(fault.kind, {"target": fault.target, "arg": fault.arg})
+        kind = fault.kind
+        if kind == FaultKind.ACTOR_CRASH:
+            if self.system.runtime.kill(self.actor_id_for(int(fault.target))):
+                self.stats["actor_crashes"] += 1
+        elif kind == FaultKind.COORDINATOR_CRASH:
+            self._crash_coordinator(int(fault.target))
+        elif kind == FaultKind.SILO_CRASH:
+            self._crash_silo()
+        elif kind in (FaultKind.MSG_DROP, FaultKind.MSG_DELAY,
+                      FaultKind.MSG_DUPLICATE):
+            action = {
+                FaultKind.MSG_DROP: "drop",
+                FaultKind.MSG_DELAY: "delay",
+                FaultKind.MSG_DUPLICATE: "duplicate",
+            }[kind]
+            self._armed_msgs.append((str(fault.target), action, fault.arg))
+        elif kind == FaultKind.WAL_FAIL:
+            self._storage(int(fault.target)).arm("fail")
+        elif kind == FaultKind.WAL_TORN:
+            self._storage(int(fault.target)).arm("torn")
+        elif kind == FaultKind.CRASH_ON_RECORD:
+            self._armed_records.append(
+                [str(fault.target), max(1, int(fault.arg))])
+        else:  # pragma: no cover - plan generation only emits known kinds
+            raise ValueError(f"unknown fault kind {kind!r}")
+
+    def _storage(self, index: int) -> ChaosLogStorage:
+        return self.storages[index % len(self.storages)]
+
+    # -- crashes and recovery ----------------------------------------------
+    def _crash_coordinator(self, key: int) -> None:
+        """Kill one coordinator; after the detection delay, fence any
+        surviving token and re-initiate (§4.2.5).  Batches the dead
+        coordinator left in flight resolve through the vote-timeout
+        cascade — the silo (and every actor's state) stays up."""
+        killed = self.system.runtime.kill(ActorId(COORDINATOR_KIND, key))
+        if killed:
+            self.stats["coordinator_crashes"] += 1
+        self.system.loop.call_later(self.detect_delay, self._reinitiate)
+
+    def _reinitiate(self) -> None:
+        if not self._active:
+            return
+        self.system.reinitiate_token()
+        self._trace("token_reinitiated", None)
+
+    def crash_silo_dropping_unflushed(self) -> int:
+        """Crash the machine, losing appends whose flush had not
+        completed (the IO was still in flight — durability only covers
+        what the device acknowledged).  Also used by the harness for the
+        final audit crash, after :meth:`detach`."""
+        for logger, storage in zip(self.system.loggers.loggers,
+                                   self.storages):
+            for record, _done in logger._pending:
+                if record.lsn >= 0:
+                    storage.exclude_lsn(record.lsn)
+        return self.system.crash_silo()
+
+    def _crash_silo(self) -> None:
+        self.crash_silo_dropping_unflushed()
+        self.stats["silo_crashes"] += 1
+        self.system.loop.call_later(self.detect_delay, self._start_recovery)
+
+    def _start_recovery(self) -> None:
+        if not self._active:
+            return
+        self.system.loop.create_task(
+            self._recover_with_retries(), label="chaos.recover")
+
+    async def _recover_with_retries(self, attempts: int = 3) -> None:
+        """Run recovery, retrying when an injected WAL fault breaks it —
+        recovery itself appends records (the in-doubt commit rule), so
+        an armed append failure can hit it like any other writer."""
+        for attempt in range(attempts):
+            try:
+                await self.system.recover()
+            except Exception as exc:  # noqa: BLE001 - retried
+                self.stats["recovery_retries"] += 1
+                self._trace("recovery_failed",
+                            {"attempt": attempt + 1, "error": repr(exc)})
+                continue
+            self.stats["recoveries"] += 1
+            return
+
+    # -- hook callbacks -----------------------------------------------------
+    def _intercept(self, target: ActorId, method: str,
+                   delay: float) -> Optional[Tuple[str, float]]:
+        if not self._active:
+            return None
+        for index, (armed_method, action, extra) in enumerate(
+                self._armed_msgs):
+            if armed_method == method:
+                del self._armed_msgs[index]
+                self._trace(f"msg_{action}",
+                            {"target": str(target), "method": method})
+                return (action, extra)
+        return None
+
+    def _on_persist(self, record: LogRecord) -> None:
+        if not self._active:
+            return
+        for index, armed in enumerate(self._armed_records):
+            if armed[0] == type(record).__name__:
+                armed[1] -= 1
+                if armed[1] <= 0:
+                    del self._armed_records[index]
+                    self.stats["record_triggers"] += 1
+                    self._trace("crash_on_record_triggered",
+                                {"record": armed[0], "lsn": record.lsn})
+                    # Fire at "now": the crash lands before the *next*
+                    # persist call starts (IO takes simulated time), so
+                    # the protocol window right after this record is hit
+                    # exactly — e.g. CoordPrepareRecord durable,
+                    # CoordCommitRecord not yet attempted (§4.3.4).
+                    self.system.loop.call_clamped(
+                        self.system.loop.now, self._crash_silo)
+                return
+
+    def _trace(self, event: str, detail) -> None:
+        tracer = self.system.runtime.services.get("txn_tracer")
+        if tracer is not None:
+            tracer.record(self.system.loop.now, SYSTEM_TID,
+                          "fault_injected", {"fault": event, **(
+                              detail if isinstance(detail, dict) else
+                              ({} if detail is None else {"detail": detail})
+                          )})

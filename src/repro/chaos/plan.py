@@ -1,0 +1,286 @@
+"""Seeded fault plans: the *data* half of the chaos subsystem.
+
+A :class:`FaultPlan` is an explicit, finite list of :class:`FaultSpec`
+entries — *inject fault K against target T at virtual time A*.  The plan
+is generated up front from a seed, so the whole fault schedule is fixed
+before the run starts; the injector merely executes it.  That makes a
+chaos run exactly reproducible (same seed → same plan → same simulated
+run) and lets a failing schedule be saved, diffed, and replayed from a
+JSON file without the system under test in the loop.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class FaultKind:
+    """The fault vocabulary understood by the injector."""
+
+    ACTOR_CRASH = "actor_crash"
+    COORDINATOR_CRASH = "coordinator_crash"
+    SILO_CRASH = "silo_crash"
+    MSG_DROP = "msg_drop"
+    MSG_DELAY = "msg_delay"
+    MSG_DUPLICATE = "msg_duplicate"
+    WAL_FAIL = "wal_fail"
+    WAL_TORN = "wal_torn"
+    CRASH_ON_RECORD = "crash_on_record"
+
+    ALL: Tuple[str, ...] = (
+        ACTOR_CRASH,
+        COORDINATOR_CRASH,
+        SILO_CRASH,
+        MSG_DROP,
+        MSG_DELAY,
+        MSG_DUPLICATE,
+        WAL_FAIL,
+        WAL_TORN,
+        CRASH_ON_RECORD,
+    )
+
+
+#: Methods that may be *dropped* without violating the protocol's fault
+#: assumptions.  Each of these is covered by a timeout / retry path:
+#: ``receive_batch`` and ``batch_complete`` are covered by the batch
+#: vote timeout (the batch aborts), ``act_prepare`` by the ACT
+#: coordinator treating a dead participant as a NO vote.  Post-decision
+#: messages (``batch_committed``, ``act_commit``) must NOT be dropped:
+#: the decision is already durable and the protocol (like real Orleans
+#: reminders) assumes they are eventually delivered.
+DROP_SAFE: Tuple[str, ...] = (
+    "receive_batch",
+    "batch_complete",
+    "act_prepare",
+)
+
+#: Methods that may be *delayed*: everything drop-safe, plus the
+#: post-decision notifications and the token itself (delay only reorders
+#: them, which the bid/epoch logic must tolerate anyway).
+DELAY_SAFE: Tuple[str, ...] = DROP_SAFE + (
+    "batch_committed",
+    "act_commit",
+    "act_abort",
+    "receive_token",
+)
+
+#: Methods that may be *duplicated*: only those that are idempotent at
+#: the receiver.  ``batch_complete`` dedups through the vote set;
+#: ``act_abort`` through the presumed-abort path being idempotent.
+DUP_SAFE: Tuple[str, ...] = (
+    "batch_complete",
+    "act_abort",
+)
+
+#: Record types that ``crash_on_record`` may trigger on — each one pins
+#: the silo crash inside a specific protocol window: after an ACT's
+#: coordinator logged its prepare decision but before the commit record
+#: (CoordPrepareRecord, §4.3.4 presumed abort), after a batch exists but
+#: before any participant voted (BatchInfoRecord), after a participant
+#: persisted its state but before the global commit (ActPrepareRecord /
+#: BatchCompleteRecord).
+RECORD_TRIGGERS: Tuple[str, ...] = (
+    "CoordPrepareRecord",
+    "BatchInfoRecord",
+    "ActPrepareRecord",
+    "BatchCompleteRecord",
+)
+
+#: Expected faults per simulated second at ``rate_multiplier=1``.
+DEFAULT_RATES: Dict[str, float] = {
+    FaultKind.ACTOR_CRASH: 1.5,
+    FaultKind.COORDINATOR_CRASH: 0.4,
+    FaultKind.SILO_CRASH: 0.3,
+    FaultKind.MSG_DROP: 3.0,
+    FaultKind.MSG_DELAY: 4.0,
+    FaultKind.MSG_DUPLICATE: 1.5,
+    FaultKind.WAL_FAIL: 0.8,
+    FaultKind.WAL_TORN: 0.4,
+    FaultKind.CRASH_ON_RECORD: 0.4,
+}
+
+
+class FaultSpec:
+    """One scheduled fault.
+
+    ``at``
+        virtual time of injection (seconds).
+    ``kind``
+        one of :class:`FaultKind`.
+    ``target``
+        kind-dependent: actor key (crashes), method name (message
+        faults), logger index (WAL faults), record type name
+        (``crash_on_record``).
+    ``arg``
+        kind-dependent scalar: extra delay for ``msg_delay``/``msg_drop``,
+        the 1-based trigger count for ``crash_on_record``.
+    """
+
+    __slots__ = ("at", "kind", "target", "arg")
+
+    def __init__(self, at: float, kind: str, target: object = None,
+                 arg: float = 0.0):
+        self.at = at
+        self.kind = kind
+        self.target = target
+        self.arg = arg
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"at": self.at, "kind": self.kind, "target": self.target,
+                "arg": self.arg}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        target = data.get("target")
+        if isinstance(target, list):  # JSON has no tuples
+            target = tuple(target)
+        return cls(
+            at=float(data["at"]),  # type: ignore[arg-type]
+            kind=str(data["kind"]),
+            target=target,
+            arg=float(data.get("arg", 0.0)),  # type: ignore[arg-type]
+        )
+
+    def __repr__(self) -> str:
+        return (f"FaultSpec(at={self.at:.4f}, kind={self.kind!r}, "
+                f"target={self.target!r}, arg={self.arg!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultSpec):
+            return NotImplemented
+        return (self.at, self.kind, self.target, self.arg) == (
+            other.at, other.kind, other.target, other.arg)
+
+
+class FaultPlan:
+    """A seed, a duration, and the fault schedule derived from them."""
+
+    def __init__(self, seed: int, duration: float,
+                 faults: Iterable[FaultSpec],
+                 meta: Optional[Dict[str, object]] = None):
+        self.seed = seed
+        self.duration = duration
+        self.faults: List[FaultSpec] = sorted(
+            faults, key=lambda f: (f.at, f.kind, str(f.target)))
+        self.meta: Dict[str, object] = dict(meta or {})
+
+    # -- generation ---------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        duration: float = 2.0,
+        *,
+        num_actors: int = 16,
+        num_coordinators: int = 2,
+        num_loggers: int = 2,
+        rate_multiplier: float = 1.0,
+        rates: Optional[Dict[str, float]] = None,
+    ) -> "FaultPlan":
+        """Derive a schedule from ``seed``.
+
+        Counts are ``round(rate * rate_multiplier * duration)`` per
+        kind; times are uniform inside the middle 90% of the run (so a
+        fault never lands before the workload is up or after clients
+        stopped).  The kind iteration order is fixed, so the same seed
+        always produces the same plan regardless of dict hashing.
+        """
+        rng = random.Random(seed)
+        effective = dict(DEFAULT_RATES)
+        if rates:
+            effective.update(rates)
+        faults: List[FaultSpec] = []
+
+        def when() -> float:
+            return (0.05 + 0.9 * rng.random()) * duration
+
+        for kind in FaultKind.ALL:
+            count = int(round(effective.get(kind, 0.0)
+                              * rate_multiplier * duration))
+            for _ in range(count):
+                at = when()
+                if kind == FaultKind.ACTOR_CRASH:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.randrange(num_actors)))
+                elif kind == FaultKind.COORDINATOR_CRASH:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.randrange(num_coordinators)))
+                elif kind == FaultKind.SILO_CRASH:
+                    faults.append(FaultSpec(at, kind))
+                elif kind == FaultKind.MSG_DROP:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.choice(DROP_SAFE),
+                        arg=round(rng.uniform(0.0, 0.02), 6)))
+                elif kind == FaultKind.MSG_DELAY:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.choice(DELAY_SAFE),
+                        arg=round(rng.uniform(0.005, 0.05), 6)))
+                elif kind == FaultKind.MSG_DUPLICATE:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.choice(DUP_SAFE)))
+                elif kind == FaultKind.WAL_FAIL:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.randrange(num_loggers)))
+                elif kind == FaultKind.WAL_TORN:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.randrange(num_loggers)))
+                elif kind == FaultKind.CRASH_ON_RECORD:
+                    faults.append(FaultSpec(
+                        at, kind, target=rng.choice(RECORD_TRIGGERS),
+                        arg=float(rng.randrange(1, 4))))
+        return cls(seed, duration, faults, meta={
+            "num_actors": num_actors,
+            "num_coordinators": num_coordinators,
+            "num_loggers": num_loggers,
+            "rate_multiplier": rate_multiplier,
+        })
+
+    # -- (de)serialisation --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "duration": self.duration,
+            "meta": self.meta,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            duration=float(data["duration"]),  # type: ignore[arg-type]
+            faults=[FaultSpec.from_dict(f)
+                    for f in data.get("faults", [])],  # type: ignore[union-attr]
+            meta=data.get("meta"),  # type: ignore[arg-type]
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    # -- inspection ---------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for fault in self.faults:
+            out[fault.kind] = out.get(fault.kind, 0) + 1
+        return out
+
+    def render(self) -> str:
+        lines = [f"FaultPlan(seed={self.seed}, duration={self.duration}, "
+                 f"faults={len(self.faults)})"]
+        for fault in self.faults:
+            lines.append(f"  t={fault.at:7.4f}  {fault.kind:<18} "
+                         f"target={fault.target!r} arg={fault.arg!r}")
+        return "\n".join(lines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return (self.seed == other.seed
+                and self.duration == other.duration
+                and self.faults == other.faults)

@@ -1,0 +1,148 @@
+"""The chaos workload: transfers that stamp a unique marker per txn.
+
+A plain transfer workload can only check conservation of money.  The
+chaos oracle needs to ask *per transaction* whether its effects survived
+recovery, so every ``chaos_transfer`` additionally writes a unique
+client-chosen marker — with the signed amount it applied — into each
+actor it touches.  Durability and atomicity then become set questions on
+the recovered states:
+
+* a *committed* marker must be present on **every** actor the
+  transaction touched (with exactly the delta it applied there);
+* a *definitely aborted* marker must be present on **none**;
+* an *in-doubt* marker (the client saw a crash, a timeout, or a
+  cascading abort) may go either way, but must still be all-or-nothing.
+
+The balance arithmetic on top of the markers gives the conservation and
+internal-consistency checks for free.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.context import AccessMode, FuncCall
+from repro.core.transactional_actor import TransactionalActor
+from repro.sim.loop import gather, spawn
+from repro.workloads.smallbank import TxnSpec
+
+CHAOS_ACCOUNT_KIND = "chaos-account"
+INITIAL_BALANCE = 1_000.0
+
+
+class ChaosAccountActor(TransactionalActor):
+    """An account whose state records every transfer that touched it."""
+
+    def initial_state(self) -> Dict[str, Any]:
+        return {"balance": INITIAL_BALANCE, "applied": {}}
+
+    async def chaos_transfer(self, ctx, txn_input) -> float:
+        """Withdraw ``amount`` per destination here, deposit everywhere
+        else; stamp ``marker`` with the local delta on every actor."""
+        marker, amount, to_keys = txn_input
+        # correlate the client-side marker with the engine-assigned tid,
+        # so a trace can be joined against the oracle's verdicts
+        self.trace(ctx.tid, "marker", marker)
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        delta = -amount * len(to_keys)
+        state["balance"] += delta
+        state["applied"][marker] = delta
+        calls = [
+            self.call_actor(
+                ctx,
+                self.ref(CHAOS_ACCOUNT_KIND, key).id,
+                FuncCall("chaos_deposit", (marker, amount)),
+            )
+            for key in to_keys
+        ]
+        if getattr(ctx, "is_pact", False):
+            # PACT: completion is tracked through the declared access
+            # counts; awaiting here would serialize the schedule.
+            for call in calls:
+                spawn(call)
+        else:
+            await gather(*[spawn(call) for call in calls])
+        return state["balance"]
+
+    async def chaos_deposit(self, ctx, txn_input) -> float:
+        marker, amount = txn_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        state["balance"] += amount
+        state["applied"][marker] = amount
+        return state["balance"]
+
+    async def probe(self, ctx, _input=None) -> float:
+        """Read-only liveness probe used after recovery."""
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["balance"]
+
+
+@dataclass
+class ChaosOutcome:
+    """What one client observed for one transaction."""
+
+    marker: str
+    mode: str                      # "pact" | "act"
+    source: Any
+    destinations: Tuple[Any, ...]
+    amount: float
+    #: "unknown" until the submission resolves, then "committed",
+    #: "aborted:<reason>", or "failure:<exception type>".
+    status: str = "unknown"
+    reason: Optional[str] = None
+
+    @property
+    def touched(self) -> Tuple[Any, ...]:
+        return tuple(sorted({self.source, *self.destinations}))
+
+
+class ChaosWorkload:
+    """Generates ``chaos_transfer`` specs with globally unique markers."""
+
+    def __init__(
+        self,
+        num_actors: int,
+        rng: Optional[random.Random] = None,
+        txn_size: int = 3,
+        amount: float = 1.0,
+        pact_fraction: float = 0.5,
+    ):
+        if txn_size < 2:
+            raise ValueError("chaos transfers need at least two actors")
+        if txn_size > num_actors:
+            raise ValueError("txn_size larger than the actor population")
+        self.num_actors = num_actors
+        self.rng = rng or random.Random(0)
+        self.txn_size = txn_size
+        self.amount = amount
+        self.pact_fraction = pact_fraction
+        self._next_marker = 0
+        #: every outcome ever generated, in submission order — the
+        #: oracle's ground truth of what the clients observed.
+        self.outcomes: List[ChaosOutcome] = []
+
+    def next_txn(self) -> Tuple[TxnSpec, ChaosOutcome]:
+        keys = self.rng.sample(range(self.num_actors), self.txn_size)
+        source, destinations = keys[0], tuple(keys[1:])
+        is_pact = self.rng.random() < self.pact_fraction
+        marker = f"m{self._next_marker}"
+        self._next_marker += 1
+        spec = TxnSpec(
+            kind=CHAOS_ACCOUNT_KIND,
+            start_key=source,
+            method="chaos_transfer",
+            func_input=(marker, self.amount, destinations),
+            access={key: 1 for key in keys},
+            is_pact=is_pact,
+        )
+        outcome = ChaosOutcome(
+            marker=marker,
+            mode="pact" if is_pact else "act",
+            source=source,
+            destinations=destinations,
+            amount=self.amount,
+        )
+        self.outcomes.append(outcome)
+        return spec, outcome

@@ -36,6 +36,7 @@ class AbortController:
         #: moved by commit time (they may have observed rolled-back state).
         self.generation = 0
         self._aborting = False
+        self._rerun = False
         self._emission_paused = False
         self._resumed = Condition(label="abort-controller")
         #: set by SnapperSystem after wiring: callable(actor_id) -> ActorRef.
@@ -52,10 +53,15 @@ class AbortController:
         Fire-and-forget: spawns the cascade unless one is in progress or
         the batch is already resolved.
         """
-        if self._aborting:
-            return
         info = self.registry.batch(bid)
         if info is None or info.status != info.EMITTED:
+            return
+        if self._aborting:
+            # A cascade is mid-flight, but it may have snapshotted its
+            # doomed set before this batch was registered; without another
+            # round the batch would stay EMITTED forever and wedge the
+            # bid-ordered commit chain behind it.
+            self._rerun = True
             return
         spawn(self._cascade(), label="cascading-abort")
 
@@ -67,19 +73,23 @@ class AbortController:
         self.generation += 1
         self.cascades += 1
         try:
-            doomed = self.registry.uncommitted_batches()
-            participants: Set[ActorId] = set()
-            for batch in doomed:
-                participants.update(batch.participants)
-            for batch in doomed:
-                self.registry.mark_aborted(batch.bid)
-            if participants and self.actor_ref is not None:
-                await gather(
-                    *[
-                        self.actor_ref(actor).call("rollback_uncommitted")
-                        for actor in sorted(participants)
-                    ]
-                )
+            while True:
+                self._rerun = False
+                doomed = self.registry.uncommitted_batches()
+                participants: Set[ActorId] = set()
+                for batch in doomed:
+                    participants.update(batch.participants)
+                for batch in doomed:
+                    self.registry.mark_aborted(batch.bid)
+                if participants and self.actor_ref is not None:
+                    await gather(
+                        *[
+                            self.actor_ref(actor).call("rollback_uncommitted")
+                            for actor in sorted(participants)
+                        ]
+                    )
+                if not self._rerun:
+                    break
         finally:
             self._aborting = False
             self._emission_paused = False

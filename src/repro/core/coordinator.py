@@ -27,7 +27,7 @@ from repro.actors.actor import Actor
 from repro.actors.ref import ActorId
 from repro.core.config import SnapperConfig
 from repro.core.context import SubBatch, TxnContext, TxnMode
-from repro.errors import TransactionAbortedError
+from repro.errors import AbortReason, TransactionAbortedError
 from repro.persistence.records import BatchCommitRecord, BatchInfoRecord
 from repro.sim.future import Future
 from repro.sim.loop import current_loop, spawn
@@ -146,6 +146,9 @@ class CoordinatorActor(Actor):
                 # accessed actor — per transaction.
                 groups = [[p] for p in pacts]
             batches = [self._form_batch(token, group) for group in groups]
+        # Every tid at or below last_tid is now spoken for; remember that
+        # outside the token so a re-initiated token can start above it.
+        self._registry.note_tid(token.last_tid)
         # Hold the token for this coordinator's share of the cycle (the
         # batching epoch, §4.2.2), then forward it — emission and logging
         # proceed while the token travels on (§4.2.1).
@@ -239,11 +242,25 @@ class CoordinatorActor(Actor):
         contexts: List[Tuple[_PendingPact, TxnContext]],
     ) -> None:
         """Persist BatchInfo, send BatchMsgs, release client contexts."""
-        await self._loggers.persist(
-            self.id,
-            BatchInfoRecord(bid=bid, coordinator=self.key,
-                            participants=participants),
-        )
+        try:
+            await self._loggers.persist(
+                self.id,
+                BatchInfoRecord(bid=bid, coordinator=self.key,
+                                participants=participants),
+            )
+        except Exception as exc:  # noqa: BLE001 - logging failure
+            # The batch is already registered in the global commit chain
+            # but can never be emitted: abort it right here or every later
+            # batch wedges behind it.  No actor has seen the batch, so no
+            # rollback is needed — only the clients must hear.
+            self._registry.mark_aborted(bid)
+            abort = TransactionAbortedError(
+                f"batch {bid} failed to log BatchInfo: {exc!r}",
+                AbortReason.FAILURE,
+            )
+            for pending, _ctx in contexts:
+                pending.reply.try_set_exception(abort)
+            return
         self.batches_emitted += 1
         self._pending_batches[bid] = _PendingBatch(
             bid, participants, current_loop().now
@@ -294,7 +311,17 @@ class CoordinatorActor(Actor):
             return  # cascading abort took this batch down
         if self._pending_batches.pop(pending.bid, None) is None:
             return
-        await self._loggers.persist(self.id, BatchCommitRecord(bid=pending.bid))
+        try:
+            await self._loggers.persist(
+                self.id, BatchCommitRecord(bid=pending.bid)
+            )
+        except Exception as exc:  # noqa: BLE001 - logging failure
+            # The commit decision never became durable; participants
+            # executed the batch speculatively, so fall back to the
+            # cascading-abort path (it rolls them back and unblocks the
+            # commit chain).
+            self._controller.report_pact_failure(pending.bid, exc)
+            return
         self._registry.mark_committed(pending.bid)
         actor_ref = self.runtime.service("actor_ref")
         for actor in pending.participants:

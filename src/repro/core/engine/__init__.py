@@ -54,7 +54,7 @@ from repro.core.engine.concurrency import (
 from repro.core.engine.guard import SerializabilityGuard
 from repro.core.engine.hybrid import HybridScheduler
 from repro.core.engine.pact import PactExecutor
-from repro.core.engine.recovery import recover_state
+from repro.core.engine.recovery import RecoveryWarning, recover_state
 
 __all__ = [
     "CC_STRATEGIES",
@@ -70,6 +70,7 @@ __all__ = [
     "TimeoutOnly",
     "TwoPhaseLockingELR",
     "WaitDie",
+    "RecoveryWarning",
     "recover_state",
     "register_strategy",
     "resolve_concurrency_control",

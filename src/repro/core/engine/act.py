@@ -196,6 +196,33 @@ class ActExecutor(ActExecutionCore):
         """A PACT cascade rolled the actor back: undo images are stale."""
         self.rollback_epoch += 1
 
+    def settle_decided_commits(self) -> None:
+        """Apply ACTs whose commit decision is durable but whose
+        ``act_commit`` message has not arrived yet.
+
+        Called by the cascading rollback just before it restores
+        ``_committed_state``: between the coordinator persisting its
+        ``CoordCommitRecord`` and this participant receiving the commit
+        fan-out there is a window where the transaction *is* committed
+        (§4.3.3 — the durable decision is final) while its write still
+        sits only in the live state.  Rolling back through that window
+        would erase a committed effect, so the decision is pulled from
+        the WAL instead of waiting for the notification.
+        """
+        host = self._host
+        decided = [
+            tid for tid, run in self._runs.items()
+            if run.wrote and run.epoch == self.rollback_epoch
+        ]
+        if not decided:
+            return
+        committed_tids = {
+            r.tid for r in host._loggers.all_records()
+            if isinstance(r, (ActCommitRecord, CoordCommitRecord))
+        }
+        for tid in sorted(t for t in decided if t in committed_tids):
+            self.commit_local(tid, None)
+
     # -- root ACT (start_txn without actorAccessInfo) ---------------------------
     async def run_root(self, method: str, func_input: Any) -> Any:
         host = self._host
@@ -255,6 +282,13 @@ class ActExecutor(ActExecutionCore):
         await host.charge(host._config.cpu_schedule_op)
         run = self._runs.get(ctx.tid)
         if run is None:
+            if self.is_tombstoned(ctx.tid):
+                # the abort fan-out overtook this invocation during the
+                # charge above: executing now would write for a dead tid.
+                raise TransactionAbortedError(
+                    f"ACT {ctx.tid} was already aborted on {host.id}",
+                    AbortReason.CASCADING,
+                )
             run = SnapperActRun(
                 host._controller.generation, self.rollback_epoch
             )
@@ -297,6 +331,23 @@ class ActExecutor(ActExecutionCore):
             self._runs.pop(ctx.tid, None)
         return ResultObj(result, snapshot)
 
+    def _ensure_live(self, tid: int, run: ActRun,
+                     release: bool = False) -> None:
+        """Abort fan-outs can land while an invocation is parked on
+        admission or the lock: ``local_abort`` pops the run and moves on,
+        but the parked coroutine still holds a reference to it.  Writing
+        through that stale run would apply effects no abort will ever
+        undo (the undo image lives only on the popped run), so every
+        await in ``acquire_state`` is followed by this identity check."""
+        if self._runs.get(tid) is run:
+            return
+        if release:
+            self.lock.release(tid)
+        raise TransactionAbortedError(
+            f"ACT {tid} was aborted while waiting on {self._host.id}",
+            AbortReason.CASCADING,
+        )
+
     # -- state access (get_state, ACT branch) --------------------------------------
     async def acquire_state(self, ctx: TxnContext, mode: str) -> Any:
         """Strict 2PL through the pluggable concurrency control (§4.3.2)."""
@@ -317,6 +368,7 @@ class ActExecutor(ActExecutionCore):
                 AbortReason.CASCADING,
             )
         await self._scheduler.admit_act(ctx.tid)
+        self._ensure_live(ctx.tid, run)
         if host.id not in run.info.participants:
             host.trace(ctx.tid, "admitted", str(host.id), actor=host.id)
         run.info.participants.add(host.id)
@@ -327,6 +379,7 @@ class ActExecutor(ActExecutionCore):
         except DeadlockError as exc:
             host.trace(ctx.tid, "cc_abort", exc.reason, actor=host.id)
             raise
+        self._ensure_live(ctx.tid, run, release=True)
         host.trace(ctx.tid, "state_access", mode, actor=host.id, access=mode)
         if mode == AccessMode.READ_WRITE and not run.wrote:
             run.wrote = True
@@ -375,6 +428,7 @@ class ActExecutor(ActExecutionCore):
                     state=self.prepare_state(ctx.tid),
                 ),
             )
+            self._ensure_uncrossed(ctx.tid)
             await host._loggers.persist(
                 host.id, CoordCommitRecord(tid=ctx.tid)
             )
@@ -405,16 +459,36 @@ class ActExecutor(ActExecutionCore):
         )
         if votes:
             await gather(*votes)
-        # decision
+        # decision — but not if a cascade crossed the prepare round: the
+        # participants' writes were just rolled back, so persisting the
+        # commit now would decide for effects that no longer exist.
+        self._ensure_uncrossed(ctx.tid)
         await host._loggers.persist(host.id, CoordCommitRecord(tid=ctx.tid))
         if host.id in info.participants:
             self.commit_local(ctx.tid, info.max_bs)
-        if remote:
-            await gather(
-                *[
-                    host.actor_ref(p).call("act_commit", ctx.tid, info.max_bs)
-                    for p in remote
-                ]
+        # Once CoordCommitRecord is durable the decision is final: a
+        # participant that crashes before applying its commit message
+        # recovers the committed state from the WAL (its prepare record is
+        # covered), so a failed ack must NOT abort the transaction.
+        for p in remote:
+            ack = host.actor_ref(p).call("act_commit", ctx.tid, info.max_bs)
+            try:
+                await ack
+            except Exception:  # noqa: BLE001 - decision already durable
+                pass
+
+    def _ensure_uncrossed(self, tid: int) -> None:
+        """Last check before the commit decision becomes durable: a
+        cascading abort since this ACT started means its (and its
+        participants') writes were rolled back, so it must abort."""
+        run = self._runs.get(tid)
+        if (
+            run is not None
+            and run.generation != self._host._controller.generation
+        ):
+            raise TransactionAbortedError(
+                f"ACT {tid} crossed a cascading abort",
+                AbortReason.CASCADING,
             )
 
     async def abort(
@@ -462,9 +536,16 @@ class ActExecutor(ActExecutionCore):
         """Endpoint body for ``act_commit``: the 2PC commit decision."""
         host = self._host
         await host.charge(host._config.cpu_commit_op)
-        await host._loggers.persist(
-            host.id, ActCommitRecord(tid=tid, actor=host.id)
-        )
+        try:
+            await host._loggers.persist(
+                host.id, ActCommitRecord(tid=tid, actor=host.id)
+            )
+        except Exception:  # noqa: BLE001 - logging failure
+            # The decision is already durable at the 2PC coordinator
+            # (CoordCommitRecord); this record merely shortcuts recovery.
+            # Presumed abort must not undo a decided transaction, so the
+            # commit is applied regardless.
+            pass
         self.commit_local(tid, max_bs)
 
     async def on_abort(self, tid: int) -> None:
@@ -496,8 +577,20 @@ class ActExecutor(ActExecutionCore):
     def commit_local(self, tid: int, max_bs: Optional[int]) -> None:
         host = self._host
         run = self._runs.pop(tid, None)
-        if run is not None and run.wrote:
+        # A run from before a cascading rollback lost its write when the
+        # rollback rebound the live state; stamping the *current* state
+        # as committed would smuggle in whatever speculative work ran
+        # since.  (settle_decided_commits applies decided runs before
+        # the epoch moves, so nothing committed is lost here.)
+        if run is not None and run.wrote and run.epoch == self.rollback_epoch:
+            # The writer's schedule entry blocks later batch turns, so
+            # the live state IS the execution frontier: advance the
+            # committed frontier past every pending batch snapshot (a
+            # delayed BatchCommit for an older batch must not regress
+            # this).
+            host._serial_seq += 1
             host._committed_state = copy.deepcopy(host._state)
+            host._committed_seq = host._serial_seq
         self.lock.release(tid)
         self._scheduler.note_act_commit_carry(max_bs)
         self._scheduler.act_ended(tid)

@@ -44,7 +44,9 @@ class PactExecutor:
         self._host = host
         self._scheduler = scheduler
         self._acts = acts  # ActExecutor: cascades invalidate its undo images
-        #: bid -> completion snapshot awaiting the batch commit (§4.2.4).
+        #: bid -> (serial position, completion snapshot) awaiting the
+        #: batch commit (§4.2.4); the position orders this snapshot
+        #: against other commit points on the actor.
         self._batch_snapshots: Dict[int, Any] = {}
         #: bid -> futures of root PACTs waiting for that batch's commit.
         self._commit_waiters: Dict[int, List[Future]] = {}
@@ -117,7 +119,8 @@ class PactExecutor:
         snapshot = (
             copy.deepcopy(host._state) if entry.wrote_state else None
         )
-        self._batch_snapshots[entry.bid] = snapshot
+        host._serial_seq += 1
+        self._batch_snapshots[entry.bid] = (host._serial_seq, snapshot)
         payload = snapshot
         if host.incremental_logging and entry.wrote_state:
             payload = host.capture_delta()
@@ -155,18 +158,44 @@ class PactExecutor:
         """BatchCommit from the coordinator (§4.2.4)."""
         host = self._host
         await host.charge(host._config.cpu_commit_op)
-        snapshot = self._batch_snapshots.pop(bid, None)
-        if snapshot is not None:
-            host._committed_state = snapshot
+        self._promote(bid)
         self._scheduler.batch_committed(bid)
         for waiter in self._commit_waiters.pop(bid, []):
             waiter.try_set_result(None)
+
+    def _promote(self, bid: int) -> None:
+        """Install ``bid``'s completion snapshot as the committed state —
+        unless a later commit point already moved the frontier past it
+        (commit notifications are not ordered: a delayed BatchCommit can
+        land after a newer batch or ACT committed on this actor, and
+        must not roll the committed state backwards)."""
+        host = self._host
+        entry = self._batch_snapshots.pop(bid, None)
+        if entry is None:
+            return
+        seq, snapshot = entry
+        if snapshot is not None and seq > host._committed_seq:
+            host._committed_state = snapshot
+            host._committed_seq = seq
 
     async def rollback_uncommitted(self) -> None:
         """Cascading abort — restore the last committed state and drop
         every uncommitted batch (§4.2.4)."""
         host = self._host
         await host.charge(host._config.cpu_commit_op)
+        # The registry and the WAL hold the commit *decisions*; the
+        # batch_committed / act_commit messages that normally install
+        # them on this actor are notifications and may still be in
+        # flight when the cascade lands.  Promote decided work into
+        # the committed state first, or the rollback below erases
+        # committed effects from the live state for good.
+        for bid in [b for b in sorted(self._batch_snapshots)
+                    if host._registry.is_committed(b)]:
+            self._promote(bid)
+            self._scheduler.batch_committed(bid)
+            for waiter in self._commit_waiters.pop(bid, []):
+                waiter.try_set_result(None)
+        self._acts.settle_decided_commits()
         self._acts.note_cascading_rollback()
         host._state = copy.deepcopy(host._committed_state)
         self._batch_snapshots.clear()

@@ -7,11 +7,22 @@ and restores the newest one *covered* by a commit record — a
 ``CoordCommitRecord`` — ordered by the machine-wide LSN.  Under
 incremental logging (§5.4.2) it restores the newest covered full
 snapshot and replays the covered deltas logged after it.
+
+Records *newer* than that recovery point whose outcome is still
+undecided form the actor's **in-doubt tail**: sub-batches it voted for
+and ACTs it prepared whose commit decisions were in flight when the
+actor crashed.  Classic 2PC participant recovery applies — the actor
+must resolve each in-doubt record (the decision may land *after* the
+crash) before serving new work, or a transaction that goes on to commit
+leaves the live state permanently short of its durable effects.
+:func:`resolve_in_doubt_tail` implements this; the actor runtime holds
+the reactivation's inbox closed until it returns.
 """
 
 from __future__ import annotations
 
 import copy
+import warnings
 from typing import Any, Callable, List, Set
 
 from repro.persistence.records import (
@@ -24,6 +35,16 @@ from repro.persistence.records import (
 
 #: tags delta payloads in state records (incremental logging, §5.4.2).
 DELTA_MARKER = "__snapper_delta__"
+
+
+class RecoveryWarning(UserWarning):
+    """Recovery proceeded on a suspicious WAL shape (best effort).
+
+    Raised as a *warning*, not an error: the recovered state is the best
+    reconstruction available, but an invariant the recovery algorithm
+    relies on did not hold — e.g. a covered delta chain whose full base
+    snapshot is missing from the log.
+    """
 
 
 def is_delta(payload: Any) -> bool:
@@ -82,7 +103,151 @@ def recover_state(
             base_index = index
     if base_index >= 0:
         state = copy.deepcopy(covered[base_index].state)
+    else:
+        # Every covered record is a delta.  Replaying them onto the
+        # *initial* state is only sound when the chain really starts at
+        # the actor's birth; if an earlier full snapshot exists anywhere
+        # in the log (it should have been the base and is either lost or
+        # uncovered out of order), the reconstruction is suspect.
+        first_covered_lsn = covered[0].lsn
+        earlier_full = [
+            r for r in state_records
+            if not is_delta(r.state) and r.lsn < first_covered_lsn
+        ]
+        if earlier_full:
+            warnings.warn(
+                RecoveryWarning(
+                    f"{actor_id}: replaying {len(covered)} covered delta "
+                    f"record(s) from the initial state, but the log holds "
+                    f"an earlier full snapshot (lsn "
+                    f"{earlier_full[-1].lsn}) that is not covered by any "
+                    f"commit — the delta chain may be missing its base"
+                ),
+                stacklevel=2,
+            )
     for record in covered[base_index + 1:]:
         delta = copy.deepcopy(record.state[1])
         state = apply_delta(state, delta)
+    return state
+
+
+def in_doubt_tail(actor_id: Any, loggers: Any) -> List[Any]:
+    """This actor's state records newer than its recovery point whose
+    commit decisions are not in the WAL, in LSN order.
+
+    These are the sub-batches the actor voted ``complete`` for and the
+    ACTs it prepared whose coordinators had not (durably) decided when
+    the log was scanned — the 2PC in-doubt window.
+    """
+    if not loggers.enabled:
+        return []
+    committed_bids: Set[int] = set()
+    committed_tids: Set[int] = set()
+    state_records: List[Any] = []
+    for record in loggers.all_records():
+        if isinstance(record, BatchCommitRecord):
+            committed_bids.add(record.bid)
+        elif isinstance(record, (ActCommitRecord, CoordCommitRecord)):
+            committed_tids.add(record.tid)
+        elif isinstance(record, (BatchCompleteRecord, ActPrepareRecord)):
+            if record.actor == actor_id and record.state is not None:
+                state_records.append(record)
+
+    def covered(record: Any) -> bool:
+        if isinstance(record, BatchCompleteRecord):
+            return record.bid in committed_bids
+        return record.tid in committed_tids
+
+    recovery_point = max(
+        (r.lsn for r in state_records if covered(r)), default=-1
+    )
+    return sorted(
+        (
+            r for r in state_records
+            if not covered(r) and r.lsn > recovery_point
+        ),
+        key=lambda r: r.lsn,
+    )
+
+
+def _adopt(state: Any, record: Any,
+           apply_delta: Callable[[Any, List[Any]], Any]) -> Any:
+    if is_delta(record.state):
+        return apply_delta(state, copy.deepcopy(record.state[1]))
+    return copy.deepcopy(record.state)
+
+
+def _act_decided_commit(loggers: Any, tid: int) -> bool:
+    return any(
+        isinstance(r, (ActCommitRecord, CoordCommitRecord)) and r.tid == tid
+        for r in loggers.all_records()
+    )
+
+
+async def resolve_in_doubt_tail(
+    actor_id: Any,
+    loggers: Any,
+    registry: Any,
+    state: Any,
+    apply_delta: Callable[[Any, List[Any]], Any],
+    timeout: float,
+) -> Any:
+    """2PC participant recovery: advance ``state`` through the actor's
+    in-doubt tail as each record's commit decision resolves.
+
+    ``recover_state`` stops at the newest *covered* record, but the
+    records past it are not garbage — they are prepared work whose
+    decision was in flight when the actor crashed.  If such a
+    transaction goes on to commit while the reactivated actor serves
+    from the covered state, the commit's effects are durable in the WAL
+    yet absent from the live state, and every later snapshot buries the
+    loss.  So, before the actor serves anything, walk the tail in LSN
+    order and ask for each record's outcome:
+
+    * **Sub-batch votes** resolve through the silo's commit registry
+      (which outlives actor crashes): wait until the batch commits —
+      adopt the record — or aborts.  A batch *abort* ends the walk:
+      batches pipeline speculatively (§4.4.1 rule 1), so every later
+      tail record embeds the aborted batch's effects and the covered
+      state is the correct rollback target.
+    * **ACT prepares** resolve through the WAL itself: the coordinator
+      persists its commit record before releasing anyone (§4.3.3), so
+      a commit decision is visible to a log scan — possibly only after
+      a short wait for in-flight appends.  Absence after the grace
+      period is *presumed abort*, and the walk continues: an aborted
+      ACT's effects were undone on the live actor before any later
+      record was logged, so later records do not embed them.
+    """
+    tail = in_doubt_tail(actor_id, loggers)
+    if not tail:
+        return state
+    from repro.sim.loop import sleep
+
+    for record in tail:
+        if isinstance(record, BatchCompleteRecord):
+            if registry.batch(record.bid) is None:
+                # The registry has no memory of this batch: it predates
+                # a silo recovery, whose commit rule already resolved
+                # every in-doubt batch and persisted commit records for
+                # the survivors.  No commit record (the record would be
+                # covered) means it was presumed aborted.  Do NOT fall
+                # through to the watermark query — after the reset the
+                # watermark says nothing about pre-crash bids.
+                break
+            try:
+                await registry.wait_until_committed(
+                    record.bid, timeout=timeout
+                )
+            except Exception:
+                # aborted, or undecided past the grace period: presume
+                # abort and stop — later tail records embed this
+                # batch's speculative effects.
+                break
+            state = _adopt(state, record, apply_delta)
+        else:
+            if not _act_decided_commit(loggers, record.tid):
+                await sleep(timeout)
+                if not _act_decided_commit(loggers, record.tid):
+                    continue  # presumed abort; undo already ran
+            state = _adopt(state, record, apply_delta)
     return state

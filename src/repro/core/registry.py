@@ -49,6 +49,14 @@ class CommitRegistry:
         self._changed = Condition(label="registry")
         self.batches_committed = 0
         self.batches_aborted = 0
+        #: highest tid any coordinator has taken off the token — survives
+        #: :meth:`reset` so a re-initiated token never reuses a tid.
+        self.tid_highwater: int = -1
+
+    def note_tid(self, tid: int) -> None:
+        """Record that tids up to ``tid`` have been handed out."""
+        if tid > self.tid_highwater:
+            self.tid_highwater = tid
 
     # -- batch lifecycle -------------------------------------------------
     def register_batch(self, bid: int, coordinator_key: int,

@@ -38,6 +38,7 @@ from repro.persistence.records import (
     CoordPrepareRecord,
 )
 from repro.sim.loop import SimLoop
+from repro.trace import SYSTEM_TID
 
 COORDINATOR_KIND = "snapper-coordinator"
 
@@ -173,6 +174,12 @@ class SnapperSystem:
         """Crash one actor, losing its in-memory state."""
         return self.runtime.kill(ActorId(kind, key))
 
+    def _trace_system(self, event: str, detail: Any = None) -> None:
+        """Record a system-level (non-transactional) trace event."""
+        tracer = self.runtime.services.get("txn_tracer")
+        if tracer is not None:
+            tracer.record(self.loop.now, SYSTEM_TID, event, detail)
+
     def crash_silo(self) -> int:
         """Crash everything (actors *and* coordinators); the token dies.
 
@@ -180,7 +187,9 @@ class SnapperSystem:
         the SSD in the paper's deployment.
         """
         self._token_active = False
-        return self.runtime.kill_all()
+        killed = self.runtime.kill_all()
+        self._trace_system("silo_crash", {"killed": killed})
+        return killed
 
     async def recover(self) -> None:
         """Bring the system back after :meth:`crash_silo`.
@@ -206,25 +215,78 @@ class SnapperSystem:
                 complete_votes.setdefault(record.bid, set()).add(record.actor)
             elif isinstance(record, (CoordPrepareRecord, CoordCommitRecord)):
                 max_tid = max(max_tid, record.tid)
+        resolved_commits = 0
+        presumed_aborts = 0
+        # Batches commit strictly in bid order, and under speculative
+        # pipelining (§4.2.3) a batch's durable snapshot embeds the
+        # effects of every earlier batch on the same actor.  The commit
+        # rule must honor that dependency:
+        #  * an in-doubt batch below the highest durably-committed bid
+        #    was passed over by the live commit chain — it can only have
+        #    aborted (a cascade), and resurrecting it would resurrect
+        #    effects the survivors' snapshots were rolled back from;
+        #  * once one in-doubt batch aborts, every later in-doubt batch
+        #    aborts with it — its snapshot may embed the aborted
+        #    effects.
+        max_committed_bid = max(committed_bids, default=-1)
+        abort_point: Optional[int] = None
         for bid, info in sorted(batch_infos.items()):
             if bid in committed_bids:
                 continue
             votes = complete_votes.get(bid, set())
-            if votes >= set(info.participants):
-                # every participant voted before the crash: commit (§4.2.4)
+            if (
+                bid > max_committed_bid
+                and abort_point is None
+                and votes >= set(info.participants)
+            ):
+                # every participant voted, and nothing this batch could
+                # depend on was aborted: commit (§4.2.4)
                 await self.loggers.persist(
                     ("recovery", bid), BatchCommitRecord(bid=bid)
                 )
-            # else: presumed abort — actors will not restore its state.
-        # fresh in-memory protocol state + a new token (§4.2.5).  The new
-        # token starts above every tid ever logged, plus the ACT ranges
-        # that may have been handed out without leaving log records.
+                resolved_commits += 1
+            else:
+                # presumed abort — actors will not restore its state.
+                if abort_point is None:
+                    abort_point = bid
+                presumed_aborts += 1
+        # fresh in-memory protocol state + a new token (§4.2.5).
         self.registry.reset()
+        self.reinitiate_token(max_tid)
+        self._trace_system(
+            "recovery",
+            {
+                "epoch": self._token_epoch,
+                "resolved_commits": resolved_commits,
+                "presumed_aborts": presumed_aborts,
+            },
+        )
+
+    def reinitiate_token(self, max_logged_tid: Optional[int] = None) -> None:
+        """Fence any surviving token and inject a fresh one (§4.2.5).
+
+        Covers the *coordinator* failure case where the silo — and hence
+        every actor's in-memory state — is still alive: the commit
+        registry is left alone (batches in flight resolve through the
+        vote-timeout/cascade path), but the token epoch is bumped so a
+        stale token dies at its next hop, and the new token's ``last_tid``
+        jumps above every tid that could have been handed out — the
+        logged maximum plus one ACT range per coordinator of slack for
+        ranges that never produced a record.
+        """
+        if max_logged_tid is None:
+            max_logged_tid = -1
+            for record in self.loggers.all_records():
+                if isinstance(record, BatchInfoRecord):
+                    max_logged_tid = max(max_logged_tid, record.bid)
+                elif isinstance(record,
+                                (CoordPrepareRecord, CoordCommitRecord)):
+                    max_logged_tid = max(max_logged_tid, record.tid)
         self._token_epoch += 1
         token = Token(epoch=self._token_epoch)
-        token.last_tid = max_tid + self.config.act_tid_range * (
-            self.config.num_coordinators + 1
-        )
+        token.last_tid = max(
+            max_logged_tid, self.registry.tid_highwater
+        ) + self.config.act_tid_range * (self.config.num_coordinators + 1)
         self._token_active = True
         self._coordinator_by_key(0).call("receive_token", token)
 

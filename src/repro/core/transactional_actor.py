@@ -42,7 +42,7 @@ from repro.core.engine import (
     recover_state,
     resolve_concurrency_control,
 )
-from repro.core.engine.recovery import DELTA_MARKER
+from repro.core.engine.recovery import DELTA_MARKER, resolve_in_doubt_tail
 from repro.core.locks import ActorLock
 from repro.core.schedule import LocalSchedule
 from repro.errors import SimulationError
@@ -117,7 +117,28 @@ class TransactionalActor(Actor):
         self._state = recover_state(
             self.id, self._loggers, self._state, self.apply_delta
         )
+        # 2PC participant recovery: resolve work this actor prepared
+        # whose commit decision was still in flight when it crashed.
+        # The runtime holds the inbox closed until on_activate returns,
+        # so no transaction observes the actor mid-resolution.
+        self._state = await resolve_in_doubt_tail(
+            self.id,
+            self._loggers,
+            self._registry,
+            self._state,
+            self.apply_delta,
+            timeout=self._config.batch_complete_timeout or 1.0,
+        )
         self._committed_state = copy.deepcopy(self._state)
+        #: position of the actor's execution frontier in its local serial
+        #: order (bumped at every completion-snapshot / ACT-commit point)
+        #: and the frontier position ``_committed_state`` corresponds to.
+        #: Commit notifications can arrive out of order (a delayed
+        #: BatchCommit may land after a newer batch or ACT already
+        #: committed); promotions compare positions so a stale snapshot
+        #: can never roll the committed state backwards.
+        self._serial_seq = 0
+        self._committed_seq = 0
 
     # ------------------------------------------------------------------
     # Table 1: StartTxn

@@ -17,6 +17,7 @@ import time
 
 from repro.experiments import (
     ablations,
+    chaos_sweep,
     fig12_overhead,
     fig13_latency,
     fig14_skew,
@@ -48,6 +49,8 @@ def main() -> int:
         ("fig17_scalability",
          lambda: fig17_scalability.print_table(fig17_scalability.run(scale))),
         ("ablations", lambda: ablations.print_table(ablations.run(scale))),
+        ("chaos_sweep",
+         lambda: chaos_sweep.print_table(chaos_sweep.run(scale))),
     ]
     for name, job in jobs:
         started = time.time()

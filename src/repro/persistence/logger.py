@@ -16,7 +16,7 @@ it off to show the effect).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.persistence.records import LogRecord
 from repro.persistence.wal import WriteAheadLog
@@ -99,6 +99,10 @@ class LoggerGroup:
         self.cpu = cpu
         self.cpu_per_record = cpu_per_record
         self.cpu_per_byte = cpu_per_byte
+        #: observation hook (:mod:`repro.chaos`): called with each record
+        #: *after* it is durable, so crash points can target protocol
+        #: windows ("after the Nth CoordPrepareRecord hits the WAL").
+        self.on_persist: Optional[Callable[[LogRecord], None]] = None
         self._next_lsn = 0
         self.loggers = []
         for i in range(num_loggers):
@@ -146,6 +150,8 @@ class LoggerGroup:
         object.__setattr__(record, "lsn", self._next_lsn)
         self._next_lsn += 1
         await self.logger_for(actor_id).persist(record)
+        if self.on_persist is not None:
+            self.on_persist(record)
 
     # -- recovery support ---------------------------------------------------
     def all_records(self):

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import Any, Callable, Iterable, Iterator, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.persistence.records import LogRecord
 
@@ -36,9 +36,29 @@ class InMemoryLogStorage:
     def truncate(self) -> None:
         self._records.clear()
 
+    def close(self) -> None:
+        """Nothing to release; present for storage-backend symmetry."""
+
+    def __enter__(self) -> "InMemoryLogStorage":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
 
 class FileLogStorage:
-    """Record storage backed by a pickle-framed file on disk."""
+    """Record storage backed by a pickle-framed file on disk.
+
+    Durability edges a crash can expose are handled explicitly:
+
+    * ``append`` writes the whole frame, then flushes and fsyncs; if the
+      write itself fails partway the torn frame is truncated away so the
+      log stays scannable.
+    * ``scan`` stops cleanly at a torn tail record (the bytes a crash
+      mid-append leaves behind) instead of raising.
+    * ``truncate`` fsyncs the emptied file, and ``close`` is idempotent;
+      the storage is also a context manager.
+    """
 
     def __init__(self, path: str):
         self.path = path
@@ -46,24 +66,67 @@ class FileLogStorage:
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._count = 0
+        self._closed = False
+        if os.path.exists(path) and os.path.getsize(path):
+            # restart-time repair: a crash mid-append may have left a
+            # torn frame at the tail; truncate back to the last whole
+            # record so new appends land on a clean boundary.
+            valid, self._count = self._valid_prefix(path)
+            if valid < os.path.getsize(path):
+                with open(path, "r+b") as f:
+                    f.truncate(valid)
         self._file = open(path, "ab")
-        if os.path.getsize(path):
-            self._count = sum(1 for _ in self.scan())
+
+    @staticmethod
+    def _valid_prefix(path: str) -> "Tuple[int, int]":
+        """Byte length and record count of the readable log prefix."""
+        offset = 0
+        count = 0
+        with open(path, "rb") as f:
+            while True:
+                try:
+                    pickle.load(f)
+                except (EOFError, pickle.UnpicklingError, AttributeError,
+                        ValueError, IndexError, ImportError):
+                    return offset, count
+                offset = f.tell()
+                count += 1
 
     def append(self, record: LogRecord) -> None:
-        pickle.dump(record, self._file, protocol=pickle.HIGHEST_PROTOCOL)
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        if self._closed:
+            raise ValueError(f"append to closed log {self.path!r}")
+        frame = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        offset = self._file.tell()
+        try:
+            self._file.write(frame)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        except Exception:
+            # A torn frame would shadow every later append from scan();
+            # roll the file back to the last record boundary.
+            try:
+                self._file.seek(offset)
+                self._file.truncate(offset)
+            except Exception:  # pragma: no cover - device truly gone
+                pass
+            raise
         self._count += 1
 
     def scan(self) -> Iterator[LogRecord]:
-        self._file.flush()
+        if not self._closed:
+            self._file.flush()
         with open(self.path, "rb") as f:
             while True:
                 try:
-                    yield pickle.load(f)
+                    record = pickle.load(f)
                 except EOFError:
+                    return  # clean end (or a frame cut off mid-header)
+                except (pickle.UnpicklingError, AttributeError, ValueError,
+                        IndexError, ImportError):
+                    # torn tail: a crash mid-append left a partial frame;
+                    # everything before it is intact, nothing follows it.
                     return
+                yield record
 
     def __len__(self) -> int:
         return self._count
@@ -71,10 +134,21 @@ class FileLogStorage:
     def truncate(self) -> None:
         self._file.close()
         self._file = open(self.path, "wb")
+        self._file.flush()
+        os.fsync(self._file.fileno())
         self._count = 0
+        self._closed = False
 
     def close(self) -> None:
-        self._file.close()
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "FileLogStorage":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class WriteAheadLog:
@@ -115,3 +189,14 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         self.storage.truncate()
+
+    def close(self) -> None:
+        close = getattr(self.storage, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

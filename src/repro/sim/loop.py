@@ -141,6 +141,15 @@ class SimLoop:
     def call_later(self, delay: float, callback: Callable, *args: Any) -> None:
         self.call_at(self.now + delay, callback, *args)
 
+    def call_clamped(self, when: float, callback: Callable, *args: Any) -> None:
+        """Schedule at ``when``, clamping past times to *now*.
+
+        The interception hook used by :mod:`repro.chaos`: a fault plan
+        replayed onto a loop that already advanced past an injection
+        point should fire the fault immediately rather than raise.
+        """
+        self.call_at(max(when, self.now), callback, *args)
+
     def _call_soon(self, callback: Callable, *args: Any) -> None:
         self.call_at(self.now, callback, *args)
 

@@ -52,6 +52,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+#: pseudo-tid that system-level events (``fault_injected``, ``silo_crash``,
+#: ``recovery``) are recorded under — they belong to the deployment, not
+#: to any one transaction.  The schedule checker ignores this timeline.
+SYSTEM_TID = -1
+
 
 class TraceEvent:
     """One recorded event, enriched with identity fields.

@@ -1,0 +1,78 @@
+"""FaultPlan generation: determinism, serialisation, vocabulary."""
+
+from repro.chaos.plan import (
+    DEFAULT_RATES,
+    DROP_SAFE,
+    DUP_SAFE,
+    DELAY_SAFE,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    RECORD_TRIGGERS,
+)
+
+
+def test_same_seed_same_plan():
+    one = FaultPlan.generate(42, duration=2.0)
+    two = FaultPlan.generate(42, duration=2.0)
+    assert one == two
+    assert one.render() == two.render()
+
+
+def test_different_seeds_differ():
+    assert FaultPlan.generate(1, duration=2.0) != FaultPlan.generate(
+        2, duration=2.0
+    )
+
+
+def test_json_round_trip():
+    plan = FaultPlan.generate(7, duration=1.5, rate_multiplier=2.0)
+    restored = FaultPlan.from_json(plan.to_json())
+    assert restored == plan
+    assert restored.meta == plan.meta
+    # a second round trip is a fixed point
+    assert FaultPlan.from_json(restored.to_json()) == plan
+
+
+def test_zero_multiplier_is_fault_free():
+    plan = FaultPlan.generate(3, duration=2.0, rate_multiplier=0.0)
+    assert plan.faults == []
+    assert plan.counts() == {}
+
+
+def test_counts_match_schedule():
+    plan = FaultPlan.generate(11, duration=3.0)
+    assert sum(plan.counts().values()) == len(plan.faults)
+    assert set(plan.counts()) <= set(FaultKind.ALL)
+
+
+def test_generated_targets_stay_in_safe_vocabulary():
+    plan = FaultPlan.generate(5, duration=4.0, num_actors=8,
+                              num_coordinators=2, num_loggers=2)
+    for fault in plan.faults:
+        assert 0.0 < fault.at < plan.duration
+        if fault.kind == FaultKind.MSG_DROP:
+            assert fault.target in DROP_SAFE
+        elif fault.kind == FaultKind.MSG_DELAY:
+            assert fault.target in DELAY_SAFE
+        elif fault.kind == FaultKind.MSG_DUPLICATE:
+            assert fault.target in DUP_SAFE
+        elif fault.kind == FaultKind.CRASH_ON_RECORD:
+            assert fault.target in RECORD_TRIGGERS
+            assert fault.arg >= 1
+        elif fault.kind == FaultKind.ACTOR_CRASH:
+            assert 0 <= fault.target < 8
+        elif fault.kind in (FaultKind.WAL_FAIL, FaultKind.WAL_TORN):
+            assert 0 <= fault.target < 2
+
+
+def test_rate_override_shapes_the_plan():
+    rates = dict.fromkeys(DEFAULT_RATES, 0.0)
+    rates[FaultKind.SILO_CRASH] = 2.0
+    plan = FaultPlan.generate(0, duration=2.0, rates=rates)
+    assert plan.counts() == {FaultKind.SILO_CRASH: 4}
+
+
+def test_fault_spec_round_trip_preserves_tuple_targets():
+    spec = FaultSpec(0.5, FaultKind.ACTOR_CRASH, target=(1, 2), arg=3.0)
+    assert FaultSpec.from_dict(spec.to_dict()) == spec

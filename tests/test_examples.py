@@ -31,6 +31,14 @@ def test_failure_recovery_example():
     assert "committed transactions survived" in result.stdout
 
 
+def test_crash_recovery_example():
+    result = run_example("crash_recovery.py")
+    assert result.returncode == 0, result.stderr
+    assert "presumed abort" in result.stdout
+    assert "transfer preserved on both" in result.stdout
+    assert "VERDICT: OK" in result.stdout
+
+
 @pytest.mark.slow
 def test_hybrid_workload_example():
     result = run_example("hybrid_workload.py", timeout=600)

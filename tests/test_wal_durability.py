@@ -1,0 +1,95 @@
+"""FileLogStorage durability edges: torn tails, repair, close semantics."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.persistence.records import BatchCommitRecord
+from repro.persistence.wal import FileLogStorage, WriteAheadLog
+
+
+def _write_records(path, bids):
+    with FileLogStorage(path) as storage:
+        for bid in bids:
+            storage.append(BatchCommitRecord(bid=bid))
+
+
+def test_scan_stops_at_torn_tail(tmp_path):
+    path = str(tmp_path / "log.bin")
+    _write_records(path, [1, 2, 3])
+    # a crash mid-append leaves a partial frame at the tail
+    with open(path, "ab") as f:
+        frame = pickle.dumps(BatchCommitRecord(bid=4),
+                             protocol=pickle.HIGHEST_PROTOCOL)
+        f.write(frame[: len(frame) // 2])
+
+    with FileLogStorage(path) as storage:
+        assert [r.bid for r in storage.scan()] == [1, 2, 3]
+
+
+def test_constructor_repairs_torn_tail(tmp_path):
+    path = str(tmp_path / "log.bin")
+    _write_records(path, [1, 2])
+    clean_size = os.path.getsize(path)
+    with open(path, "ab") as f:
+        f.write(b"\x80\x05partial-frame")
+
+    storage = FileLogStorage(path)
+    try:
+        # the torn bytes are gone and new appends land on a clean boundary
+        assert os.path.getsize(path) == clean_size
+        assert len(storage) == 2
+        storage.append(BatchCommitRecord(bid=3))
+        assert [r.bid for r in storage.scan()] == [1, 2, 3]
+    finally:
+        storage.close()
+
+
+def test_arbitrary_garbage_tail_is_survivable(tmp_path):
+    path = str(tmp_path / "log.bin")
+    _write_records(path, [9])
+    with open(path, "ab") as f:
+        f.write(os.urandom(64))
+    with FileLogStorage(path) as storage:
+        assert [r.bid for r in storage.scan()] == [9]
+
+
+def test_close_is_idempotent_and_append_after_close_raises(tmp_path):
+    path = str(tmp_path / "log.bin")
+    storage = FileLogStorage(path)
+    storage.append(BatchCommitRecord(bid=1))
+    storage.close()
+    storage.close()  # second close is a no-op, not an error
+    with pytest.raises(ValueError):
+        storage.append(BatchCommitRecord(bid=2))
+
+
+def test_context_manager_closes(tmp_path):
+    path = str(tmp_path / "log.bin")
+    with FileLogStorage(path) as storage:
+        storage.append(BatchCommitRecord(bid=1))
+    with pytest.raises(ValueError):
+        storage.append(BatchCommitRecord(bid=2))
+
+
+def test_truncate_reopens_for_writing(tmp_path):
+    path = str(tmp_path / "log.bin")
+    storage = FileLogStorage(path)
+    try:
+        storage.append(BatchCommitRecord(bid=1))
+        storage.truncate()
+        assert len(storage) == 0
+        storage.append(BatchCommitRecord(bid=2))
+        assert [r.bid for r in storage.scan()] == [2]
+    finally:
+        storage.close()
+
+
+def test_wal_wrapper_is_a_context_manager(tmp_path):
+    path = str(tmp_path / "log.bin")
+    with WriteAheadLog(FileLogStorage(path)) as wal:
+        wal.append(BatchCommitRecord(bid=5))
+    # storage was closed through the wrapper
+    with pytest.raises(ValueError):
+        wal.storage.append(BatchCommitRecord(bid=6))
