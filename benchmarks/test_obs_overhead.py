@@ -1,0 +1,55 @@
+"""Telemetry overhead — the same seeded run with obs off vs on.
+
+Unlike the fig benchmarks this regenerates no paper figure; it pins the
+observability subsystem's promise instead: enabling the metrics layer
+changes nothing simulated and costs (near) nothing in host time.
+Emits ``BENCH_obs.json`` (the same artifact as ``python -m repro.obs
+bench``) plus a rendered summary under ``results/``.
+"""
+
+import json
+import os
+
+from repro.obs.report import main as obs_main
+
+BENCH_PATH = os.path.join(
+    os.path.dirname(__file__), "..", "BENCH_obs.json"
+)
+
+
+def test_obs_overhead(benchmark, scale, save_result):
+    code = benchmark.pedantic(
+        obs_main,
+        args=([
+            "bench", "--runs", "2",
+            "--scale", scale.name,
+            "--out", BENCH_PATH,
+        ],),
+        rounds=1, iterations=1,
+    )
+    assert code == 0
+
+    with open(BENCH_PATH, encoding="utf-8") as fh:
+        payload = json.load(fh)
+
+    lines = [
+        "obs overhead (best of %d, scale=%s)" % (
+            payload["runs"], payload["scale"]),
+        "  disabled:           %.3fs  (%d committed)" % (
+            payload["disabled"]["wall_seconds"],
+            payload["disabled"]["committed"]),
+        "  enabled:            %.3fs  (%d committed)" % (
+            payload["enabled"]["wall_seconds"],
+            payload["enabled"]["committed"]),
+        "  enabled_with_spans: %.3fs  (%d committed)" % (
+            payload["enabled_with_spans"]["wall_seconds"],
+            payload["enabled_with_spans"]["committed"]),
+        "  overhead_ratio:     %+.4f" % payload["overhead_ratio"],
+    ]
+    save_result("obs_overhead", "\n".join(lines))
+
+    # enabling telemetry must not change the simulated run at all; the
+    # wall-clock ratio is reported but not asserted (shared CI hosts
+    # jitter far more than the metrics layer costs)
+    assert payload["same_committed"]
+    assert payload["disabled"]["committed"] > 0

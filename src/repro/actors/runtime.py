@@ -156,6 +156,35 @@ class ActorRuntime:
         self.messages_delayed = 0
         self.messages_duplicated = 0
         self._rng = loop.rng
+        # obs instrument handles (attach_obs); None keeps the hot paths
+        # at a single comparison when observability is off.
+        self._obs_messages = None
+        self._obs_msg_children: Dict[str, Any] = {}
+        self._obs_mailbox = None
+        self._obs_activations = None
+
+    def attach_obs(self, obs) -> None:
+        """Declare the runtime's instruments on an obs registry.
+
+        The bare-family handles are resolved to their children
+        (``.labels()``) up front: these fire per message, so the hot
+        path should be one method call on the child, nothing more.
+        """
+        self._obs_messages = obs.counter(
+            "snapper_runtime_messages_total",
+            "Invocations sent through the message fabric, by method",
+            labelnames=("method",),
+        )
+        self._obs_msg_children = {}
+        self._obs_mailbox = obs.histogram(
+            "snapper_runtime_mailbox_depth_count",
+            "Inbox depth observed at each message delivery",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+        ).labels()
+        self._obs_activations = obs.counter(
+            "snapper_runtime_activations_total",
+            "Actor activations created",
+        ).labels()
 
     # -- registration & refs ------------------------------------------------
     def register(self, kind: str, factory: Callable[[], Actor]) -> None:
@@ -204,6 +233,13 @@ class ActorRuntime:
         delay = self._message_delay(target)
         envelope = _Envelope(method, args, kwargs, reply, self.loop.now)
         self.messages_sent += 1
+        if self._obs_messages is not None:
+            child = self._obs_msg_children.get(method)
+            if child is None:
+                child = self._obs_msg_children[method] = (
+                    self._obs_messages.labels(method=method)
+                )
+            child.inc()
         verdict = None
         if self.message_interceptor is not None:
             verdict = self.message_interceptor(target, method, delay)
@@ -262,6 +298,8 @@ class ActorRuntime:
             activation = self._activate(target)
         activation.last_active_at = self.loop.now
         activation.inbox.append(envelope)
+        if self._obs_mailbox is not None:
+            self._obs_mailbox.observe(len(activation.inbox))
         self._pump(target, activation)
 
     def _pump(self, actor_id: ActorId, activation: _Activation) -> None:
@@ -332,6 +370,8 @@ class ActorRuntime:
         activation = _Activation(actor)
         self._activations[actor_id] = activation
         self.activations_created += 1
+        if self._obs_activations is not None:
+            self._obs_activations.inc()
         self.loop.create_task(
             self._finish_activation(actor_id, activation),
             label=f"activate:{actor_id}",

@@ -40,6 +40,7 @@ from typing import (
 )
 
 from repro.analysis.rules import RULES
+from repro.obs.instruments import NAME_RE as _INSTRUMENT_NAME_RE
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
@@ -187,6 +188,7 @@ class ModuleLinter:
             if isinstance(cls, ast.ClassDef):
                 self._check_class(cls)
         self._check_submit_sites()
+        self._check_instrument_sites()
         self.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
         return self.findings
 
@@ -570,6 +572,70 @@ class ModuleLinter:
                     f"{target!r}, which the actorAccessInfo "
                     f"{declared!r} never declares; the batch would "
                     f"stall on an unscheduled access",
+                )
+
+    # -- SNAP013: obs instrument declarations --------------------------------
+    def _check_instrument_sites(self) -> None:
+        """``<registry>.counter/gauge/histogram("name", ...)`` sites
+        with a literal name: the registry enforces the same contract at
+        runtime, but only when observability is *on* — most runs leave
+        it off, so a bad declaration would otherwise ship."""
+        for node in ast.walk(self.module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("counter", "gauge", "histogram")
+            ):
+                continue
+            name = node.args[0] if node.args else None
+            for keyword in node.keywords:
+                if keyword.arg == "name":
+                    name = keyword.value
+            if not (
+                isinstance(name, ast.Constant)
+                and isinstance(name.value, str)
+            ):
+                continue  # computed names: nothing provable statically
+            kind = node.func.attr
+            if not _INSTRUMENT_NAME_RE.match(name.value):
+                self.emit(
+                    "SNAP013", node,
+                    f"instrument name {name.value!r} violates the "
+                    f"snapper_<component>_<name>_<unit> convention",
+                )
+            elif kind == "counter" and not name.value.endswith("_total"):
+                self.emit(
+                    "SNAP013", node,
+                    f"counter {name.value!r} must end in '_total'",
+                )
+            if kind == "histogram":
+                self._check_histogram_buckets(node, name.value)
+
+    def _check_histogram_buckets(self, call: ast.Call, name: str) -> None:
+        buckets: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg == "buckets":
+                buckets = keyword.value
+        if buckets is None:
+            self.emit(
+                "SNAP013", call,
+                f"histogram {name!r} declared without explicit buckets",
+            )
+            return
+        if isinstance(buckets, (ast.Tuple, ast.List)):
+            values: List[float] = []
+            for element in buckets.elts:
+                if not (
+                    isinstance(element, ast.Constant)
+                    and isinstance(element.value, (int, float))
+                ):
+                    return  # computed bounds: nothing provable
+                values.append(float(element.value))
+            if not values or values != sorted(set(values)):
+                self.emit(
+                    "SNAP013", call,
+                    f"histogram {name!r} buckets must be non-empty and "
+                    f"strictly increasing",
                 )
 
     @staticmethod

@@ -164,6 +164,19 @@ _RULES: Tuple[Rule, ...] = (
             "charge() / await sim primitives instead."
         ),
     ),
+    Rule(
+        id="SNAP013",
+        name="bad-instrument-declaration",
+        scope="call-site",
+        summary=(
+            "An obs instrument is declared with a name that violates "
+            "the snapper_<component>_<name>_<unit> convention, a "
+            "counter that does not end in _total, or a histogram "
+            "without explicit strictly-increasing buckets; the "
+            "registry rejects these at runtime — under observability, "
+            "which most runs leave off, so the crash ships."
+        ),
+    ),
 )
 
 #: rule ID -> :class:`Rule`, in declaration order.

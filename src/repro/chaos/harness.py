@@ -132,6 +132,7 @@ class ChaosHarness:
             # well within the run, long enough to be off the commit path
             batch_complete_timeout=0.1,
             deadlock_timeout=0.03,
+            observability=bool(meta.get("observability", False)),
         )
         self.system = SnapperSystem(
             config=self.config,
@@ -261,6 +262,17 @@ class ChaosHarness:
             tally[key] = tally.get(key, 0) + 1
             verdict = classify(outcome)
             classes[verdict] = classes.get(verdict, 0) + 1
+        obs = getattr(system, "obs", None)
+        if obs is not None and obs.enabled:
+            # mirror the tally into the obs registry so a Prometheus
+            # export of a chaos run reports exactly what the report does
+            chaos_outcomes = obs.counter(
+                "snapper_chaos_outcomes_total",
+                "Chaos workload outcomes by status class",
+                labelnames=("status",),
+            )
+            for key in sorted(tally):
+                chaos_outcomes.labels(status=key).inc(tally[key])
         runtime = system.runtime
         return ChaosReport(
             seed=plan.seed,

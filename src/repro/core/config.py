@@ -47,6 +47,8 @@ class SnapperConfig:
         # -- recovery ---------------------------------------------------------
         batch_complete_timeout: Optional[float] = 1.0,
         log_dir: Optional[str] = None,
+        # -- observability ------------------------------------------------------
+        observability: bool = False,
     ):
         if num_coordinators < 1:
             raise ValueError("need at least one coordinator")
@@ -120,6 +122,13 @@ class SnapperConfig:
         #: how long a coordinator waits for BatchComplete votes before
         #: presuming a participant failed and aborting the batch.
         self.batch_complete_timeout = batch_complete_timeout
+
+        #: install a :class:`repro.obs.MetricsRegistry` as the ``obs``
+        #: service and instrument the whole stack (coordinator, both
+        #: engine paths, scheduler, runtime, WAL).  Metrics are read from
+        #: simulated time and charge no simulated CPU, so enabling this
+        #: does not change any simulated result.
+        self.observability = observability
 
         #: directory for file-backed WALs (None keeps them in memory,
         #: which still survives simulated crashes — the WAL object *is*

@@ -42,6 +42,20 @@ class AbortController:
         #: set by SnapperSystem after wiring: callable(actor_id) -> ActorRef.
         self.actor_ref = None
         self.cascades = 0
+        self._obs_cascades = None
+        self._obs_fanout = None
+
+    def attach_obs(self, obs) -> None:
+        """Declare the cascade instruments on an obs registry."""
+        self._obs_cascades = obs.counter(
+            "snapper_controller_cascades_total",
+            "System-wide cascading-abort rounds",
+        )
+        self._obs_fanout = obs.histogram(
+            "snapper_controller_rollback_fanout_count",
+            "Actors rolled back per cascading-abort round",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
 
     @property
     def emission_paused(self) -> bool:
@@ -72,6 +86,8 @@ class AbortController:
         self._emission_paused = True
         self.generation += 1
         self.cascades += 1
+        if self._obs_cascades is not None:
+            self._obs_cascades.inc()
         try:
             while True:
                 self._rerun = False
@@ -81,6 +97,8 @@ class AbortController:
                     participants.update(batch.participants)
                 for batch in doomed:
                     self.registry.mark_aborted(batch.bid)
+                if participants and self._obs_fanout is not None:
+                    self._obs_fanout.observe(len(participants))
                 if participants and self.actor_ref is not None:
                     await gather(
                         *[

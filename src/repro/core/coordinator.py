@@ -28,6 +28,11 @@ from repro.actors.ref import ActorId
 from repro.core.config import SnapperConfig
 from repro.core.context import SubBatch, TxnContext, TxnMode
 from repro.errors import AbortReason, TransactionAbortedError
+from repro.obs.instruments import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    registry_from_services,
+)
 from repro.persistence.records import BatchCommitRecord, BatchInfoRecord
 from repro.sim.future import Future
 from repro.sim.loop import current_loop, spawn
@@ -95,6 +100,34 @@ class CoordinatorActor(Actor):
         self._loggers = self.runtime.service("loggers")
         self._registry = self.runtime.service("registry")
         self._controller = self.runtime.service("abort_controller")
+        obs = registry_from_services(self.runtime.services)
+        self._obs_token_passes = obs.counter(
+            "snapper_coordinator_token_passes_total",
+            "Token visits handled, per ring member",
+            labelnames=("coordinator",),
+        ).labels(coordinator=self.key)
+        self._obs_batches = obs.counter(
+            "snapper_coordinator_batches_emitted_total",
+            "PACT batches emitted (BatchInfo durable, BatchMsgs sent)",
+        )
+        self._obs_bids = obs.counter(
+            "snapper_coordinator_bids_issued_total",
+            "Batch ids issued (batches formed, including never-emitted)",
+        )
+        self._obs_acts = obs.counter(
+            "snapper_coordinator_acts_registered_total",
+            "ACT registrations (tids handed out of the pre-allocated pool)",
+        )
+        self._obs_batch_size = obs.histogram(
+            "snapper_coordinator_batch_size_count",
+            "PACTs per formed batch",
+            buckets=SIZE_BUCKETS,
+        )
+        self._obs_batch_commit = obs.histogram(
+            "snapper_coordinator_batch_commit_seconds",
+            "Batch emission to durable BatchCommit",
+            buckets=LATENCY_BUCKETS,
+        )
 
     # -- client-facing registration ----------------------------------------
     async def new_pact(
@@ -113,6 +146,7 @@ class CoordinatorActor(Actor):
         reply is immediate (§4.3.1)."""
         await self.charge(self._config.cpu_txn_setup)
         self.acts_registered += 1
+        self._obs_acts.inc()
         if self._act_tid_pool and not self._act_waiters:
             tid = self._act_tid_pool.popleft()
         else:
@@ -135,6 +169,7 @@ class CoordinatorActor(Actor):
             return  # system shut down (or crashed): the token dies here
         if token.epoch != self.runtime.service("token_epoch")():
             return  # a stale pre-crash token: fence it off (§4.2.5)
+        self._obs_token_passes.inc()
         self._refill_act_pool(token)
         batches = []
         if self._pending_pacts and not self._controller.emission_paused:
@@ -222,6 +257,8 @@ class CoordinatorActor(Actor):
             for actor, plans in per_actor.items()
         }
         participants = tuple(sorted(per_actor))
+        self._obs_bids.inc()
+        self._obs_batch_size.observe(len(pacts))
         for actor in participants:
             token.prev_bids[actor] = bid
         token.last_emitted_bid = bid
@@ -262,6 +299,7 @@ class CoordinatorActor(Actor):
                 pending.reply.try_set_exception(abort)
             return
         self.batches_emitted += 1
+        self._obs_batches.inc()
         self._pending_batches[bid] = _PendingBatch(
             bid, participants, current_loop().now
         )
@@ -323,6 +361,9 @@ class CoordinatorActor(Actor):
             self._controller.report_pact_failure(pending.bid, exc)
             return
         self._registry.mark_committed(pending.bid)
+        self._obs_batch_commit.observe(
+            current_loop().now - pending.emitted_at
+        )
         actor_ref = self.runtime.service("actor_ref")
         for actor in pending.participants:
             actor_ref(actor).call("batch_committed", pending.bid)

@@ -40,6 +40,7 @@ from repro.errors import (
     SimulationError,
     TransactionAbortedError,
 )
+from repro.obs.instruments import DISABLED, LATENCY_BUCKETS
 from repro.persistence.records import (
     ActCommitRecord,
     ActPrepareRecord,
@@ -182,6 +183,33 @@ class ActExecutor(ActExecutionCore):
         super().__init__(host, cc, lock)
         self._scheduler = scheduler
         self._guard = guard
+        obs = getattr(host, "_obs", None) or DISABLED
+        self._obs_lock_wait = obs.histogram(
+            "snapper_act_lock_wait_seconds",
+            "S2PL lock acquisition wait per state access",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._obs_cc_aborts = obs.counter(
+            "snapper_act_cc_aborts_total",
+            "Lock acquisitions refused by the CC strategy "
+            "(wait-die wounds, no-wait conflicts, lock timeouts)",
+            labelnames=("reason",),
+        )
+        self._obs_prepare = obs.histogram(
+            "snapper_act_prepare_roundtrip_seconds",
+            "2PC prepare round: CoordPrepare durable to all votes in",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._obs_commit_rt = obs.histogram(
+            "snapper_act_commit_roundtrip_seconds",
+            "2PC commit round: decision durable to last ack handled",
+            buckets=LATENCY_BUCKETS,
+        )
+        self._obs_commits = obs.counter(
+            "snapper_act_commits_total",
+            "ACT commit decisions, by protocol path",
+            labelnames=("path",),
+        )
         #: bumped on cascading rollback; stale undo images must not apply.
         self.rollback_epoch = 0
         #: recently aborted ACT tids (bounded): a late-arriving invocation
@@ -231,6 +259,9 @@ class ActExecutor(ActExecutionCore):
         t_start = host.runtime.loop.now
         ctx: TxnContext = await host._coordinator.call("new_act", host.id)
         t_tid = host.runtime.loop.now
+        # back-dated to the engine-entry time (see PactExecutor.run_root).
+        host.trace(ctx.tid, "submitted", mode=TxnMode.ACT, actor=host.id,
+                   at=t_start)
         host.trace(ctx.tid, "registered", mode=TxnMode.ACT)
         try:
             result_obj = await self.invoke(ctx, FuncCall(method, func_input))
@@ -374,11 +405,14 @@ class ActExecutor(ActExecutionCore):
         run.info.participants.add(host.id)
         await host.charge(host._config.cpu_lock_op)
         lock_timeout = self.cc.wait_timeout(host._config.deadlock_timeout)
+        lock_wait_from = host.runtime.loop.now
         try:
             await self.lock.acquire(ctx.tid, mode, timeout=lock_timeout)
         except DeadlockError as exc:
             host.trace(ctx.tid, "cc_abort", exc.reason, actor=host.id)
+            self._obs_cc_aborts.labels(reason=str(exc.reason)).inc()
             raise
+        self._obs_lock_wait.observe(host.runtime.loop.now - lock_wait_from)
         self._ensure_live(ctx.tid, run, release=True)
         host.trace(ctx.tid, "state_access", mode, actor=host.id, access=mode)
         if mode == AccessMode.READ_WRITE and not run.wrote:
@@ -433,7 +467,9 @@ class ActExecutor(ActExecutionCore):
                 host.id, CoordCommitRecord(tid=ctx.tid)
             )
             self.commit_local(ctx.tid, info.max_bs)
+            self._obs_commits.labels(path="one_phase").inc()
             return
+        prepare_from = host.runtime.loop.now
         await host._loggers.persist(
             host.id,
             CoordPrepareRecord(
@@ -459,10 +495,12 @@ class ActExecutor(ActExecutionCore):
         )
         if votes:
             await gather(*votes)
+        self._obs_prepare.observe(host.runtime.loop.now - prepare_from)
         # decision — but not if a cascade crossed the prepare round: the
         # participants' writes were just rolled back, so persisting the
         # commit now would decide for effects that no longer exist.
         self._ensure_uncrossed(ctx.tid)
+        commit_from = host.runtime.loop.now
         await host._loggers.persist(host.id, CoordCommitRecord(tid=ctx.tid))
         if host.id in info.participants:
             self.commit_local(ctx.tid, info.max_bs)
@@ -476,6 +514,8 @@ class ActExecutor(ActExecutionCore):
                 await ack
             except Exception:  # noqa: BLE001 - decision already durable
                 pass
+        self._obs_commit_rt.observe(host.runtime.loop.now - commit_from)
+        self._obs_commits.labels(path="two_phase").inc()
 
     def _ensure_uncrossed(self, tid: int) -> None:
         """Last check before the commit decision becomes durable: a

@@ -21,20 +21,35 @@ from __future__ import annotations
 
 from repro.core.context import TxnContext, TxnExeInfo
 from repro.errors import AbortReason, SerializabilityError
+from repro.obs.instruments import DISABLED
 
 
 class SerializabilityGuard:
     """Evaluates the BeforeSet/AfterSet condition for one actor's ACTs."""
 
-    def __init__(self, config, registry):
+    def __init__(self, config, registry, obs=None):
         self._config = config
         self._registry = registry
+        obs = obs if obs is not None else DISABLED
+        self._obs_outcomes = obs.counter(
+            "snapper_guard_check_outcomes_total",
+            "BeforeSet/AfterSet commit-time check results",
+            labelnames=("outcome",),
+        )
 
     def check(self, ctx: TxnContext, info: TxnExeInfo) -> None:
         """Theorem 4.2 condition (3), with the incomplete-AfterSet rule.
 
         Raises :class:`SerializabilityError` when the ACT must abort.
         """
+        try:
+            self._check(ctx, info)
+        except SerializabilityError as exc:
+            self._obs_outcomes.labels(outcome=str(exc.reason)).inc()
+            raise
+        self._obs_outcomes.labels(outcome="passed").inc()
+
+    def _check(self, ctx: TxnContext, info: TxnExeInfo) -> None:
         if not info.after_set_complete:
             if not self._config.incomplete_after_set_optimization:
                 raise SerializabilityError(

@@ -24,16 +24,32 @@ from typing import Callable, List, Optional
 from repro.core.context import SubBatch
 from repro.core.schedule import ActEntry, BatchEntry, LocalSchedule
 from repro.errors import AbortReason, DeadlockError
-from repro.sim.loop import wait_for
+from repro.obs.instruments import DISABLED, LATENCY_BUCKETS
+from repro.sim.loop import current_loop, wait_for
 
 
 class HybridScheduler:
     """One actor's schedule of PACT sub-batches interleaved with ACTs."""
 
-    def __init__(self, label: str, deadlock_timeout: Optional[float]):
+    def __init__(self, label: str, deadlock_timeout: Optional[float],
+                 obs=None):
         self.schedule = LocalSchedule(actor_label=label)
         self.label = label
         self._deadlock_timeout = deadlock_timeout
+        obs = obs if obs is not None else DISABLED
+        #: hybrid rule 2 stall: a PACT turn waiting for its slot (behind
+        #: earlier batches and uncommitted earlier ACTs, §4.4.1).
+        self._obs_pact_wait = obs.histogram(
+            "snapper_hybrid_pact_turn_wait_seconds",
+            "PACT queueing: await_pact_turn entry to turn start",
+            buckets=LATENCY_BUCKETS,
+        )
+        #: hybrid rule 1 stall: an ACT blocked on earlier batches.
+        self._obs_act_wait = obs.histogram(
+            "snapper_hybrid_act_admission_wait_seconds",
+            "ACT admission: schedule-join to admission grant",
+            buckets=LATENCY_BUCKETS,
+        )
 
     # -- wiring -------------------------------------------------------------
     @property
@@ -51,7 +67,9 @@ class HybridScheduler:
         self.schedule.register_batch(sub_batch)
 
     async def await_pact_turn(self, bid: int, tid: int) -> None:
+        queued_at = current_loop().now
         await self.schedule.await_pact_turn(bid, tid)
+        self._obs_pact_wait.observe(current_loop().now - queued_at)
 
     def pact_access_done(self, bid: int, tid: int) -> None:
         self.schedule.pact_access_done(bid, tid)
@@ -74,6 +92,7 @@ class HybridScheduler:
         state access and waits for earlier batches to complete."""
         entry = self.schedule.ensure_act(tid)
         if not entry.admission.done():
+            blocked_at = current_loop().now
             try:
                 await wait_for(
                     entry.admission,
@@ -82,6 +101,8 @@ class HybridScheduler:
                 )
             except TimeoutError as exc:
                 raise DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
+            finally:
+                self._obs_act_wait.observe(current_loop().now - blocked_at)
 
     def act_ended(self, tid: int) -> None:
         self.schedule.act_ended(tid)

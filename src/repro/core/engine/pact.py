@@ -55,9 +55,15 @@ class PactExecutor:
     # -- root PACT (start_txn with actorAccessInfo) ---------------------------
     async def run_root(self, method: str, func_input: Any, access) -> Any:
         host = self._host
+        submitted_at = host.runtime.loop.now
         ctx: TxnContext = await host._coordinator.call(
             "new_pact", host.id, access
         )
+        # back-dated: the span layer needs the pre-registration time, but
+        # the transaction only has an identity after the coordinator
+        # round-trip that forms its batch.
+        host.trace(ctx.tid, "submitted", mode=TxnMode.PACT, actor=host.id,
+                   at=submitted_at)
         host.trace(ctx.tid, "registered", f"bid={ctx.bid}", mode=TxnMode.PACT,
                    bid=ctx.bid, actor=host.id)
         commit_wait = Future(label=f"commit:{ctx.bid}:{ctx.tid}")
@@ -91,6 +97,8 @@ class PactExecutor:
                 AbortReason.USER_ABORT,
             ) from exc
         self._scheduler.pact_access_done(ctx.bid, ctx.tid)
+        host.trace(ctx.tid, "turn_done", str(host.id),
+                   bid=ctx.bid, actor=host.id)
         return result
 
     # -- state access (get_state, PACT branch) ----------------------------------

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import copy
 import warnings
-from typing import Any, Callable, List, Set
+from typing import Any, Callable, List, Optional, Set
 
 from repro.persistence.records import (
     ActCommitRecord,
@@ -191,6 +191,7 @@ async def resolve_in_doubt_tail(
     state: Any,
     apply_delta: Callable[[Any, List[Any]], Any],
     timeout: float,
+    tail: Optional[List[Any]] = None,
 ) -> Any:
     """2PC participant recovery: advance ``state`` through the actor's
     in-doubt tail as each record's commit decision resolves.
@@ -218,7 +219,10 @@ async def resolve_in_doubt_tail(
       ACT's effects were undone on the live actor before any later
       record was logged, so later records do not embed them.
     """
-    tail = in_doubt_tail(actor_id, loggers)
+    if tail is None:
+        # callers that already computed the tail (e.g. to report its
+        # length) pass it in; the WAL scan is a full-log walk.
+        tail = in_doubt_tail(actor_id, loggers)
     if not tail:
         return state
     from repro.sim.loop import sleep

@@ -29,6 +29,7 @@ from repro.core.config import SnapperConfig
 from repro.core.controller import AbortController
 from repro.core.coordinator import CoordinatorActor, Token
 from repro.core.registry import CommitRegistry
+from repro.obs.instruments import MetricsRegistry
 from repro.persistence.logger import LoggerGroup
 from repro.persistence.records import (
     BatchCommitRecord,
@@ -71,6 +72,12 @@ class SnapperSystem:
         self._token_active = False
         self._token_epoch = 0
 
+        #: the metrics registry (``repro.obs``), live only when
+        #: ``SnapperConfig(observability=True)``: a disabled registry
+        #: registers nothing and hands out no-op instruments, so the
+        #: disabled path costs exactly one None/no-op call per hook.
+        self.obs = MetricsRegistry(enabled=self.config.observability)
+
         services = self.runtime.services
         services["snapper_config"] = self.config
         services["loggers"] = self.loggers
@@ -81,6 +88,11 @@ class SnapperSystem:
         services["coordinator_for"] = self._coordinator_for
         services["token_active"] = lambda: self._token_active
         services["token_epoch"] = lambda: self._token_epoch
+        if self.obs.enabled:
+            services["obs"] = self.obs
+            self.runtime.attach_obs(self.obs)
+            self.loggers.attach_obs(self.obs)
+            self.controller.attach_obs(self.obs)
 
         self.runtime.register(COORDINATOR_KIND, CoordinatorActor)
         self._place_coordinators()

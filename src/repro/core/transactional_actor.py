@@ -42,8 +42,13 @@ from repro.core.engine import (
     recover_state,
     resolve_concurrency_control,
 )
-from repro.core.engine.recovery import DELTA_MARKER, resolve_in_doubt_tail
+from repro.core.engine.recovery import (
+    DELTA_MARKER,
+    in_doubt_tail,
+    resolve_in_doubt_tail,
+)
 from repro.core.locks import ActorLock
+from repro.obs.instruments import registry_from_services
 from repro.core.schedule import LocalSchedule
 from repro.errors import SimulationError
 
@@ -101,13 +106,15 @@ class TransactionalActor(Actor):
             self.id
         )
 
+        self._obs = registry_from_services(self.runtime.services)
         self._scheduler = HybridScheduler(
             label=str(self.id),
             deadlock_timeout=self._config.deadlock_timeout,
+            obs=self._obs,
         )
         cc = resolve_concurrency_control(self._config.concurrency_control)
         self._lock = ActorLock(cc, label=str(self.id))
-        guard = SerializabilityGuard(self._config, self._registry)
+        guard = SerializabilityGuard(self._config, self._registry, self._obs)
         self._acts = ActExecutor(self, self._scheduler, guard, cc, self._lock)
         self._pact = PactExecutor(self, self._scheduler, self._acts)
 
@@ -121,6 +128,13 @@ class TransactionalActor(Actor):
         # whose commit decision was still in flight when it crashed.
         # The runtime holds the inbox closed until on_activate returns,
         # so no transaction observes the actor mid-resolution.
+        tail = in_doubt_tail(self.id, self._loggers)
+        if self._obs.enabled:
+            self._obs.histogram(
+                "snapper_wal_indoubt_tail_count",
+                "Undecided records per actor reactivation (2PC recovery)",
+                buckets=(0, 1, 2, 4, 8, 16, 32, 64),
+            ).observe(len(tail))
         self._state = await resolve_in_doubt_tail(
             self.id,
             self._loggers,
@@ -128,6 +142,7 @@ class TransactionalActor(Actor):
             self._state,
             self.apply_delta,
             timeout=self._config.batch_complete_timeout or 1.0,
+            tail=tail,
         )
         self._committed_state = copy.deepcopy(self._state)
         #: position of the actor's execution frontier in its local serial
@@ -272,10 +287,18 @@ class TransactionalActor(Actor):
 
     def trace(self, tid: int, event: str, detail: Any = None,
               mode: Optional[str] = None, *, bid: Optional[int] = None,
-              actor: Any = None, access: Optional[str] = None) -> None:
+              actor: Any = None, access: Optional[str] = None,
+              at: Optional[float] = None) -> None:
+        """Record a lifecycle event on the ``txn_tracer`` service.
+
+        ``at`` back-dates the event to an earlier simulated time — used
+        for ``submitted``, which is only recordable once the coordinator
+        round-trip has given the transaction a tid.
+        """
         tracer = self.runtime.services.get("txn_tracer")
         if tracer is not None:
-            tracer.record(self.runtime.loop.now, tid, event, detail, mode,
+            tracer.record(at if at is not None else self.runtime.loop.now,
+                          tid, event, detail, mode,
                           bid=bid, actor=actor, access=access)
 
     def capture_delta(self) -> tuple:

@@ -1,0 +1,77 @@
+"""``repro.obs``: metrics + span telemetry for the Snapper reproduction.
+
+Three layers (see ``docs/observability.md``):
+
+* :mod:`repro.obs.instruments` — the :class:`MetricsRegistry` of
+  counters/gauges/histograms, installed as the ``obs`` service
+  (``SnapperConfig(observability=True)`` wires it up);
+* :mod:`repro.obs.spans` — per-transaction phase span trees derived
+  from the ``txn_tracer`` event stream (register → queue → execute
+  [per-turn] → commit);
+* :mod:`repro.obs.exporters` — Prometheus text, JSON snapshots, and
+  Chrome trace-event JSON for Perfetto.
+
+The run reporter lives in :mod:`repro.obs.report` (run it as
+``python -m repro.obs report``); it is *not* imported here because it
+pulls in the workload stack, which itself imports instrumented core
+modules — importing it at package level would make every engine import
+circular.
+"""
+
+from repro.obs.exporters import (
+    spans_to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+    validate_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.instruments import (
+    BYTE_BUCKETS,
+    DEPTH_BUCKETS,
+    DISABLED,
+    LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry_from_services,
+)
+from repro.obs.spans import (
+    PHASES,
+    PhaseBreakdown,
+    Span,
+    TxnSpans,
+    build_spans,
+    build_txn_spans,
+    phase_breakdown,
+    spans_summary,
+)
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "DEPTH_BUCKETS",
+    "DISABLED",
+    "LATENCY_BUCKETS",
+    "NULL_INSTRUMENT",
+    "PHASES",
+    "SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseBreakdown",
+    "Span",
+    "TxnSpans",
+    "build_spans",
+    "build_txn_spans",
+    "phase_breakdown",
+    "registry_from_services",
+    "spans_summary",
+    "spans_to_chrome_trace",
+    "to_json_snapshot",
+    "to_prometheus",
+    "validate_prometheus",
+    "write_chrome_trace",
+]

@@ -1,0 +1,291 @@
+"""Exporters: Prometheus text, JSON snapshots, Chrome trace-event JSON.
+
+Three output surfaces over the obs data model:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, ``_bucket{le=...}`` / ``_sum`` /
+  ``_count`` histogram series), scrape-ready;
+* :func:`to_json_snapshot` — the registry's plain-data dump plus the
+  span summary, for programmatic diffing (the bench and neutrality
+  tests consume this);
+* :func:`spans_to_chrome_trace` — the Chrome trace-event JSON object
+  format that ``chrome://tracing`` and Perfetto load: one *process* per
+  view ("transactions" keyed by tid, "actors" keyed by actor), complete
+  (``"ph": "X"``) events with microsecond ``ts``/``dur``, and ``"M"``
+  metadata events naming the tracks.
+
+:func:`validate_prometheus` is a self-contained format checker (header
+ordering, sample/series naming, histogram bucket monotonicity and
+``+Inf`` coverage) used by ``report --smoke`` and the CI job, since the
+container has no real Prometheus to scrape with.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.spans import Span, TxnSpans, spans_summary
+
+_LABEL_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_LABEL_ESCAPES.get(ch, ch) for ch in value)
+
+
+def _labels_text(labels: Dict[str, str],
+                 extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, labels[k]) for k in sorted(labels)] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name in sorted(registry.instruments):
+        instrument = registry.instruments[name]
+        help_text = instrument.help or name
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        series = sorted(
+            instrument.samples(),
+            key=lambda pair: sorted(pair[0].items()),
+        )
+        for labels, child in series:
+            if instrument.kind == "histogram":
+                for bound, cumulative in child.cumulative():
+                    le = _labels_text(labels, (("le", _fmt(bound)),))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_fmt(child.sum)}"
+                )
+                lines.append(
+                    f"{name}_count{_labels_text(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_fmt(child.value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Check ``text`` against the exposition format; return problems.
+
+    An empty list means the exposition is well-formed: every sample
+    belongs to a declared metric family, histogram buckets are
+    cumulative-monotonic with a ``+Inf`` bucket equal to ``_count``,
+    and no family is declared twice.
+    """
+    problems: List[str] = []
+    declared: Dict[str, str] = {}
+    #: (family, labels-without-le) -> list of (le, value) buckets.
+    buckets: Dict[Tuple[str, str], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, str], float] = {}
+    current: Optional[str] = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 3:
+                problems.append(f"line {lineno}: malformed HELP")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped",
+            ):
+                problems.append(f"line {lineno}: malformed TYPE")
+                continue
+            name = parts[2]
+            if name in declared:
+                problems.append(f"line {lineno}: {name} declared twice")
+            declared[name] = parts[3]
+            current = name
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        sample = match.group("name")
+        family = sample
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = sample[: -len(suffix)] if sample.endswith(suffix) else None
+            if base is not None and declared.get(base) == "histogram":
+                family = base
+                break
+        if family not in declared:
+            problems.append(
+                f"line {lineno}: sample {sample} has no TYPE declaration"
+            )
+            continue
+        if current is not None and family != current:
+            problems.append(
+                f"line {lineno}: sample {sample} outside its family block"
+            )
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value)
+        except ValueError:
+            problems.append(f"line {lineno}: bad value {raw_value!r}")
+            continue
+        labels_text = match.group("labels") or ""
+        if declared.get(family) == "histogram" and sample.endswith("_bucket"):
+            le_match = re.search(r'le="([^"]*)"', labels_text)
+            if le_match is None:
+                problems.append(f"line {lineno}: histogram bucket lacks le=")
+                continue
+            le_text = le_match.group(1)
+            le = math.inf if le_text == "+Inf" else float(le_text)
+            series_key = (
+                family, re.sub(r'(^|,)le="[^"]*"', "", labels_text)
+            )
+            buckets.setdefault(series_key, []).append((le, value))
+        elif declared.get(family) == "histogram" and sample.endswith("_count"):
+            counts[(family, labels_text)] = value
+    for (family, labels_text), series in buckets.items():
+        last = -math.inf
+        for le, value in series:
+            if value < last:
+                problems.append(
+                    f"{family}: bucket counts not cumulative at le={le}"
+                )
+            last = value
+        les = [le for le, _ in series]
+        if math.inf not in les:
+            problems.append(f"{family}: missing le=\"+Inf\" bucket")
+        else:
+            inf_value = dict(series)[math.inf]
+            count = counts.get((family, labels_text))
+            if count is not None and count != inf_value:
+                problems.append(
+                    f"{family}: _count {count} != +Inf bucket {inf_value}"
+                )
+    return problems
+
+
+def to_json_snapshot(
+    registry: MetricsRegistry,
+    spans: Optional[List[TxnSpans]] = None,
+) -> Dict[str, Any]:
+    """Plain-data snapshot of metrics (and optionally spans)."""
+    snapshot: Dict[str, Any] = {"metrics": registry.snapshot()}
+    if spans is not None:
+        snapshot["spans"] = spans_summary(spans)
+    return snapshot
+
+
+# -- Chrome trace-event JSON (Perfetto / chrome://tracing) -----------------
+
+#: process ids of the two views in the exported trace.
+PID_TRANSACTIONS = 1
+PID_ACTORS = 2
+
+
+def _us(seconds: float) -> float:
+    return round(seconds * 1e6, 3)
+
+
+def spans_to_chrome_trace(spans: List[TxnSpans]) -> Dict[str, Any]:
+    """Render span trees as a Chrome trace-event JSON object.
+
+    Two views of the same run:
+
+    * process 1 ("transactions"): one thread per transaction, nesting
+      ``txn ⊇ {register, queue, execute ⊇ turns, commit}`` — complete
+      events at increasing depth share a thread, which is how the
+      trace-event format expresses containment;
+    * process 2 ("actors"): one thread per actor carrying the turn
+      spans that ran there, giving the per-actor occupancy timeline.
+    """
+    events: List[Dict[str, Any]] = []
+    events.append({
+        "ph": "M", "name": "process_name", "pid": PID_TRANSACTIONS,
+        "tid": 0, "args": {"name": "transactions"},
+    })
+    events.append({
+        "ph": "M", "name": "process_name", "pid": PID_ACTORS,
+        "tid": 0, "args": {"name": "actors"},
+    })
+
+    actor_tids: Dict[str, int] = {}
+
+    def _complete(name: str, span: Span, pid: int, tid: int,
+                  args: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "ph": "X", "name": name, "cat": span.kind,
+            "pid": pid, "tid": tid,
+            "ts": _us(span.start), "dur": _us(span.duration),
+            "args": args,
+        }
+
+    for txn in spans:
+        thread = txn.tid
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": PID_TRANSACTIONS,
+            "tid": thread,
+            "args": {"name": f"txn {txn.tid} ({txn.mode})"},
+        })
+        events.append(_complete(
+            f"txn {txn.tid}", txn.root, PID_TRANSACTIONS, thread,
+            {"tid": txn.tid, "mode": txn.mode, "outcome": txn.outcome},
+        ))
+        for span in txn.root.children:
+            events.append(_complete(
+                span.name, span, PID_TRANSACTIONS, thread,
+                {"tid": txn.tid, "phase": span.name},
+            ))
+            for turn in span.children:
+                events.append(_complete(
+                    turn.name, turn, PID_TRANSACTIONS, thread,
+                    {"tid": txn.tid, "actor": turn.actor},
+                ))
+                if turn.actor is not None:
+                    actor_tid = actor_tids.setdefault(
+                        turn.actor, len(actor_tids) + 1
+                    )
+                    events.append(_complete(
+                        f"txn {txn.tid}", turn, PID_ACTORS, actor_tid,
+                        {"tid": txn.tid, "mode": txn.mode},
+                    ))
+    for actor, actor_tid in actor_tids.items():
+        events.append({
+            "ph": "M", "name": "thread_name", "pid": PID_ACTORS,
+            "tid": actor_tid, "args": {"name": actor},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: List[TxnSpans], path: str) -> int:
+    """Write the Chrome trace JSON; returns the number of trace events."""
+    trace = spans_to_chrome_trace(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])

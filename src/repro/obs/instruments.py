@@ -1,0 +1,376 @@
+"""``repro.obs`` instruments: counters, gauges, fixed-bucket histograms.
+
+:class:`MetricsRegistry` is the machine-wide instrument table, installed
+as the ``obs`` service next to ``txn_tracer``.  The contract mirrors the
+tracer's: when no registry is installed a hook costs one dictionary
+lookup (``services.get("obs")``), and components that cache an
+instrument handle pay one no-op method call when the registry is
+*disabled* — :data:`DISABLED` hands out a shared null instrument and
+registers nothing, so a disabled run provably emits zero instruments.
+
+Instrument names follow the documented convention (enforced here and by
+snapper-lint rule SNAP013)::
+
+    snapper_<component>_<name>_<unit>
+
+where ``<unit>`` is one of ``seconds``, ``bytes``, ``ratio``, ``count``,
+or — for counters, which always end in it — ``total`` (optionally
+preceded by a unit, e.g. ``snapper_wal_flushed_bytes_total``).
+Histograms must be declared with explicit buckets; the shared bucket
+ladders below keep related instruments comparable.
+
+All values live on *simulated* time and simulated quantities: observing
+never charges CPU or awaits, so an instrumented run is behaviourally
+identical to an uninstrumented one (the neutrality tests pin this).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: the documented naming convention (see docs/observability.md).
+NAME_RE = re.compile(
+    r"^snapper_[a-z0-9]+(?:_[a-z0-9]+)+_(?:seconds|bytes|ratio|count|total)$"
+)
+
+#: latency ladder (simulated seconds): 100 µs .. 1 s, roughly 1-2.5-5.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5, 1.0,
+)
+#: cardinality ladder (batch sizes, fan-outs, records per flush).
+SIZE_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: queue-depth ladder (mailboxes, in-doubt tails).
+DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64)
+#: byte-size ladder (log appends).
+BYTE_BUCKETS: Tuple[float, ...] = (
+    64, 256, 1024, 4096, 16384, 65536, 262144,
+)
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def labels(self, **_kw: Any) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class Instrument:
+    """One named instrument family (its children carry the label sets)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        #: label-value tuple -> child instrument (() for the bare family).
+        self._children: Dict[Tuple[str, ...], Any] = {}
+        if not self.labelnames:
+            self._children[()] = self._make_child()
+
+    # -- child management ---------------------------------------------------
+    def _make_child(self) -> Any:
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: Any) -> Any:
+        # hot path (called per message on the runtime): a length check
+        # plus the KeyError from the key build replaces set comparison.
+        try:
+            if len(labelvalues) != len(self.labelnames):
+                raise KeyError
+            key = tuple(str(labelvalues[n]) for n in self.labelnames)
+        except KeyError:
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(labelvalues)}"
+            ) from None
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child()
+        return child
+
+    def _bare(self) -> Any:
+        if self.labelnames:
+            raise ValueError(
+                f"{self.name} is declared with labels {self.labelnames}; "
+                f"use .labels(...) first"
+            )
+        return self._children[()]
+
+    # -- export surface -----------------------------------------------------
+    def samples(self) -> Iterable[Tuple[Dict[str, str], Any]]:
+        """Yield ``(labels-dict, child)`` pairs in insertion order."""
+        for key, child in self._children.items():
+            yield dict(zip(self.labelnames, key)), child
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Counter(Instrument):
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._bare().inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._bare().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(Instrument):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._bare().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._bare().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._bare().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._bare().value
+
+
+class _HistogramChild:
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # trailing +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper-bound, cumulative count)`` pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class Histogram(Instrument):
+    """Fixed-bucket histogram; buckets must be declared explicitly."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Tuple[str, ...] = (), *,
+                 buckets: Tuple[float, ...]):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"{name}: histogram needs at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"{name}: buckets must be strictly increasing")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._bare().observe(value)
+
+    @property
+    def count(self) -> int:
+        return self._bare().count
+
+    @property
+    def sum(self) -> float:
+        return self._bare().sum
+
+
+class MetricsRegistry:
+    """The machine-wide instrument table (the ``obs`` service).
+
+    ``counter`` / ``gauge`` / ``histogram`` register on first call and
+    return the existing family on repeats (so every component can
+    declare its own handles without coordination); re-registering under
+    a different type or label set is an error.  A registry constructed
+    with ``enabled=False`` registers nothing and hands out the shared
+    :data:`NULL_INSTRUMENT` — the "off" switch instrumented components
+    share.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: name -> instrument family, in registration order.
+        self.instruments: Dict[str, Instrument] = {}
+
+    # -- registration -------------------------------------------------------
+    def _register(self, cls: type, name: str, help: str,
+                  labelnames: Tuple[str, ...], **kwargs: Any) -> Any:
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        if not NAME_RE.match(name):
+            raise ValueError(
+                f"instrument name {name!r} violates the "
+                f"snapper_<component>_<name>_<unit> convention"
+            )
+        existing = self.instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls or (
+                existing.labelnames != tuple(labelnames)
+            ):
+                raise ValueError(
+                    f"{name} already registered as {existing.kind} "
+                    f"with labels {existing.labelnames}"
+                )
+            return existing
+        instrument = cls(name, help, tuple(labelnames), **kwargs)
+        self.instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Tuple[str, ...] = ()) -> Counter:
+        if self.enabled and not name.endswith("_total"):
+            raise ValueError(f"counter {name!r} must end in '_total'")
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Tuple[str, ...] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Tuple[str, ...] = (), *,
+                  buckets: Tuple[float, ...]) -> Histogram:
+        return self._register(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- introspection ------------------------------------------------------
+    def get(self, name: str) -> Optional[Instrument]:
+        return self.instruments.get(name)
+
+    def value_of(self, name: str, **labelvalues: Any) -> float:
+        """Current value of a counter/gauge child (0.0 if never touched)."""
+        instrument = self.instruments.get(name)
+        if instrument is None:
+            return 0.0
+        try:
+            child = (
+                instrument.labels(**labelvalues) if labelvalues
+                else instrument._bare()
+            )
+        except (ValueError, KeyError):
+            return 0.0
+        return getattr(child, "value", 0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-data dump of every instrument, deterministic order."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self.instruments):
+            instrument = self.instruments[name]
+            series = []
+            for labels, child in instrument.samples():
+                if instrument.kind == "histogram":
+                    series.append({
+                        "labels": labels,
+                        "sum": child.sum,
+                        "count": child.count,
+                        "buckets": [
+                            [bound, count]
+                            for bound, count in child.cumulative()
+                        ],
+                    })
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            series.sort(key=lambda s: sorted(s["labels"].items()))
+            out[name] = {
+                "type": instrument.kind,
+                "help": instrument.help,
+                "series": series,
+            }
+        return out
+
+    def __len__(self) -> int:
+        return len(self.instruments)
+
+
+#: shared disabled registry: instrumented components fall back to this
+#: when no ``obs`` service is installed, so their hot paths stay a
+#: single no-op method call.
+DISABLED = MetricsRegistry(enabled=False)
+
+
+def registry_from_services(services: Dict[str, Any]) -> MetricsRegistry:
+    """The ``obs`` service, or the shared disabled registry.
+
+    The one-dictionary-lookup idiom instrumented components use at
+    activation time::
+
+        self._obs = registry_from_services(self.runtime.services)
+    """
+    obs = services.get("obs")
+    return obs if isinstance(obs, MetricsRegistry) else DISABLED

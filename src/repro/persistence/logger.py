@@ -40,10 +40,17 @@ class Logger:
         self._pending: List[Tuple[LogRecord, Future]] = []
         self._flushing = False
         self.records_persisted = 0
+        # obs handles, shared across the group (set by LoggerGroup).
+        self._obs_appends = None
+        self._obs_flushes = None
+        self._obs_flushed_bytes = None
+        self._obs_flush_batch = None
 
     async def persist(self, record: LogRecord) -> None:
         """Durably append ``record``; returns once it is stable on disk."""
         self.wal.append(record)
+        if self._obs_appends is not None:
+            self._obs_appends.inc()
         done = Future(label=f"persist:{record.kind}")
         self._pending.append((record, done))
         if not self._flushing:
@@ -61,6 +68,10 @@ class Logger:
                 size = sum(record.size_bytes() for record, _ in batch)
                 await self.io.flush(size)
                 self.records_persisted += len(batch)
+                if self._obs_flushes is not None:
+                    self._obs_flushes.inc()
+                    self._obs_flushed_bytes.inc(size)
+                    self._obs_flush_batch.observe(len(batch))
                 for _, done in batch:
                     done.try_set_result(None)
         finally:
@@ -126,6 +137,31 @@ class LoggerGroup:
             existing = [r.lsn for r in self.all_records()]
             if existing:
                 self._next_lsn = max(existing) + 1
+
+    def attach_obs(self, obs) -> None:
+        """Declare the WAL instruments and hand them to every logger."""
+        appends = obs.counter(
+            "snapper_wal_appends_total", "Records appended to the WALs"
+        )
+        flushes = obs.counter(
+            "snapper_wal_flushes_total",
+            "Flush (fsync) operations across all log devices",
+        )
+        flushed_bytes = obs.counter(
+            "snapper_wal_flushed_bytes_total", "Bytes made durable"
+        )
+        flush_batch = obs.histogram(
+            "snapper_wal_flush_batch_count",
+            "Records made durable per flush (group-commit amortization)",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        )
+        # hand each logger the resolved children: persist() fires per
+        # record, so the hot path is one call on the child.
+        for logger in self.loggers:
+            logger._obs_appends = appends.labels()
+            logger._obs_flushes = flushes.labels()
+            logger._obs_flushed_bytes = flushed_bytes.labels()
+            logger._obs_flush_batch = flush_batch.labels()
 
     def logger_for(self, actor_id: Any) -> Logger:
         """Pick the logger serving ``actor_id`` by a stable hash."""

@@ -9,12 +9,21 @@ exactly that accounting on simulated time.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Nearest-rank percentile; 0.0 for an empty sequence."""
+    """Nearest-rank percentile; 0.0 for an empty sequence.
+
+    The nearest-rank definition: the smallest value with at least
+    ``pct%`` of the data at or below it, i.e. rank ``ceil(p/100 * N)``
+    (1-based).  ``ceil`` matters: ``int(round(...))`` banker's-rounding
+    rounds exact ``.5`` ranks to the *even* neighbour (``round(2.5) ==
+    2``), which is off-by-one at every exact boundary — p50 of 2
+    elements must be the first, p25 of 4 elements the first, and so on.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
@@ -22,8 +31,8 @@ def percentile(values: Sequence[float], pct: float) -> float:
         return ordered[0]
     if pct >= 100:
         return ordered[-1]
-    rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered) + 0.5)) - 1))
-    return ordered[rank]
+    rank = math.ceil(pct / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
 @dataclass
@@ -59,14 +68,47 @@ class MetricsCollector:
     ``record_commit`` / ``record_abort`` attribute the outcome to the
     epoch in effect *now*; outcomes reported before ``start_epoch`` (the
     warm-up window) are discarded, matching §5.1.3.
+
+    With an obs registry (``repro.obs``) attached, every *measured*
+    outcome is mirrored into ``snapper_client_*`` instruments — the
+    increments happen after the warm-up discard, so the registry and the
+    :class:`EpochStats` view can never disagree, and a Prometheus export
+    of the run reports exactly what the epoch summary reports.
     """
 
-    def __init__(self):
+    def __init__(self, obs=None):
         self._current: Optional[EpochStats] = None
         self.epochs: List[EpochStats] = []
         #: label -> latencies, for separating PACT/ACT under hybrid runs
         self._by_label: Dict[str, List[float]] = {}
         self._commits_by_label: Dict[str, int] = {}
+        self._obs_committed = None
+        self._obs_aborted = None
+        self._obs_latency = None
+        if obs is not None:
+            self.attach_obs(obs)
+
+    def attach_obs(self, obs) -> None:
+        """Mirror measured outcomes into ``snapper_client_*`` instruments."""
+        self._obs_committed = obs.counter(
+            "snapper_client_committed_total",
+            "Committed transactions inside measurement epochs",
+            labelnames=("label",),
+        )
+        self._obs_aborted = obs.counter(
+            "snapper_client_aborted_total",
+            "Aborted transactions inside measurement epochs",
+            labelnames=("label", "reason"),
+        )
+        self._obs_latency = obs.histogram(
+            "snapper_client_latency_seconds",
+            "Processing latency (emission to result) of committed txns",
+            labelnames=("label",),
+            buckets=(
+                1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+                5e-2, 0.1, 0.25, 0.5, 1.0,
+            ),
+        )
 
     # -- epoch control ------------------------------------------------------
     def start_epoch(self, duration: float) -> None:
@@ -86,11 +128,16 @@ class MetricsCollector:
         self._current.latencies.append(latency)
         self._by_label.setdefault(label, []).append(latency)
         self._commits_by_label[label] = self._commits_by_label.get(label, 0) + 1
+        if self._obs_committed is not None:
+            self._obs_committed.labels(label=label).inc()
+            self._obs_latency.labels(label=label).observe(latency)
 
     def record_abort(self, reason: str = "unknown", label: str = "txn") -> None:
         if self._current is None:
             return
         self._current.aborts[reason] = self._current.aborts.get(reason, 0) + 1
+        if self._obs_aborted is not None:
+            self._obs_aborted.labels(label=label, reason=reason).inc()
 
     # -- aggregates -------------------------------------------------------------
     @property

@@ -135,6 +135,11 @@ def run_epochs(
     engine's internal statistics.
     """
     metrics = MetricsCollector()
+    obs = getattr(runner.system, "obs", None)
+    if obs is not None and obs.enabled:
+        # mirror measured outcomes into the obs registry (repro.obs), so
+        # epoch stats and Prometheus export come from the same increments
+        metrics.attach_obs(obs)
     pool = ClientPool(
         submit=runner.submit,
         generator=generator,

@@ -52,3 +52,21 @@ async def submit(system):
         "account", "alice", "multi_transfer", (1.0, ["bob"]),
         access={"alice": 1, "bob": 1},
     )
+
+
+def attach_obs(obs, ladder):
+    """Well-formed instrument declarations must not trip SNAP013."""
+    sends = obs.counter(
+        "snapper_runtime_messages_total", "by method",
+        labelnames=("method",),
+    )
+    depth = obs.gauge("snapper_runtime_mailbox_depth_count")
+    waits = obs.histogram(
+        "snapper_act_lock_wait_seconds", "lock wait",
+        buckets=(0.001, 0.01, 0.1, 1.0),
+    )
+    shared = obs.histogram(
+        "snapper_hybrid_pact_turn_wait_seconds", "turn wait",
+        buckets=ladder,  # computed bounds: nothing provable statically
+    )
+    return sends, depth, waits, shared

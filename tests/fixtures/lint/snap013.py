@@ -1,0 +1,18 @@
+"""Fixture: SNAP013 — malformed obs instrument declarations."""
+
+
+def attach(obs):
+    bad_name = obs.counter(
+        "messages_total", "missing the snapper_ prefix"
+    )
+    bad_counter = obs.counter(
+        "snapper_runtime_sends_count", "counters must end in _total"
+    )
+    bucketless = obs.histogram(
+        "snapper_act_lock_wait_seconds", "no explicit buckets"
+    )
+    unsorted = obs.histogram(
+        "snapper_wal_flush_batch_count", "buckets out of order",
+        buckets=(8, 4, 2, 1),
+    )
+    return bad_name, bad_counter, bucketless, unsorted

@@ -1,0 +1,134 @@
+"""repro.obs exporters: Prometheus text, JSON snapshot, Chrome trace."""
+
+import json
+
+from repro.obs.exporters import (
+    PID_ACTORS,
+    PID_TRANSACTIONS,
+    spans_to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+    validate_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.instruments import MetricsRegistry
+from repro.obs.spans import build_txn_spans
+from repro.trace import TraceEvent
+
+
+def _registry():
+    obs = MetricsRegistry()
+    obs.counter("snapper_test_events_total", "events").inc(3)
+    family = obs.counter(
+        "snapper_test_calls_total", "calls", labelnames=("method",)
+    )
+    family.labels(method="new_pact").inc(2)
+    family.labels(method='we"ird\nname').inc()
+    hist = obs.histogram(
+        "snapper_test_wait_seconds", "waits", buckets=(0.01, 0.1)
+    )
+    hist.observe(0.005)
+    hist.observe(0.05)
+    hist.observe(5.0)
+    return obs
+
+
+def _spans():
+    mk = TraceEvent
+    events = [
+        mk(1.0, "submitted", tid=7),
+        mk(1.2, "registered", tid=7, bid=3),
+        mk(1.5, "turn_started", tid=7, actor="acct:1"),
+        mk(1.6, "turn_done", tid=7, actor="acct:1"),
+        mk(1.8, "execution_done", tid=7),
+        mk(2.4, "committed", tid=7),
+    ]
+    return [build_txn_spans(7, "PACT", events)]
+
+
+# ---------------------------------------------------------------------------
+# Prometheus
+# ---------------------------------------------------------------------------
+def test_prometheus_text_round_trips_validation():
+    text = to_prometheus(_registry())
+    assert validate_prometheus(text) == []
+    assert "# TYPE snapper_test_events_total counter" in text
+    assert "snapper_test_events_total 3" in text
+    assert 'snapper_test_calls_total{method="new_pact"} 2' in text
+    # label values are escaped
+    assert 'method="we\\"ird\\nname"' in text
+    # histogram series: cumulative buckets, +Inf == _count
+    assert 'snapper_test_wait_seconds_bucket{le="0.01"} 1' in text
+    assert 'snapper_test_wait_seconds_bucket{le="0.1"} 2' in text
+    assert 'snapper_test_wait_seconds_bucket{le="+Inf"} 3' in text
+    assert "snapper_test_wait_seconds_count 3" in text
+
+
+def test_empty_registry_exports_empty_and_valid():
+    text = to_prometheus(MetricsRegistry())
+    assert text == ""
+    assert validate_prometheus(text) == []
+
+
+def test_validate_catches_format_violations():
+    assert validate_prometheus("snapper_x_total 1\n")  # no TYPE
+    assert validate_prometheus(
+        "# TYPE snapper_x_total counter\nsnapper_x_total one\n"
+    )  # bad value
+    assert validate_prometheus(
+        "# TYPE h histogram\n"
+        'h_bucket{le="1"} 5\nh_bucket{le="+Inf"} 3\nh_count 3\n'
+    )  # non-cumulative buckets
+    assert validate_prometheus(
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\n"
+    )  # missing +Inf
+    assert validate_prometheus(
+        "# TYPE h histogram\n"
+        'h_bucket{le="+Inf"} 2\nh_count 3\n'
+    )  # _count != +Inf
+
+
+# ---------------------------------------------------------------------------
+# JSON snapshot
+# ---------------------------------------------------------------------------
+def test_json_snapshot_serializable_with_spans():
+    snapshot = to_json_snapshot(_registry(), _spans())
+    encoded = json.loads(json.dumps(snapshot))
+    assert "snapper_test_events_total" in encoded["metrics"]
+    assert encoded["spans"]["transactions"] == 1
+    assert "PACT" in encoded["spans"]["modes"]
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace
+# ---------------------------------------------------------------------------
+def test_chrome_trace_structure_and_nesting():
+    trace = spans_to_chrome_trace(_spans())
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in metas} >= {"process_name", "thread_name"}
+
+    txn_events = [e for e in xs if e["pid"] == PID_TRANSACTIONS]
+    root = next(e for e in txn_events if e["cat"] == "txn")
+    assert root["ts"] == 1.0e6 and root["dur"] == 1.4e6
+    # every phase/turn event is contained in the root's interval
+    for event in txn_events:
+        assert event["ts"] >= root["ts"]
+        assert event["ts"] + event["dur"] <= root["ts"] + root["dur"]
+    execute = next(e for e in txn_events if e["name"] == "execute")
+    turn = next(e for e in txn_events if e["cat"] == "turn")
+    assert turn["ts"] >= execute["ts"]
+    assert turn["ts"] + turn["dur"] <= execute["ts"] + execute["dur"]
+    # the actor view carries the same turn on its own process
+    actor_events = [e for e in xs if e["pid"] == PID_ACTORS]
+    assert len(actor_events) == 1
+    assert actor_events[0]["args"]["tid"] == 7
+
+
+def test_write_chrome_trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_chrome_trace(_spans(), str(path))
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert len(document["traceEvents"]) == count > 0

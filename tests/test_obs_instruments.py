@@ -1,0 +1,174 @@
+"""repro.obs instruments: registry contract, naming, disabled mode."""
+
+import pytest
+
+from repro.obs.instruments import (
+    DISABLED,
+    LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    MetricsRegistry,
+    registry_from_services,
+)
+
+
+# ---------------------------------------------------------------------------
+# counters / gauges / histograms
+# ---------------------------------------------------------------------------
+def test_counter_counts_and_rejects_negative():
+    obs = MetricsRegistry()
+    counter = obs.counter("snapper_test_events_total", "help text")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    obs = MetricsRegistry()
+    gauge = obs.gauge("snapper_test_depth_count")
+    gauge.set(4)
+    gauge.inc()
+    gauge.dec(2)
+    assert gauge.value == 3.0
+
+
+def test_histogram_buckets_cumulative():
+    obs = MetricsRegistry()
+    hist = obs.histogram(
+        "snapper_test_wait_seconds", buckets=(0.01, 0.1, 1.0)
+    )
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    assert hist.count == 5
+    assert hist.sum == pytest.approx(5.605)
+    child = hist.labels()
+    cumulative = child.cumulative()
+    assert cumulative == [(0.01, 1), (0.1, 3), (1.0, 4), (float("inf"), 5)]
+    # a value exactly on a bound lands in that bound's bucket (le=)
+    hist.observe(0.1)
+    assert child.cumulative()[1] == (0.1, 4)
+
+
+def test_histogram_requires_valid_buckets():
+    obs = MetricsRegistry()
+    with pytest.raises(ValueError):
+        obs.histogram("snapper_test_a_seconds", buckets=())
+    with pytest.raises(ValueError):
+        obs.histogram("snapper_test_b_seconds", buckets=(1.0, 0.5))
+    with pytest.raises(ValueError):
+        obs.histogram("snapper_test_c_seconds", buckets=(1.0, 1.0))
+
+
+# ---------------------------------------------------------------------------
+# labels
+# ---------------------------------------------------------------------------
+def test_labels_children_are_independent():
+    obs = MetricsRegistry()
+    family = obs.counter(
+        "snapper_test_calls_total", labelnames=("method",)
+    )
+    family.labels(method="a").inc()
+    family.labels(method="a").inc()
+    family.labels(method="b").inc()
+    assert obs.value_of("snapper_test_calls_total", method="a") == 2.0
+    assert obs.value_of("snapper_test_calls_total", method="b") == 1.0
+    assert obs.value_of("snapper_test_calls_total", method="c") == 0.0
+
+
+def test_labels_wrong_names_raise():
+    obs = MetricsRegistry()
+    family = obs.counter(
+        "snapper_test_calls_total", labelnames=("method",)
+    )
+    with pytest.raises(ValueError):
+        family.labels(nope="x")
+    with pytest.raises(ValueError):
+        family.labels(method="x", extra="y")
+    with pytest.raises(ValueError):
+        family.inc()  # bare use of a labelled family
+
+
+def test_bare_family_resolves_via_labels():
+    obs = MetricsRegistry()
+    hist = obs.histogram("snapper_test_wait_seconds", buckets=(1.0,))
+    child = hist.labels()
+    child.observe(0.5)
+    assert hist.count == 1
+
+
+# ---------------------------------------------------------------------------
+# registration contract
+# ---------------------------------------------------------------------------
+def test_reregistration_is_idempotent():
+    obs = MetricsRegistry()
+    a = obs.counter("snapper_test_events_total", labelnames=("k",))
+    b = obs.counter("snapper_test_events_total", labelnames=("k",))
+    assert a is b
+    assert len(obs) == 1
+
+
+def test_reregistration_mismatch_raises():
+    obs = MetricsRegistry()
+    obs.counter("snapper_test_events_total")
+    with pytest.raises(ValueError):
+        obs.gauge("snapper_test_events_total")
+    with pytest.raises(ValueError):
+        obs.counter("snapper_test_events_total", labelnames=("k",))
+
+
+def test_name_convention_enforced():
+    obs = MetricsRegistry()
+    for bad in (
+        "messages_total",            # missing snapper_ prefix
+        "snapper_total",             # no component segment
+        "snapper_runtime_messages",  # no unit suffix
+        "snapper_Runtime_x_total",   # upper case
+    ):
+        with pytest.raises(ValueError):
+            obs.counter(bad)
+    with pytest.raises(ValueError):
+        obs.counter("snapper_runtime_messages_count")  # counter, no _total
+    # _total is counter-only as a suffix, other units fine elsewhere
+    obs.gauge("snapper_runtime_mailbox_depth_count")
+    obs.histogram("snapper_act_lock_wait_seconds", buckets=LATENCY_BUCKETS)
+
+
+# ---------------------------------------------------------------------------
+# disabled registries
+# ---------------------------------------------------------------------------
+def test_disabled_registry_registers_nothing():
+    obs = MetricsRegistry(enabled=False)
+    counter = obs.counter("not even a valid name")
+    assert counter is NULL_INSTRUMENT
+    counter.labels(anything="goes").inc()
+    obs.histogram("snapper_x_y_seconds", buckets=(1,)).observe(2)
+    assert len(obs) == 0
+    assert obs.snapshot() == {}
+
+
+def test_registry_from_services():
+    live = MetricsRegistry()
+    assert registry_from_services({"obs": live}) is live
+    assert registry_from_services({}) is DISABLED
+    assert registry_from_services({"obs": object()}) is DISABLED
+    assert not DISABLED.enabled
+
+
+# ---------------------------------------------------------------------------
+# snapshot
+# ---------------------------------------------------------------------------
+def test_snapshot_is_deterministic_and_complete():
+    obs = MetricsRegistry()
+    obs.counter("snapper_b_events_total").inc(2)
+    family = obs.counter("snapper_a_calls_total", labelnames=("m",))
+    family.labels(m="z").inc()
+    family.labels(m="a").inc()
+    obs.histogram("snapper_c_wait_seconds", buckets=(1.0,)).observe(0.5)
+    snap = obs.snapshot()
+    assert list(snap) == sorted(snap)
+    series = snap["snapper_a_calls_total"]["series"]
+    assert [s["labels"] for s in series] == [{"m": "a"}, {"m": "z"}]
+    hist = snap["snapper_c_wait_seconds"]["series"][0]
+    assert hist["count"] == 1
+    assert hist["buckets"][-1][1] == 1

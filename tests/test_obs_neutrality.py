@@ -1,0 +1,131 @@
+"""Observability must be free when off and invisible when on.
+
+Two contracts, both load-bearing:
+
+* **disabled** — a run with ``observability=False`` (the default)
+  registers zero instruments and installs no ``obs`` service; the
+  telemetry layer is provably absent, not just quiet;
+* **neutral** — the same seeded run with observability on commits the
+  same transactions, aborts for the same reasons, records the same
+  trace events at the same simulated times, and passes the trace-based
+  serializability checker with the same verdict.  Instruments read
+  simulated time but never charge CPU or await, so this holds exactly,
+  not statistically.
+"""
+
+import pytest
+
+from repro.analysis.tracecheck import check_tracer
+from repro.actors.runtime import SiloConfig
+from repro.core.config import SnapperConfig
+from repro.experiments.common import SMALLBANK_FAMILIES
+from repro.obs.report import check_phase_sums
+from repro.obs.spans import build_spans
+from repro.trace import TxnTracer
+from repro.workloads.distributions import make_distribution
+from repro.workloads.runner import EngineRunner, run_epochs
+from repro.workloads.smallbank import SmallBankWorkload
+
+import random
+
+
+def _run(observability, seed=3):
+    runner = EngineRunner(
+        "hybrid",
+        SMALLBANK_FAMILIES,
+        seed=seed,
+        silo=SiloConfig(cores=2, seed=seed),
+        snapper_config=SnapperConfig(
+            num_coordinators=2, num_loggers=2, observability=observability,
+        ),
+    )
+    tracer = TxnTracer(capacity=50_000)
+    runner.system.runtime.services["txn_tracer"] = tracer
+    dist = make_distribution("uniform", 64, runner.loop.rng)
+    workload = SmallBankWorkload(
+        dist, txn_size=3, pact_fraction=0.5, rng=random.Random(seed + 100),
+    )
+    result = run_epochs(
+        runner, workload.next_txn, num_clients=2, pipeline_size=4,
+        epochs=2, epoch_duration=0.2, warmup_epochs=1,
+    )
+    system = runner.system
+    system.shutdown()
+    return result, tracer, system
+
+
+@pytest.fixture(scope="module")
+def paired_runs():
+    return _run(observability=False), _run(observability=True)
+
+
+def test_disabled_run_has_no_telemetry(paired_runs):
+    (_, _, system), _ = paired_runs
+    assert not system.obs.enabled
+    assert len(system.obs) == 0
+    assert "obs" not in system.runtime.services
+
+
+def test_enabled_run_registers_instruments(paired_runs):
+    _, (_, _, system) = paired_runs
+    assert system.obs.enabled
+    assert system.runtime.services["obs"] is system.obs
+    names = set(system.obs.instruments)
+    # at least one instrument from each instrumented component
+    for prefix in (
+        "snapper_runtime_", "snapper_coordinator_", "snapper_wal_",
+        "snapper_hybrid_", "snapper_act_", "snapper_guard_",
+        "snapper_client_",
+    ):
+        assert any(n.startswith(prefix) for n in names), prefix
+
+
+def test_observability_does_not_change_outcomes(paired_runs):
+    (off, _, _), (on, _, _) = paired_runs
+    assert on.metrics.committed == off.metrics.committed > 0
+    assert on.metrics.attempted == off.metrics.attempted
+    assert on.metrics.abort_breakdown() == off.metrics.abort_breakdown()
+    assert on.throughput == off.throughput
+    assert on.metrics.latency_percentiles() == (
+        off.metrics.latency_percentiles()
+    )
+
+
+def test_observability_does_not_change_the_trace(paired_runs):
+    (_, trace_off, _), (_, trace_on, _) = paired_runs
+    off_events = [
+        (e.time, e.name, e.tid, str(e.actor))
+        for e in trace_off.all_events()
+    ]
+    on_events = [
+        (e.time, e.name, e.tid, str(e.actor))
+        for e in trace_on.all_events()
+    ]
+    assert on_events == off_events
+    report_off = check_tracer(trace_off)
+    report_on = check_tracer(trace_on)
+    assert report_on.ok == report_off.ok
+    assert report_on.num_events == report_off.num_events
+    assert report_on.acts_checked == report_off.acts_checked
+
+
+def test_registry_agrees_with_epoch_metrics(paired_runs):
+    _, (on, _, system) = paired_runs
+    obs = system.obs
+    committed_family = obs.get("snapper_client_committed_total")
+    committed = sum(
+        child.value for _, child in committed_family.samples()
+    )
+    assert committed == on.metrics.committed
+    aborted_family = obs.get("snapper_client_aborted_total")
+    aborted = sum(
+        child.value for _, child in aborted_family.samples()
+    ) if aborted_family is not None else 0
+    assert aborted == on.metrics.attempted - on.metrics.committed
+
+
+def test_live_spans_phase_sums_within_tolerance(paired_runs):
+    _, (_, tracer, _) = paired_runs
+    spans = build_spans(tracer)
+    assert spans
+    assert check_phase_sums(spans) == []

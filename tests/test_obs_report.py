@@ -1,0 +1,115 @@
+"""The repro.obs report CLI and the chaos harness's obs mirror."""
+
+import json
+
+import pytest
+
+from repro.chaos.harness import ChaosHarness
+from repro.chaos.plan import FaultPlan
+from repro.obs.report import (
+    check_nesting,
+    check_phase_sums,
+    main,
+    render_breakdown,
+)
+from repro.obs.spans import build_spans
+from repro.trace import TxnTracer
+
+
+def _tracer():
+    """Two committed transactions (one PACT, one ACT) plus an in-flight."""
+    tracer = TxnTracer()
+    rows = [
+        (1.0, 7, "submitted", "PACT", None),
+        (1.2, 7, "registered", "PACT", None),
+        (1.5, 7, "turn_started", "PACT", "a"),
+        (1.6, 7, "turn_done", "PACT", "a"),
+        (1.8, 7, "execution_done", "PACT", None),
+        (2.4, 7, "committed", "PACT", None),
+        (1.1, 8, "submitted", "ACT", None),
+        (1.15, 8, "registered", "ACT", None),
+        (1.3, 8, "admitted", "ACT", "b"),
+        (1.5, 8, "state_access", "ACT", "b"),
+        (1.7, 8, "execution_done", "ACT", None),
+        (2.0, 8, "committed", "ACT", None),
+        (2.5, 9, "registered", "ACT", None),  # in flight: never reported
+    ]
+    for when, tid, name, mode, actor in rows:
+        tracer.record(when, tid, name, mode=mode, actor=actor)
+    return tracer
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    _tracer().dump_jsonl(str(path))
+    return str(path)
+
+
+def test_render_breakdown_table():
+    spans = build_spans(_tracer())
+    table = render_breakdown(spans)
+    assert "PACT" in table and "ACT" in table and "ALL" in table
+    assert "phase-sum" in table and "latency" in table
+    # PACT latency 1.4 s = 1400 ms appears in the table
+    assert "1400.000" in table
+
+
+def test_checkers_pass_on_well_formed_spans():
+    spans = build_spans(_tracer())
+    assert check_phase_sums(spans) == []
+    assert check_nesting(spans) == []
+
+
+def test_report_from_trace_file(capsys, trace_file):
+    assert main(["report", "--trace-in", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "phase latency breakdown" in out
+    assert "PACT" in out and "ACT" in out
+
+
+def test_report_json_output(capsys, trace_file):
+    assert main(["report", "--trace-in", trace_file, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["transactions"] == 2
+    assert payload["modes"]["PACT"]["count"] == 1
+    assert payload["modes"]["ACT"]["count"] == 1
+
+
+def test_report_smoke_from_trace_file(capsys, tmp_path, trace_file):
+    trace_out = tmp_path / "chrome.json"
+    code = main([
+        "report", "--trace-in", trace_file, "--smoke",
+        "--trace-out", str(trace_out),
+    ])
+    assert code == 0
+    assert "SMOKE OK" in capsys.readouterr().out
+    document = json.loads(trace_out.read_text(encoding="utf-8"))
+    assert document["traceEvents"]
+
+
+def test_report_smoke_fails_on_empty_trace(capsys, tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("", encoding="utf-8")
+    assert main(["report", "--trace-in", str(path), "--smoke"]) == 1
+    assert "SMOKE FAILED" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# chaos harness: obs mirror keeps the report bit-for-bit deterministic
+# ---------------------------------------------------------------------------
+def test_chaos_report_identical_with_obs_enabled():
+    plan = FaultPlan.generate(2, duration=0.4)
+    baseline = ChaosHarness(plan).run()
+    plan_obs = FaultPlan.generate(2, duration=0.4)
+    plan_obs.meta["observability"] = True
+    harness = ChaosHarness(plan_obs)
+    mirrored = harness.run()
+    assert mirrored.to_dict() == baseline.to_dict()
+    # the registry mirrors the tally exactly
+    obs = harness.system.obs
+    assert obs.enabled
+    for status, count in mirrored.outcome_tally.items():
+        assert obs.value_of(
+            "snapper_chaos_outcomes_total", status=status
+        ) == count

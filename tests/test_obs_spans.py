@@ -1,0 +1,145 @@
+"""repro.obs spans: phase derivation from trace event streams."""
+
+import pytest
+
+from repro.obs.spans import (
+    PHASES,
+    build_spans,
+    build_txn_spans,
+    phase_breakdown,
+    spans_summary,
+)
+from repro.trace import SYSTEM_TID, TraceEvent, TxnTracer
+
+
+def _pact_events(tid=7):
+    """A two-actor PACT timeline, times in seconds."""
+    mk = TraceEvent
+    return [
+        mk(1.0, "submitted", tid=tid),
+        mk(1.2, "registered", tid=tid, bid=3),
+        mk(1.5, "turn_started", tid=tid, actor="acct:1"),
+        mk(1.6, "turn_done", tid=tid, actor="acct:1"),
+        mk(1.65, "turn_started", tid=tid, actor="acct:2"),
+        mk(1.7, "turn_done", tid=tid, actor="acct:2"),
+        mk(1.8, "execution_done", tid=tid),
+        mk(2.4, "committed", tid=tid),
+    ]
+
+
+def test_pact_phases_partition_latency():
+    spans = build_txn_spans(7, "PACT", _pact_events())
+    assert spans is not None
+    assert spans.outcome == "committed"
+    assert spans.latency == pytest.approx(1.4)
+    assert spans.phase_duration("register") == pytest.approx(0.2)
+    assert spans.phase_duration("queue") == pytest.approx(0.3)
+    assert spans.phase_duration("execute") == pytest.approx(0.3)
+    assert spans.phase_duration("commit") == pytest.approx(0.6)
+    total = sum(spans.phase_duration(p) for p in PHASES)
+    assert total == pytest.approx(spans.latency)
+    # phases are contiguous: each starts where the previous ended
+    cursor = spans.root.start
+    for phase in PHASES:
+        assert spans.phases[phase].start == pytest.approx(cursor)
+        cursor = spans.phases[phase].end
+    assert cursor == pytest.approx(spans.root.end)
+
+
+def test_pact_turns_nest_inside_execute():
+    spans = build_txn_spans(7, "PACT", _pact_events())
+    execute = spans.phases["execute"]
+    turns = execute.children
+    assert [t.actor for t in turns] == ["acct:1", "acct:2"]
+    for turn in turns:
+        assert turn.kind == "turn"
+        assert turn.start >= execute.start - 1e-12
+        assert turn.end <= execute.end + 1e-12
+    # walk() yields the whole tree from the root
+    names = [s.name for s in spans.root.walk()]
+    assert names[0].startswith("txn")
+    assert "turn @acct:1" in names
+
+
+def test_act_turns_from_state_accesses():
+    mk = TraceEvent
+    events = [
+        mk(0.0, "submitted", tid=9),
+        mk(0.1, "registered", tid=9),
+        mk(0.2, "admitted", tid=9, actor="a"),
+        mk(0.3, "state_access", tid=9, actor="a", access="ReadWrite"),
+        mk(0.4, "state_access", tid=9, actor="b", access="Read"),
+        mk(0.5, "execution_done", tid=9),
+        mk(0.9, "committed", tid=9),
+    ]
+    spans = build_txn_spans(9, "ACT", events)
+    turns = {t.actor: t for t in spans.phases["execute"].children}
+    assert turns["a"].start == pytest.approx(0.2)
+    assert turns["a"].end == pytest.approx(0.3)
+    assert turns["b"].start == pytest.approx(0.4)
+    assert turns["b"].end == pytest.approx(0.4)
+
+
+def test_abort_mid_execution_closes_phases():
+    mk = TraceEvent
+    events = [
+        mk(0.0, "submitted", tid=4),
+        mk(0.1, "registered", tid=4),
+        mk(0.2, "turn_started", tid=4, actor="a"),
+        mk(0.5, "aborted", tid=4),  # no turn_done / execution_done
+    ]
+    spans = build_txn_spans(4, "PACT", events)
+    assert spans.outcome == "aborted"
+    assert spans.phase_duration("execute") == pytest.approx(0.3)
+    assert spans.phase_duration("commit") == 0.0
+    # the unclosed turn is clamped at the execute phase's end
+    (turn,) = spans.phases["execute"].children
+    assert turn.end == pytest.approx(0.5)
+    total = sum(spans.phase_duration(p) for p in PHASES)
+    assert total == pytest.approx(spans.latency)
+
+
+def test_in_flight_and_system_timelines_skipped():
+    mk = TraceEvent
+    assert build_txn_spans(1, "ACT", [mk(0.0, "registered", tid=1)]) is None
+    assert build_txn_spans(SYSTEM_TID, "?", [mk(0.0, "committed")]) is None
+    assert build_txn_spans(2, "ACT", []) is None
+
+
+def test_missing_submitted_falls_back_to_registered():
+    """Pre-obs traces have no submitted event: register collapses to 0."""
+    mk = TraceEvent
+    events = [
+        mk(0.1, "registered", tid=5),
+        mk(0.2, "state_access", tid=5, actor="a", access="Read"),
+        mk(0.3, "execution_done", tid=5),
+        mk(0.4, "committed", tid=5),
+    ]
+    spans = build_txn_spans(5, "ACT", events)
+    assert spans.phase_duration("register") == 0.0
+    assert spans.latency == pytest.approx(0.3)
+
+
+def test_build_spans_from_tracer_and_breakdown():
+    tracer = TxnTracer()
+    for event in _pact_events(tid=1) + _pact_events(tid=2):
+        tracer.record(
+            event.time, event.tid, event.name, mode="PACT",
+            bid=event.bid, actor=event.actor,
+        )
+    # one in-flight ACT that must not appear
+    tracer.record(0.0, 99, "registered", mode="ACT")
+    spans = build_spans(tracer)
+    assert [s.tid for s in spans] == [1, 2]
+
+    breakdown = phase_breakdown(spans, "PACT")
+    assert breakdown.count == 2
+    assert breakdown.phase_sum == pytest.approx(breakdown.mean_latency)
+    assert phase_breakdown(spans, "ACT") is None
+
+    summary = spans_summary(spans)
+    assert summary["transactions"] == 2
+    assert summary["modes"]["PACT"]["count"] == 2
+    assert summary["modes"]["PACT"]["phase_sum_seconds"] == pytest.approx(
+        summary["modes"]["PACT"]["mean_latency_seconds"]
+    )

@@ -94,6 +94,23 @@ def test_percentile_nearest_rank():
     assert percentile([], 50) == 0.0
 
 
+def test_percentile_exact_boundaries():
+    """Nearest-rank at exact .5 ranks: ceil, not banker's rounding.
+
+    ``int(round(0.5 * 2))`` == 1 by round-half-to-even, which picks the
+    *second* element for p50 of two — nearest-rank demands the first
+    (the smallest value with >= 50% of the data at or below it).
+    """
+    assert percentile([1.0, 2.0], 50) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 25) == 1.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 75) == 3.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 100) == 4.0
+    # just past a boundary: the next rank up
+    assert percentile([1.0, 2.0], 51) == 2.0
+    assert percentile([1.0], 50) == 1.0
+
+
 def test_metrics_warmup_discarded():
     metrics = MetricsCollector()
     metrics.record_commit(0.1)  # before any epoch: warm-up, dropped
