@@ -1,24 +1,42 @@
 """Multi-server deployment (the paper's §7 future work, implemented).
 
-Runs the same SmallBank workload on 1, 2, and 4 silos and compares the
-two coordinator-placement policies §7 says must be explored: the token
-ring spread across silos versus pinned to one.
+Two parts:
 
-Run:  python examples/multiserver_deployment.py
+1. the same SmallBank workload on 1, 2, and 4 silos, comparing the two
+   coordinator-placement policies §7 says must be explored — the token
+   ring spread across silos versus pinned to one;
+2. the same multi-silo deployment on both *runtime backends*
+   (docs/runtime.md): the deterministic DES ``SimBackend`` and the
+   ``AsyncioBackend``, which runs every silo on real asyncio tasks and
+   ships cross-silo envelopes over sockets.  Both substrates must
+   commit identical balances — the differential contract that
+   ``tests/test_runtime_differential.py`` enforces.
+
+Run:  python examples/multiserver_deployment.py [--quick]
+
+``--quick`` shrinks the placement sweep (CI smoke); the backend
+comparison always runs at full (small) size.
 """
 
 import random
+import sys
+import time
 
 from repro.actors.runtime import SiloConfig
 from repro.core.config import SnapperConfig
+from repro.core.system import SnapperSystem
 from repro.experiments.common import SMALLBANK_FAMILIES
 from repro.experiments.tables import format_table
 from repro.workloads.distributions import make_distribution
 from repro.workloads.runner import EngineRunner, run_epochs
-from repro.workloads.smallbank import SmallBankWorkload
+from repro.workloads.smallbank import (
+    ACCOUNT_KIND,
+    SmallBankWorkload,
+    SnapperAccountActor,
+)
 
 
-def run_one(num_silos, placement="spread"):
+def run_one(num_silos, placement="spread", quick=False):
     config = SnapperConfig()
     config.coordinator_placement = placement
     runner = EngineRunner(
@@ -26,12 +44,16 @@ def run_one(num_silos, placement="spread"):
         silo=SiloConfig(cores=4, num_silos=num_silos, seed=1),
         snapper_config=config,
     )
-    dist = make_distribution("uniform", 2000 * num_silos, runner.loop.rng)
+    accounts = (500 if quick else 2000) * num_silos
+    dist = make_distribution("uniform", accounts, runner.loop.rng)
     workload = SmallBankWorkload(dist, txn_size=4, rng=random.Random(7))
     result = run_epochs(
         runner, workload.next_txn,
-        num_clients=1, pipeline_size=64 * num_silos,
-        epochs=3, epoch_duration=0.3, warmup_epochs=1,
+        num_clients=1,
+        pipeline_size=(16 if quick else 64) * num_silos,
+        epochs=2 if quick else 3,
+        epoch_duration=0.15 if quick else 0.3,
+        warmup_epochs=1,
     )
     metrics = result.metrics
     return {
@@ -44,13 +66,69 @@ def run_one(num_silos, placement="spread"):
     }
 
 
+def run_backend(backend, num_silos=2, accounts=6, pacts=12):
+    """The same 2-silo deployment, substrate chosen by one config knob.
+
+    The transfers all commute (fixed amount both ways), so the
+    committed balances are a pure function of the committed set — the
+    property that makes cross-substrate equality exact rather than
+    approximate (see src/repro/workloads/differential.py).
+    """
+    config = SnapperConfig(
+        runtime_backend=backend,       # <- "sim" (default) or "asyncio"
+        batch_complete_timeout=30.0,   # real seconds on the real substrate
+    )
+    system = SnapperSystem(
+        config=config,
+        silo=SiloConfig(cores=2, num_silos=num_silos, seed=1),
+        seed=1,
+    )
+    system.register_actor(ACCOUNT_KIND, SnapperAccountActor)
+    system.start()
+    rng = random.Random(11)
+
+    async def scenario():
+        from repro.runtime.kernel import gather, spawn
+
+        jobs = []
+        for _ in range(pacts):
+            keys = rng.sample(range(accounts), 3)
+            jobs.append(spawn(system.submit_pact(
+                ACCOUNT_KIND, keys[0], "multi_transfer",
+                (1.0, keys[1:]), access={key: 1 for key in keys},
+            )))
+        await gather(*jobs)
+        return [
+            await system.submit_act(ACCOUNT_KIND, key, "balance")
+            for key in range(accounts)
+        ]
+
+    started = time.perf_counter()
+    balances = system.run(scenario())
+    wall_ms = (time.perf_counter() - started) * 1000
+    system.shutdown()
+    envelopes = getattr(system.backend, "transport_messages", None)
+    system.backend.close()
+    transport = (
+        "in-process (virtual time)" if envelopes is None
+        else f"{envelopes} socket envelope(s)"
+    )
+    print(
+        f"  {backend:>7} backend: {pacts} PACTs on {num_silos} silos, "
+        f"{wall_ms:7.1f} ms wall, {transport}"
+    )
+    return balances
+
+
 def main() -> None:
+    quick = "--quick" in sys.argv[1:]
     rows = []
-    for num_silos in (1, 2, 4):
+    for num_silos in (1, 2) if quick else (1, 2, 4):
         print(f"running PACT on {num_silos} silo(s) ...")
-        rows.append(run_one(num_silos))
-    print("running PACT on 4 silos with the ring pinned to silo 0 ...")
-    rows.append(run_one(4, placement=0))
+        rows.append(run_one(num_silos, quick=quick))
+    if not quick:
+        print("running PACT on 4 silos with the ring pinned to silo 0 ...")
+        rows.append(run_one(4, placement=0))
 
     print()
     print(format_table(
@@ -65,6 +143,16 @@ def main() -> None:
         "the share of cross-silo traffic — the trade-offs §7 defers to "
         "future work."
     )
+
+    print("\nsame deployment, pluggable substrate (docs/runtime.md):")
+    by_backend = {
+        backend: run_backend(backend) for backend in ("sim", "asyncio")
+    }
+    if by_backend["sim"] == by_backend["asyncio"]:
+        print("backends agree: identical committed balances on both")
+    else:
+        print("BACKENDS DIVERGED:", by_backend)
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

@@ -14,9 +14,9 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from quickstart import AccountActor  # noqa: E402
 
-from repro import SnapperSystem, sim  # noqa: E402
+from repro import SnapperSystem  # noqa: E402
 from repro.retry import retry_transaction  # noqa: E402
-from repro.sim import gather, spawn  # noqa: E402
+from repro.runtime.kernel import gather, sleep, spawn  # noqa: E402
 from repro.trace import TxnTracer  # noqa: E402
 
 
@@ -30,7 +30,7 @@ def main() -> None:
     async def worker(i):
         # everyone hammers the same two accounts: wait-die will bite,
         # retries recover
-        await sim.sleep(0.0002 * i)
+        await sleep(0.0002 * i)
         source, target = ("hot-a", "hot-b") if i % 2 else ("hot-b", "hot-a")
         await retry_transaction(
             lambda: system.submit_act(

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Hashable
 
-from repro.sim.future import Future
+from repro.runtime.api import FutureLike
 
 
 @dataclass(frozen=True, order=True)
@@ -40,7 +40,7 @@ class ActorRef:
         self.runtime = runtime
         self.id = actor_id
 
-    def call(self, method: str, *args: Any, **kwargs: Any) -> Future:
+    def call(self, method: str, *args: Any, **kwargs: Any) -> FutureLike:
         """Invoke ``method`` on the target actor; returns a result future."""
         return self.runtime.send(self.id, method, args, kwargs)
 

@@ -27,13 +27,10 @@ from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
 from repro.errors import (
     ActorCrashedError,
-    CancelledError,
     SimulationError,
     UnknownActorMethodError,
 )
-from repro.sim.future import Future
-from repro.sim.loop import SimLoop
-from repro.sim.resources import CpuPool
+from repro.runtime import CancelledErrors, as_backend
 
 
 class SiloConfig:
@@ -84,7 +81,7 @@ class _Envelope:
 
     __slots__ = ("method", "args", "kwargs", "reply", "sent_at")
 
-    def __init__(self, method: str, args: tuple, kwargs: dict, reply: Future,
+    def __init__(self, method: str, args: tuple, kwargs: dict, reply: Any,
                  sent_at: float):
         self.method = method
         self.args = args
@@ -117,13 +114,18 @@ class _Activation:
 class ActorRuntime:
     """A single simulated silo hosting virtual actors."""
 
-    def __init__(self, loop: SimLoop, config: Optional[SiloConfig] = None):
-        self.loop = loop
+    def __init__(self, loop: Any, config: Optional[SiloConfig] = None):
+        #: the execution substrate: any :class:`RuntimeBackend`.  A raw
+        #: ``SimLoop`` is still accepted (and wrapped) for the pre-seam
+        #: call sites and tests that construct one directly.
+        self.backend = as_backend(loop)
+        #: legacy alias — the handle exactly as the caller passed it.
+        self.loop = loop if loop is not None else self.backend
         self.config = config or SiloConfig()
         #: one CPU pool per silo; actors charge the pool of the silo
         #: they are placed on (single-silo deployments have exactly one).
         self.cpu_pools = [
-            CpuPool(self.config.cores, label=f"silo{i}.cpu")
+            self.backend.cpu_pool(self.config.cores, label=f"silo{i}.cpu")
             for i in range(self.config.num_silos)
         ]
         self.cpu = self.cpu_pools[0]
@@ -155,7 +157,7 @@ class ActorRuntime:
         self.messages_dropped = 0
         self.messages_delayed = 0
         self.messages_duplicated = 0
-        self._rng = loop.rng
+        self._rng = self.backend.rng
         # obs instrument handles (attach_obs); None keeps the hot paths
         # at a single comparison when observability is off.
         self._obs_messages = None
@@ -214,7 +216,7 @@ class ActorRuntime:
         """Pin an actor to a silo (placement policy knob)."""
         self.placement_overrides[actor_id] = silo
 
-    def cpu_of(self, actor_id: ActorId) -> CpuPool:
+    def cpu_of(self, actor_id: ActorId) -> Any:
         return self.cpu_pools[self.silo_of(actor_id)]
 
     def total_cpu_busy(self) -> float:
@@ -222,16 +224,16 @@ class ActorRuntime:
 
     # -- messaging ------------------------------------------------------------
     def send(self, target: ActorId, method: str, args: tuple,
-             kwargs: dict) -> Future:
+             kwargs: dict) -> Any:
         """Send an asynchronous RPC; delivery happens after network delay."""
-        reply = Future(label=f"{target}.{method}")
+        reply = self.backend.create_future(label=f"{target}.{method}")
         if target.kind not in self._factories:
             reply.set_exception(
                 SimulationError(f"unknown actor kind {target.kind!r}")
             )
             return reply
-        delay = self._message_delay(target)
-        envelope = _Envelope(method, args, kwargs, reply, self.loop.now)
+        delay, destination, cross_silo = self._message_delay(target)
+        envelope = _Envelope(method, args, kwargs, reply, self.backend.now)
         self.messages_sent += 1
         if self._obs_messages is not None:
             child = self._obs_msg_children.get(method)
@@ -244,12 +246,15 @@ class ActorRuntime:
         if self.message_interceptor is not None:
             verdict = self.message_interceptor(target, method, delay)
         if verdict is None:
-            self.loop.call_later(delay, self._deliver, target, envelope)
+            self.backend.deliver(
+                delay, self._deliver, target, envelope,
+                silo=destination, cross_silo=cross_silo,
+            )
             return reply
         action, extra = verdict
         if action == "drop":
             self.messages_dropped += 1
-            self.loop.call_later(
+            self.backend.call_later(
                 delay + extra, reply.try_set_exception,
                 ActorCrashedError(
                     f"message {target}.{method} lost (fault injection)"
@@ -257,46 +262,59 @@ class ActorRuntime:
             )
         elif action == "delay":
             self.messages_delayed += 1
-            self.loop.call_later(delay + extra, self._deliver, target, envelope)
+            self.backend.deliver(
+                delay + extra, self._deliver, target, envelope,
+                silo=destination, cross_silo=cross_silo,
+            )
         elif action == "duplicate":
             self.messages_duplicated += 1
-            self.loop.call_later(delay, self._deliver, target, envelope)
+            self.backend.deliver(
+                delay, self._deliver, target, envelope,
+                silo=destination, cross_silo=cross_silo,
+            )
             copy = _Envelope(
                 method, args, kwargs,
-                Future(label=f"dup:{target}.{method}"), self.loop.now,
+                self.backend.create_future(label=f"dup:{target}.{method}"),
+                self.backend.now,
             )
-            self.loop.call_later(delay + extra, self._deliver, target, copy)
+            self.backend.deliver(
+                delay + extra, self._deliver, target, copy,
+                silo=destination, cross_silo=cross_silo,
+            )
         else:
             raise SimulationError(
                 f"unknown message-interceptor action {action!r}"
             )
         return reply
 
-    def _message_delay(self, target: ActorId) -> float:
-        """One-way delay to ``target``: local silo messaging, or the
-        cross-silo network when sender and target live apart (§7)."""
+    def _message_delay(self, target: ActorId) -> Tuple[float, int, bool]:
+        """``(delay, destination silo, cross-silo?)`` for one message:
+        local silo messaging, or the cross-silo network when sender and
+        target live apart (§7)."""
         if self.config.num_silos == 1:
-            return self.config.net_latency + self._rng.uniform(
+            delay = self.config.net_latency + self._rng.uniform(
                 0, self.config.net_jitter
             )
-        current = self.loop.current_task
-        origin = getattr(current, "silo", None) if current else None
+            return delay, 0, False
+        origin = self.backend.current_silo()
         destination = self.silo_of(target)
         if origin is not None and origin == destination:
-            return self.config.net_latency + self._rng.uniform(
+            delay = self.config.net_latency + self._rng.uniform(
                 0, self.config.net_jitter
             )
+            return delay, destination, False
         # cross-silo (or external client) hop
         self.cross_silo_messages += 1
-        return self.config.cross_silo_latency + self._rng.uniform(
+        delay = self.config.cross_silo_latency + self._rng.uniform(
             0, self.config.cross_silo_jitter
         )
+        return delay, destination, True
 
     def _deliver(self, target: ActorId, envelope: _Envelope) -> None:
         activation = self._activations.get(target)
         if activation is None or activation.state == _Activation.DEAD:
             activation = self._activate(target)
-        activation.last_active_at = self.loop.now
+        activation.last_active_at = self.backend.now
         activation.inbox.append(envelope)
         if self._obs_mailbox is not None:
             self._obs_mailbox.observe(len(activation.inbox))
@@ -312,11 +330,11 @@ class ActorRuntime:
                 return  # non-reentrant: one request at a time
             envelope = activation.inbox.popleft()
             activation.turns_inflight += 1
-            task = self.loop.create_task(
+            task = self.backend.create_task(
                 self._run_turn(actor_id, activation, envelope),
                 label=f"turn:{actor_id}.{envelope.method}",
+                silo=self.silo_of(actor_id),
             )
-            task.silo = self.silo_of(actor_id)
             activation.turn_tasks.add(task)
             task.add_done_callback(activation.turn_tasks.discard)
 
@@ -335,7 +353,7 @@ class ActorRuntime:
         except GeneratorExit:  # interpreter teardown: never swallow
             raise
         except BaseException as exc:  # noqa: BLE001 - forwarded to caller
-            if (isinstance(exc, CancelledError)
+            if (isinstance(exc, CancelledErrors)
                     and activation.state == _Activation.DEAD):
                 exc = ActorCrashedError(f"{actor_id} crashed mid-turn")
             envelope.reply.try_set_exception(exc)
@@ -353,7 +371,7 @@ class ActorRuntime:
             # the bookkeeping if this turn still belongs to the live one.
             if activation.actor.incarnation == incarnation:
                 activation.turns_inflight -= 1
-                activation.last_active_at = self.loop.now
+                activation.last_active_at = self.backend.now
                 self._pump(actor_id, activation)
 
     # -- activation lifecycle ---------------------------------------------------
@@ -372,12 +390,12 @@ class ActorRuntime:
         self.activations_created += 1
         if self._obs_activations is not None:
             self._obs_activations.inc()
-        self.loop.create_task(
+        self.backend.create_task(
             self._finish_activation(actor_id, activation),
             label=f"activate:{actor_id}",
         )
         if self.config.idle_deactivate_after is not None:
-            self.loop.call_later(
+            self.backend.call_later(
                 self.config.idle_deactivate_after,
                 self._maybe_deactivate, actor_id, activation,
             )
@@ -401,7 +419,7 @@ class ActorRuntime:
 
     def _maybe_deactivate(self, actor_id: ActorId,
                           activation: _Activation) -> None:
-        idle_for = self.loop.now - activation.last_active_at
+        idle_for = self.backend.now - activation.last_active_at
         timeout = self.config.idle_deactivate_after
         if self._activations.get(actor_id) is not activation:
             return
@@ -409,8 +427,8 @@ class ActorRuntime:
                 and idle_for >= timeout):
             self.deactivate(actor_id)
         else:
-            self.loop.call_later(timeout, self._maybe_deactivate,
-                                 actor_id, activation)
+            self.backend.call_later(timeout, self._maybe_deactivate,
+                                    actor_id, activation)
 
     def deactivate(self, actor_id: ActorId) -> None:
         """Gracefully deactivate an idle actor (state is *not* recovered —
@@ -419,7 +437,7 @@ class ActorRuntime:
         if activation is None:
             return
         activation.state = _Activation.DEAD
-        self.loop.create_task(
+        self.backend.create_task(
             activation.actor.on_deactivate(), label=f"deactivate:{actor_id}"
         )
 

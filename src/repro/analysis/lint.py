@@ -92,6 +92,13 @@ _MUTATORS = frozenset({
     "append", "extend", "insert", "remove", "pop", "popitem", "clear",
     "update", "setdefault", "add", "discard", "sort", "reverse",
 })
+#: paths allowed to import repro.sim internals (SNAP014): the kernel
+#: itself and the runtime seam that adapts it.
+_SIM_IMPORT_EXEMPT_RE = re.compile(r"repro[/\\](?:sim|runtime)[/\\]")
+
+
+def _is_sim_module(name: str) -> bool:
+    return name == "repro.sim" or name.startswith("repro.sim.")
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -189,6 +196,7 @@ class ModuleLinter:
                 self._check_class(cls)
         self._check_submit_sites()
         self._check_instrument_sites()
+        self._check_sim_imports()
         self.findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
         return self.findings
 
@@ -572,6 +580,38 @@ class ModuleLinter:
                     f"{target!r}, which the actorAccessInfo "
                     f"{declared!r} never declares; the batch would "
                     f"stall on an unscheduled access",
+                )
+
+    # -- SNAP014: the runtime-backend seam -----------------------------------
+    def _check_sim_imports(self) -> None:
+        """Flag ``repro.sim`` imports outside the kernel and the seam.
+
+        The simulation kernel itself (``repro/sim/**``) and the runtime
+        seam that wraps it (``repro/runtime/**`` — ``SimBackend`` is the
+        one sanctioned consumer) are exempt; everything else must stay
+        substrate-agnostic and dispatch through ``repro.runtime``.
+        Both module-level and function-local imports are flagged.
+        """
+        if _SIM_IMPORT_EXEMPT_RE.search(self.module.path):
+            return
+        for node in ast.walk(self.module.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names
+                         if _is_sim_module(a.name)]
+            elif isinstance(node, ast.ImportFrom):
+                names = (
+                    [node.module] if node.level == 0 and node.module
+                    and _is_sim_module(node.module) else []
+                )
+            else:
+                continue
+            for name in names:
+                self.emit(
+                    "SNAP014", node,
+                    f"direct import of simulation-kernel internals "
+                    f"({name!r}) outside repro.sim/repro.runtime pins "
+                    f"this module to the DES substrate; dispatch "
+                    f"through repro.runtime.kernel or a backend handle",
                 )
 
     # -- SNAP013: obs instrument declarations --------------------------------

@@ -177,6 +177,18 @@ _RULES: Tuple[Rule, ...] = (
             "which most runs leave off, so the crash ships."
         ),
     ),
+    Rule(
+        id="SNAP014",
+        name="sim-import-outside-backend",
+        scope="module",
+        summary=(
+            "Code outside the simulation kernel and the runtime seam "
+            "imports repro.sim internals directly: it silently pins "
+            "itself to the DES substrate and breaks on every other "
+            "RuntimeBackend.  Dispatch through repro.runtime.kernel "
+            "(or a backend handle) instead."
+        ),
+    ),
 )
 
 #: rule ID -> :class:`Rule`, in declaration order.

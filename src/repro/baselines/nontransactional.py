@@ -15,7 +15,7 @@ from repro.actors.ref import ActorId, ActorRef
 from repro.actors.runtime import ActorRuntime, SiloConfig
 from repro.core.context import AccessMode, FuncCall, TxnContext
 from repro.errors import SimulationError
-from repro.sim.loop import SimLoop
+from repro.runtime import as_backend
 
 
 #: the mode string carried by NT contexts (never checked by NT itself).
@@ -90,11 +90,14 @@ class NTSystem:
     def __init__(
         self,
         silo: Optional[SiloConfig] = None,
-        loop: Optional[SimLoop] = None,
+        loop: Optional[Any] = None,
         seed: int = 0,
     ):
-        self.loop = loop or SimLoop(seed=seed)
-        self.runtime = ActorRuntime(self.loop, silo or SiloConfig(seed=seed))
+        self.backend = as_backend(loop, seed=seed)
+        self.loop = loop if loop is not None else getattr(
+            self.backend, "loop", self.backend
+        )
+        self.runtime = ActorRuntime(self.backend, silo or SiloConfig(seed=seed))
 
     def register_actor(self, kind: str, factory) -> None:
         self.runtime.register(kind, factory)
@@ -114,7 +117,7 @@ class NTSystem:
         return await self.actor(kind, key).call("start_txn", method, func_input)
 
     def run(self, coro_or_future, until: Optional[float] = None):
-        return self.loop.run_until_complete(coro_or_future, until=until)
+        return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:
-        self.loop.run(until=self.loop.now + duration)
+        self.backend.run(until=self.backend.now + duration)

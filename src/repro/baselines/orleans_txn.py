@@ -61,9 +61,8 @@ from repro.persistence.records import (
     CoordCommitRecord,
     CoordPrepareRecord,
 )
-from repro.sim.future import Future
-from repro.sim.loop import SimLoop, gather, wait_for
-
+from repro.runtime import as_backend
+from repro.runtime.kernel import Future, gather, wait_for
 ORLEANS_MODE = "ORLEANS"
 TA_KIND = "orleans-ta"
 
@@ -460,12 +459,15 @@ class OrleansTxnSystem:
         self,
         config: Optional[OrleansTxnConfig] = None,
         silo: Optional[SiloConfig] = None,
-        loop: Optional[SimLoop] = None,
+        loop: Optional[Any] = None,
         seed: int = 0,
     ):
         self.config = config or OrleansTxnConfig()
-        self.loop = loop or SimLoop(seed=seed)
-        self.runtime = ActorRuntime(self.loop, silo or SiloConfig(seed=seed))
+        self.backend = as_backend(loop, seed=seed)
+        self.loop = loop if loop is not None else getattr(
+            self.backend, "loop", self.backend
+        )
+        self.runtime = ActorRuntime(self.backend, silo or SiloConfig(seed=seed))
         self.loggers = LoggerGroup(
             num_loggers=self.config.num_loggers,
             io_base_latency=self.config.io_base_latency,
@@ -496,7 +498,7 @@ class OrleansTxnSystem:
         return await self.actor(kind, key).call("start_txn", method, func_input)
 
     def run(self, coro_or_future, until: Optional[float] = None):
-        return self.loop.run_until_complete(coro_or_future, until=until)
+        return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:
-        self.loop.run(until=self.loop.now + duration)
+        self.backend.run(until=self.backend.now + duration)

@@ -41,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of transactions submitted as PACTs")
     parser.add_argument("--workload", choices=("smallbank", "tpcc"),
                         default="smallbank")
+    parser.add_argument("--backend", choices=("sim", "asyncio"),
+                        default="sim",
+                        help="execution substrate: 'sim' (deterministic "
+                             "DES, the default) or 'asyncio' (real tasks "
+                             "and wall-clock timers; the recovery "
+                             "invariants must still hold, but runs are "
+                             "not bit-for-bit repeatable)")
     parser.add_argument("--plan", metavar="FILE",
                         help="replay a saved fault plan instead of "
                              "generating one from --seed")
@@ -81,15 +88,26 @@ def _run_once(plan: FaultPlan, args: argparse.Namespace) -> ChaosReport:
         num_actors=args.num_actors,
         pact_fraction=args.pact_fraction,
         workload=args.workload,
+        backend=args.backend,
     )
     return harness.run()
 
 
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.check_determinism and args.backend != "sim":
+        print(
+            "--check-determinism requires the deterministic sim backend; "
+            "cross-substrate equality lives in the differential tests "
+            "(tests/test_runtime_differential.py)",
+            file=sys.stderr,
+        )
+        return 2
     if args.smoke:
         args.duration = min(args.duration, 1.0)
-        args.check_determinism = True
+        # bit-for-bit repeatability is a sim-backend property; on a real
+        # substrate the smoke still audits every recovery invariant.
+        args.check_determinism = args.backend == "sim"
 
     plan = _build_plan(args)
     if args.dump_plan:

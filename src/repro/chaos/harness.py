@@ -113,10 +113,12 @@ class ChaosHarness:
         pact_fraction: float = 0.5,
         txn_size: int = 3,
         workload: str = "smallbank",
+        backend: str = "sim",
     ):
         if workload not in ("smallbank", "tpcc"):
             raise ValueError(f"unknown chaos workload {workload!r}")
         self.plan = plan
+        self.backend_name = backend
         self.num_actors = num_actors
         self.num_clients = num_clients
         self.pipeline_size = pipeline_size
@@ -133,6 +135,7 @@ class ChaosHarness:
             batch_complete_timeout=0.1,
             deadlock_timeout=0.03,
             observability=bool(meta.get("observability", False)),
+            runtime_backend=backend,
         )
         self.system = SnapperSystem(
             config=self.config,
@@ -274,6 +277,10 @@ class ChaosHarness:
             for key in sorted(tally):
                 chaos_outcomes.labels(status=key).inc(tally[key])
         runtime = system.runtime
+        if self.backend_name != "sim":
+            # free the transport sockets and the event loop; the sim
+            # backend owns no OS resources and stays reusable.
+            system.backend.close()
         return ChaosReport(
             seed=plan.seed,
             duration=plan.duration,

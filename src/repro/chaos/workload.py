@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.context import AccessMode, FuncCall
 from repro.core.transactional_actor import TransactionalActor
-from repro.sim.loop import gather, spawn
+from repro.runtime.kernel import gather, spawn
 from repro.workloads.smallbank import TxnSpec
 
 CHAOS_ACCOUNT_KIND = "chaos-account"

@@ -49,6 +49,8 @@ class SnapperConfig:
         log_dir: Optional[str] = None,
         # -- observability ------------------------------------------------------
         observability: bool = False,
+        # -- execution substrate ------------------------------------------------
+        runtime_backend: str = "sim",
     ):
         if num_coordinators < 1:
             raise ValueError("need at least one coordinator")
@@ -139,6 +141,18 @@ class SnapperConfig:
         #: round-robins the ring across silos; an integer pins the whole
         #: ring to that silo.  Ignored in single-silo deployments.
         self.coordinator_placement = "spread"
+
+        #: execution substrate: "sim" (deterministic DES kernel, the
+        #: reproducibility reference) or "asyncio" (real tasks, wall
+        #: clock, duplex-stream transport).  See docs/runtime.md.
+        from repro.runtime import BACKENDS
+
+        if runtime_backend not in BACKENDS:
+            raise ValueError(
+                f"unknown runtime_backend {runtime_backend!r}; "
+                f"known backends: {list(BACKENDS)}"
+            )
+        self.runtime_backend = runtime_backend
 
     @property
     def wait_die(self) -> bool:

@@ -23,8 +23,8 @@ from typing import Set
 
 from repro.actors.ref import ActorId
 from repro.core.registry import CommitRegistry
-from repro.sim.loop import gather, spawn
-from repro.sim.sync import Condition
+from repro.runtime.kernel import gather, spawn
+from repro.runtime.sync import Condition
 
 
 class AbortController:

@@ -34,8 +34,7 @@ from repro.obs.instruments import (
     registry_from_services,
 )
 from repro.persistence.records import BatchCommitRecord, BatchInfoRecord
-from repro.sim.future import Future
-from repro.sim.loop import current_loop, spawn
+from repro.runtime.kernel import Future, current_loop, spawn
 
 
 class Token:

@@ -47,8 +47,7 @@ from repro.persistence.records import (
     CoordCommitRecord,
     CoordPrepareRecord,
 )
-from repro.sim.future import Future
-from repro.sim.loop import gather, spawn
+from repro.runtime.kernel import Future, gather, spawn
 
 
 class ActRun:

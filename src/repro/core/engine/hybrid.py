@@ -25,7 +25,7 @@ from repro.core.context import SubBatch
 from repro.core.schedule import ActEntry, BatchEntry, LocalSchedule
 from repro.errors import AbortReason, DeadlockError
 from repro.obs.instruments import DISABLED, LATENCY_BUCKETS
-from repro.sim.loop import current_loop, wait_for
+from repro.runtime.kernel import current_loop, wait_for
 
 
 class HybridScheduler:

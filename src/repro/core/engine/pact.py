@@ -33,8 +33,7 @@ from repro.errors import (
     TransactionAbortedError,
 )
 from repro.persistence.records import BatchCompleteRecord
-from repro.sim.future import Future
-from repro.sim.loop import spawn
+from repro.runtime.kernel import Future, spawn
 
 
 class PactExecutor:

@@ -225,7 +225,7 @@ async def resolve_in_doubt_tail(
         tail = in_doubt_tail(actor_id, loggers)
     if not tail:
         return state
-    from repro.sim.loop import sleep
+    from repro.runtime.kernel import sleep
 
     for record in tail:
         if isinstance(record, BatchCompleteRecord):

@@ -27,8 +27,7 @@ from repro.core.engine.concurrency import (
     resolve_concurrency_control,
 )
 from repro.errors import AbortReason, DeadlockError, SimulationError
-from repro.sim.future import Future
-from repro.sim.loop import current_loop
+from repro.runtime.kernel import Future, current_loop
 
 
 class _Request:

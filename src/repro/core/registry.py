@@ -18,7 +18,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.actors.ref import ActorId
 from repro.errors import AbortReason, SimulationError, TransactionAbortedError
-from repro.sim.sync import Condition
+from repro.runtime.sync import Condition
 
 
 class BatchInfo:

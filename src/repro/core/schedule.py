@@ -31,7 +31,7 @@ from repro.errors import (
     SimulationError,
     TransactionAbortedError,
 )
-from repro.sim.future import Future
+from repro.runtime.kernel import Future
 
 
 class BatchEntry:

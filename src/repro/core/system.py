@@ -38,7 +38,7 @@ from repro.persistence.records import (
     CoordCommitRecord,
     CoordPrepareRecord,
 )
-from repro.sim.loop import SimLoop
+from repro.runtime import as_backend, create_backend
 from repro.trace import SYSTEM_TID
 
 COORDINATOR_KIND = "snapper-coordinator"
@@ -51,12 +51,26 @@ class SnapperSystem:
         self,
         config: Optional[SnapperConfig] = None,
         silo: Optional[SiloConfig] = None,
-        loop: Optional[SimLoop] = None,
+        loop: Optional[Any] = None,
         seed: int = 0,
     ):
         self.config = config or SnapperConfig()
-        self.loop = loop or SimLoop(seed=seed)
-        self.runtime = ActorRuntime(self.loop, silo or SiloConfig(seed=seed))
+        if loop is not None:
+            # explicit substrate handle: a RuntimeBackend or a raw
+            # SimLoop (the pre-seam signature, kept working verbatim).
+            self.backend = as_backend(loop)
+            self.loop = loop
+        else:
+            self.backend = create_backend(
+                self.config.runtime_backend, seed=seed
+            )
+            # legacy alias: for the sim backend this stays the raw
+            # SimLoop, so `system.loop` behaves exactly as before the
+            # runtime seam; other backends expose the same surface.
+            self.loop = getattr(self.backend, "loop", self.backend)
+        self.runtime = ActorRuntime(
+            self.backend, silo or SiloConfig(seed=seed)
+        )
         self.registry = CommitRegistry()
         self.controller = AbortController(self.registry)
         self.controller.actor_ref = self._actor_ref_by_id
@@ -68,6 +82,7 @@ class SnapperSystem:
             enabled=self.config.logging_enabled,
             cpu=self.runtime.cpu_of,
             log_dir=self.config.log_dir,
+            io_factory=self.backend.io_device,
         )
         self._token_active = False
         self._token_epoch = 0
@@ -174,12 +189,12 @@ class SnapperSystem:
         return await self.actor(kind, key).call("start_txn", method, func_input)
 
     def run(self, coro_or_future, until: Optional[float] = None):
-        """Drive the simulation until the given work completes."""
-        return self.loop.run_until_complete(coro_or_future, until=until)
+        """Drive the backend until the given work completes."""
+        return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:
-        """Advance the simulation by ``duration`` simulated seconds."""
-        self.loop.run(until=self.loop.now + duration)
+        """Advance the backend by ``duration`` seconds (virtual or wall)."""
+        self.backend.run(until=self.backend.now + duration)
 
     # -- failure & recovery (§4.2.5, §4.3.4, §4.4.5) ------------------------------
     def crash_actor(self, kind: str, key: Hashable) -> bool:
@@ -190,7 +205,7 @@ class SnapperSystem:
         """Record a system-level (non-transactional) trace event."""
         tracer = self.runtime.services.get("txn_tracer")
         if tracer is not None:
-            tracer.record(self.loop.now, SYSTEM_TID, event, detail)
+            tracer.record(self.backend.now, SYSTEM_TID, event, detail)
 
     def crash_silo(self) -> int:
         """Crash everything (actors *and* coordinators); the token dies.

@@ -1,0 +1,128 @@
+"""Pinned benchmarks: the engine core on DES, and DES vs asyncio.
+
+Two small, reproducible benchmark entry points behind
+``python -m repro.experiments``:
+
+``bench-core``
+    The seeded hybrid SmallBank + TPC-C mix from the differential
+    harness, on the deterministic DES backend.  Every field of the
+    output — committed state digest, verdicts, virtual-time throughput
+    — is a pure function of the seed, so the pinned ``BENCH_core.json``
+    at the repo root doubles as a regression oracle: rerun and diff.
+
+``bench-runtime``
+    The same workload on ``SimBackend`` and ``AsyncioBackend``,
+    measuring *wall-clock* throughput of each substrate and checking
+    the cross-backend canonical equality along the way.  Wall numbers
+    are machine-dependent; the pinned ``BENCH_runtime.json`` records
+    one reference measurement, not a contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Any, Dict
+
+from repro.workloads.differential import (
+    canonical,
+    run_smallbank,
+    run_tpcc,
+)
+
+#: workload scale for both benchmarks (big enough to batch, small
+#: enough for CI).
+SMALLBANK_KWARGS = dict(accounts=16, pacts=128, acts=32, txn_size=3)
+TPCC_KWARGS = dict(payments=96)
+
+
+def _digest(payload: Any) -> str:
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _core_entry(result: Dict[str, Any]) -> Dict[str, Any]:
+    detail = result["detail"]
+    virtual = detail["end_time"]
+    return {
+        "committed": result["committed"],
+        "txns": len(result["verdicts"]),
+        "serializable": result["serializable"],
+        "state_digest": _digest(canonical(result)),
+        "virtual_seconds": round(virtual, 9),
+        "virtual_tps": round(result["committed"] / virtual, 3),
+        "messages_sent": detail["messages_sent"],
+        "log_records": detail["log_records"],
+        "log_bytes": detail["log_bytes"],
+        "batches_committed": detail["batches_committed"],
+    }
+
+
+def bench_core(seed: int = 0) -> Dict[str, Any]:
+    """Seeded hybrid SmallBank + TPC-C on the DES backend."""
+    smallbank = run_smallbank("sim", seed=seed, **SMALLBANK_KWARGS)
+    tpcc = run_tpcc("sim", seed=seed, **TPCC_KWARGS)
+    return {
+        "benchmark": "bench-core",
+        "backend": "sim",
+        "seed": seed,
+        "smallbank": _core_entry(smallbank),
+        "tpcc": _core_entry(tpcc),
+    }
+
+
+def bench_runtime(seed: int = 0) -> Dict[str, Any]:
+    """Wall-clock comparison: SimBackend vs AsyncioBackend."""
+    out: Dict[str, Any] = {
+        "benchmark": "bench-runtime",
+        "seed": seed,
+        "backends": {},
+    }
+    digests: Dict[str, str] = {}
+    for backend in ("sim", "asyncio"):
+        started = time.perf_counter()
+        smallbank = run_smallbank(backend, seed=seed, **SMALLBANK_KWARGS)
+        tpcc = run_tpcc(backend, seed=seed, **TPCC_KWARGS)
+        wall = time.perf_counter() - started
+        committed = smallbank["committed"] + tpcc["committed"]
+        digests[backend] = _digest(
+            [canonical(smallbank), canonical(tpcc)]
+        )
+        out["backends"][backend] = {
+            "committed": committed,
+            "serializable": (
+                smallbank["serializable"] and tpcc["serializable"]
+            ),
+            "wall_seconds": round(wall, 3),
+            "wall_tps": round(committed / wall, 1),
+            "state_digest": digests[backend],
+        }
+    # the differential contract, asserted where the numbers are made
+    out["differential_match"] = digests["sim"] == digests["asyncio"]
+    return out
+
+
+def print_table(result: Dict[str, Any]) -> str:
+    lines = [f"== {result['benchmark']} (seed {result['seed']}) =="]
+    if result["benchmark"] == "bench-core":
+        for name in ("smallbank", "tpcc"):
+            entry = result[name]
+            lines.append(
+                f"{name:>10}: {entry['committed']}/{entry['txns']} "
+                f"committed, {entry['virtual_tps']:.0f} txn/s (virtual), "
+                f"serializable={entry['serializable']}, "
+                f"digest={entry['state_digest']}"
+            )
+    else:
+        for backend, entry in result["backends"].items():
+            lines.append(
+                f"{backend:>10}: {entry['committed']} committed, "
+                f"{entry['wall_tps']:.0f} txn/s (wall), "
+                f"serializable={entry['serializable']}, "
+                f"digest={entry['state_digest']}"
+            )
+        lines.append(
+            f"differential_match={result['differential_match']}"
+        )
+    return "\n".join(lines)

@@ -20,9 +20,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.persistence.records import LogRecord
 from repro.persistence.wal import WriteAheadLog
-from repro.sim.future import Future
-from repro.sim.loop import current_loop
-from repro.sim.resources import IoDevice
+from repro.runtime import kernel
 
 
 class Logger:
@@ -30,14 +28,14 @@ class Logger:
 
     def __init__(
         self,
-        io: IoDevice,
+        io: Any,
         wal: Optional[WriteAheadLog] = None,
         group_commit: bool = True,
     ):
         self.io = io
         self.wal = wal if wal is not None else WriteAheadLog()
         self.group_commit = group_commit
-        self._pending: List[Tuple[LogRecord, Future]] = []
+        self._pending: List[Tuple[LogRecord, Any]] = []
         self._flushing = False
         self.records_persisted = 0
         # obs handles, shared across the group (set by LoggerGroup).
@@ -51,11 +49,11 @@ class Logger:
         self.wal.append(record)
         if self._obs_appends is not None:
             self._obs_appends.inc()
-        done = Future(label=f"persist:{record.kind}")
+        done = kernel.Future(label=f"persist:{record.kind}")
         self._pending.append((record, done))
         if not self._flushing:
             self._flushing = True
-            current_loop().create_task(self._flush_loop(), label="logger.flush")
+            kernel.spawn(self._flush_loop(), label="logger.flush")
         await done
 
     async def _flush_loop(self) -> None:
@@ -96,10 +94,15 @@ class LoggerGroup:
         cpu_per_record: float = 20e-6,
         cpu_per_byte: float = 10e-9,
         log_dir: Optional[str] = None,
+        io_factory: Optional[Callable[..., Any]] = None,
     ):
         """``log_dir`` switches the WALs from in-memory lists to pickle
         files on disk (one per logger), so committed state survives the
-        *process*, not just a simulated crash."""
+        *process*, not just a simulated crash.
+
+        ``io_factory`` builds the log devices — pass the owning
+        backend's ``io_device`` so flush latency is charged on the right
+        substrate; defaults to the kernel dispatch (DES device)."""
         if num_loggers < 1:
             raise ValueError("need at least one logger")
         #: when False, persist() is free — the paper's "CC only" mode.
@@ -115,6 +118,8 @@ class LoggerGroup:
         #: windows ("after the Nth CoordPrepareRecord hits the WAL").
         self.on_persist: Optional[Callable[[LogRecord], None]] = None
         self._next_lsn = 0
+        if io_factory is None:
+            io_factory = kernel.io_device
         self.loggers = []
         for i in range(num_loggers):
             wal = None
@@ -127,7 +132,7 @@ class LoggerGroup:
                 )
             self.loggers.append(
                 Logger(
-                    IoDevice(io_base_latency, io_per_byte, label=f"log{i}"),
+                    io_factory(io_base_latency, io_per_byte, label=f"log{i}"),
                     wal=wal,
                     group_commit=group_commit,
                 )

@@ -14,7 +14,7 @@ import random
 from typing import Any, Awaitable, Callable, Iterable, Optional
 
 from repro.errors import AbortReason, TransactionAbortedError
-from repro.sim.loop import current_loop
+from repro.runtime.kernel import current_loop
 
 #: abort reasons that are transient — a retry can succeed.
 TRANSIENT_REASONS = frozenset({

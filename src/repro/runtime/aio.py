@@ -1,0 +1,215 @@
+"""Asyncio-side primitives with simulation-kernel semantics.
+
+The engine was written against the sim kernel's tiny, synchronous
+future (:mod:`repro.sim.future`): single assignment, *inline* done
+callbacks, idempotent ``try_set_*`` completers, and a ``cancel`` that
+completes the future with :class:`~repro.errors.CancelledError`.
+:class:`AioFuture` reproduces exactly that surface on top of a real
+``asyncio`` event loop; ``__await__`` bridges into asyncio by parking
+the awaiting task on an inner ``asyncio.Future`` waiter.
+
+:class:`AioCpuPool` and :class:`AioIoDevice` mirror the DES cost models'
+*interfaces* (stats included) without burning wall-clock on modelled
+costs: on a real substrate the CPU cost of a dispatch is the CPU it
+actually uses, so ``execute`` only yields; a flush pays its base device
+latency on a real timer, which is what keeps group commit meaningful.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.errors import CancelledError, SimulationError
+
+_PENDING = "pending"
+_DONE = "done"
+_CANCELLED = "cancelled"
+
+
+class AioFuture:
+    """A sim-flavoured future living on an asyncio event loop."""
+
+    def __init__(self, loop: asyncio.AbstractEventLoop, label: str = ""):
+        self._loop = loop
+        self._state = _PENDING
+        self._result: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["AioFuture"], None]] = []
+        self.label = label
+
+    # -- state inspection -------------------------------------------------
+    def done(self) -> bool:
+        return self._state != _PENDING
+
+    def cancelled(self) -> bool:
+        return self._state == _CANCELLED
+
+    def result(self) -> Any:
+        if self._state == _PENDING:
+            raise SimulationError(f"future {self.label!r} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.label!r} was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+    def exception(self) -> Optional[BaseException]:
+        if self._state == _PENDING:
+            raise SimulationError(f"future {self.label!r} is not done")
+        if self._state == _CANCELLED:
+            raise CancelledError(f"future {self.label!r} was cancelled")
+        return self._exception
+
+    # -- completion -------------------------------------------------------
+    def set_result(self, value: Any) -> None:
+        if self.done():
+            raise SimulationError(f"future {self.label!r} already done")
+        self._state = _DONE
+        self._result = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if isinstance(exc, type):
+            exc = exc()
+        if self.done():
+            raise SimulationError(f"future {self.label!r} already done")
+        self._state = _DONE
+        self._exception = exc
+        self._run_callbacks()
+
+    def cancel(self, message: str = "") -> bool:
+        if self.done():
+            return False
+        self._state = _CANCELLED
+        self._exception = CancelledError(message or f"future {self.label!r}")
+        self._run_callbacks()
+        return True
+
+    def try_set_result(self, value: Any) -> bool:
+        if self.done():
+            return False
+        self.set_result(value)
+        return True
+
+    def try_set_exception(self, exc: BaseException) -> bool:
+        if self.done():
+            return False
+        self.set_exception(exc)
+        return True
+
+    # -- callbacks ----------------------------------------------------------
+    def add_done_callback(self, cb: Callable[["AioFuture"], None]) -> None:
+        if self.done():
+            cb(self)
+        else:
+            self._callbacks.append(cb)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    # -- awaitable protocol -------------------------------------------------
+    def __await__(self) -> Generator[Any, None, Any]:
+        if not self.done():
+            waiter = self._loop.create_future()
+
+            def _transfer(fut: "AioFuture") -> None:
+                if waiter.done():
+                    return
+                if fut._state == _CANCELLED or fut._exception is not None:
+                    waiter.set_exception(fut._exception)
+                else:
+                    waiter.set_result(None)
+
+            self.add_done_callback(_transfer)
+            yield from waiter.__await__()
+        return self.result()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AioFuture {self.label!r} {self._state}>"
+
+
+def is_future_like(obj: Any) -> bool:
+    """True for anything gather/wait_for can subscribe to directly."""
+    return isinstance(obj, AioFuture) or asyncio.isfuture(obj)
+
+
+class AioCpuPool:
+    """Interface-compatible stand-in for the DES ``CpuPool``.
+
+    ``execute`` accounts the modelled cost (so utilization reports keep
+    working) and yields once, giving the scheduler a fairness point; the
+    real cost is the CPU the turn actually burns.
+    """
+
+    def __init__(self, cores: int, label: str = "cpu"):
+        if cores < 1:
+            raise ValueError("a silo needs at least one core")
+        self.cores = cores
+        self.label = label
+        self.busy_time = 0.0
+        self.jobs_executed = 0
+
+    async def execute(self, cost: float) -> None:
+        if cost < 0:
+            raise ValueError(f"negative CPU cost: {cost}")
+        if cost == 0:
+            return
+        self.busy_time += cost
+        self.jobs_executed += 1
+        await asyncio.sleep(0)
+
+    def utilization(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time / (elapsed * self.cores)
+
+    @property
+    def queue_length(self) -> int:
+        return 0
+
+
+class AioIoDevice:
+    """A serialized log device on wall-clock timers.
+
+    Flushes are serialized by a real lock and pay ``base_latency`` on an
+    asyncio timer — while one flush waits, later ``persist`` calls pile
+    into the logger's pending batch, so group commit amortizes exactly
+    as it does on the DES device.
+    """
+
+    def __init__(
+        self,
+        base_latency: float,
+        per_byte: float,
+        label: str = "disk",
+        bandwidth_cap: Optional[float] = None,
+    ):
+        if base_latency < 0 or per_byte < 0:
+            raise ValueError("IO costs must be >= 0")
+        self.base_latency = base_latency
+        self.per_byte = per_byte
+        self.label = label
+        self.bandwidth_cap = bandwidth_cap
+        self._gate = asyncio.Lock()
+        self.flushes = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+
+    def flush_cost(self, size: int) -> float:
+        cost = self.base_latency + self.per_byte * size
+        if self.bandwidth_cap is not None:
+            cost = max(cost, size / self.bandwidth_cap)
+        return cost
+
+    async def flush(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"negative write size: {size}")
+        cost = self.flush_cost(size)
+        async with self._gate:
+            await asyncio.sleep(self.base_latency)
+            self.flushes += 1
+            self.bytes_written += size
+            self.busy_time += cost

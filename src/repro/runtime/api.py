@@ -1,0 +1,165 @@
+"""The runtime backend protocol: the seam between engine and substrate.
+
+Everything above the kernel — the actor runtime, the Snapper engine, the
+coordinators, the WAL group-commit path — talks to *one* interface:
+:class:`RuntimeBackend`.  A backend supplies four concerns:
+
+* **clock** — ``now`` plus timers (``sleep``, ``call_later``,
+  ``call_clamped``);
+* **scheduling** — ``create_task``/``spawn`` for turn dispatch, plus the
+  combinators ``gather`` and ``wait_for``;
+* **transport** — ``deliver`` routes an envelope callback to a silo,
+  possibly over a real duplex stream;
+* **resources & sync** — factories for futures, CPU pools, IO devices,
+  and the condition-variable family, so the engine never names a
+  concrete primitive.
+
+Two implementations ship:
+
+* :class:`~repro.runtime.sim_backend.SimBackend` wraps the
+  deterministic virtual-time kernel (:mod:`repro.sim`).  It is the
+  reproducibility reference: running the engine through it is
+  bit-for-bit identical to driving a raw ``SimLoop``.
+* :class:`~repro.runtime.aio_backend.AsyncioBackend` runs the same
+  engine on real ``asyncio`` tasks, wall-clock timers, and local duplex
+  streams between silo endpoints.
+
+The contract that makes the two interchangeable: futures are
+single-assignment containers with *inline* ``add_done_callback``
+semantics and the ``try_set_result``/``try_set_exception`` idempotent
+completers the engine relies on (see :mod:`repro.sim.future` for the
+reference semantics).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Coroutine,
+    Optional,
+    Protocol,
+    runtime_checkable,
+)
+
+
+@runtime_checkable
+class FutureLike(Protocol):
+    """The future surface the engine programs against."""
+
+    def done(self) -> bool: ...
+    def cancelled(self) -> bool: ...
+    def result(self) -> Any: ...
+    def exception(self) -> Optional[BaseException]: ...
+    def set_result(self, value: Any) -> None: ...
+    def set_exception(self, exc: BaseException) -> None: ...
+    def try_set_result(self, value: Any) -> bool: ...
+    def try_set_exception(self, exc: BaseException) -> bool: ...
+    def cancel(self, message: str = "") -> bool: ...
+    def add_done_callback(
+        self, cb: Callable[["FutureLike"], None]
+    ) -> None: ...
+
+
+@runtime_checkable
+class RuntimeBackend(Protocol):
+    """One execution substrate for the Snapper engine."""
+
+    #: short name used by ``SnapperConfig.runtime_backend`` ("sim", ...).
+    name: str
+    #: True when two runs with the same seed are bit-for-bit identical.
+    deterministic: bool
+    #: seeded random stream for jitter/workloads (shared, like SimLoop's).
+    rng: Any
+
+    # -- clock -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Seconds since the backend's epoch (virtual or wall)."""
+        ...
+
+    def sleep(self, delay: float) -> FutureLike:
+        """A future resolved ``delay`` seconds from now."""
+        ...
+
+    def call_later(
+        self, delay: float, callback: Callable, *args: Any
+    ) -> None: ...
+
+    def call_at(
+        self, when: float, callback: Callable, *args: Any
+    ) -> None: ...
+
+    def call_clamped(
+        self, when: float, callback: Callable, *args: Any
+    ) -> None:
+        """``call_at`` that clamps past deadlines to *now* (chaos replay)."""
+        ...
+
+    # -- scheduling ------------------------------------------------------
+    def create_task(
+        self, coro: Coroutine, label: str = "", silo: Optional[int] = None
+    ) -> Any:
+        """Schedule ``coro`` as a task; tag it with an execution silo."""
+        ...
+
+    def spawn(self, coro: Coroutine, label: str = "") -> Any: ...
+
+    def create_future(self, label: str = "") -> FutureLike: ...
+
+    def gather(self, *awaitables: Any) -> Any:
+        """Future resolving to the list of results; fails fast."""
+        ...
+
+    def wait_for(
+        self, awaitable: Any, timeout: float, message: str = "timeout"
+    ) -> Any:
+        """Awaitable raising ``TimeoutError`` after ``timeout`` seconds."""
+        ...
+
+    def current_silo(self) -> Optional[int]:
+        """Silo of the task currently executing (None outside a task)."""
+        ...
+
+    # -- transport -------------------------------------------------------
+    def deliver(
+        self,
+        delay: float,
+        callback: Callable,
+        *args: Any,
+        silo: Optional[int] = None,
+        cross_silo: bool = False,
+    ) -> None:
+        """Deliver an envelope callback to ``silo`` after ``delay``.
+
+        Local messages are plain timers; a backend with a real transport
+        routes cross-silo deliveries through its inter-silo streams.
+        """
+        ...
+
+    # -- resources -------------------------------------------------------
+    def cpu_pool(self, cores: int, label: str = "cpu") -> Any: ...
+
+    def io_device(
+        self,
+        base_latency: float,
+        per_byte: float,
+        label: str = "disk",
+        bandwidth_cap: Optional[float] = None,
+    ) -> Any: ...
+
+    # -- running ---------------------------------------------------------
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 100_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None: ...
+
+    def run_until_complete(
+        self, coro_or_future: Any, until: Optional[float] = None
+    ) -> Any: ...
+
+    def close(self) -> None:
+        """Release transport endpoints / event-loop resources."""
+        ...

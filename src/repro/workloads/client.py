@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any, Awaitable, Callable, Optional
 
 from repro.errors import TransactionAbortedError
-from repro.sim.loop import current_loop, gather, spawn
+from repro.runtime.kernel import current_loop, gather, spawn
 from repro.workloads.metrics import MetricsCollector
 
 

@@ -1,0 +1,213 @@
+"""Differential oracle: one seeded workload, two execution substrates.
+
+The DES backend is deterministic by construction; the asyncio backend is
+not.  What the asyncio backend *does* promise is captured here as a
+differential contract: a seeded workload run on each backend must reach
+
+* the **same committed application state** (canonicalized below),
+* the **same per-transaction commit/abort verdicts**, and
+* a trace the serializability checker (:mod:`repro.analysis.tracecheck`)
+  accepts — conflict-serializable, with Theorem 4.2's BS/AS evidence
+  intact for every committed ACT.
+
+The workloads are designed so the contract is *exact*, not approximate:
+
+* every mutation commutes (balance/YTD accumulations), so the committed
+  state is independent of the interleaving the substrate happens to
+  produce;
+* amounts are integral floats, so sums are order-independent in IEEE
+  arithmetic (no rounding differences between schedules);
+* ACTs touch key ranges disjoint from each other and from the PACT
+  population, so their verdicts cannot depend on lock timing — both
+  backends must commit all of them.  (Contended ACT aborts are real and
+  correct behaviour, but they are *timing-dependent*, which is exactly
+  what a cross-substrate equality check must exclude.)
+
+Timing-dependent observables (virtual/wall end time, message and batch
+counts) are reported under ``"detail"`` — the SimBackend double-run
+test compares them bit-for-bit, the cross-backend test ignores them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.analysis.tracecheck import check_tracer
+from repro.core.config import SnapperConfig
+from repro.core.system import SnapperSystem
+from repro.runtime.kernel import gather, spawn
+from repro.trace import TxnTracer
+from repro.workloads.smallbank import (
+    ACCOUNT_KIND,
+    SnapperAccountActor,
+    TxnSpec,
+)
+from repro.workloads.tpcc import TpccLayout, TpccWorkload, tpcc_actor_families
+
+#: the cross-backend equality surface; everything else is timing.
+CANONICAL_KEYS = ("state", "verdicts", "committed", "serializable")
+
+
+def canonical(result: Dict[str, Any]) -> Dict[str, Any]:
+    """Project a run result onto the cross-backend equality surface."""
+    return {key: result[key] for key in CANONICAL_KEYS}
+
+
+def _run_specs(
+    backend: str,
+    seed: int,
+    registrations: Dict[str, Any],
+    specs: List[TxnSpec],
+    probes: List[Tuple[str, Hashable, str, Any]],
+) -> Dict[str, Any]:
+    """Run ``specs`` concurrently on ``backend``, then read ``probes``.
+
+    The batch-complete timeout is widened well past any scheduling
+    hiccup a loaded CI machine can produce: on the wall-clock backend
+    the config's timeouts are *real* seconds, and a spurious timeout
+    abort would (correctly) fail the equality check.
+    """
+    config = SnapperConfig(runtime_backend=backend, batch_complete_timeout=30.0)
+    system = SnapperSystem(config=config, seed=seed)
+    for kind, factory in registrations.items():
+        system.register_actor(kind, factory)
+    tracer = TxnTracer(capacity=200_000)
+    system.runtime.services["txn_tracer"] = tracer
+    system.start()
+
+    verdicts: List[Optional[str]] = [None] * len(specs)
+
+    async def _submit(index: int, spec: TxnSpec) -> None:
+        try:
+            if spec.is_pact:
+                await system.submit_pact(
+                    spec.kind, spec.start_key, spec.method,
+                    spec.func_input, access=spec.access,
+                )
+            else:
+                await system.submit_act(
+                    spec.kind, spec.start_key, spec.method, spec.func_input
+                )
+        except Exception as exc:  # noqa: BLE001 - verdict, not failure
+            verdicts[index] = f"aborted:{type(exc).__name__}"
+        else:
+            verdicts[index] = "committed"
+
+    async def _drive() -> List[Any]:
+        await gather(
+            *[spawn(_submit(i, spec)) for i, spec in enumerate(specs)]
+        )
+        state: List[Any] = []
+        for kind, key, method, func_input in probes:
+            state.append(
+                await system.submit_act(kind, key, method, func_input)
+            )
+        return state
+
+    state = system.run(_drive())
+    report = check_tracer(tracer)
+    system.shutdown()
+    stats = system.stats()
+    end_time = system.backend.now
+    system.backend.close()
+    return {
+        "state": state,
+        "verdicts": tuple(verdicts),
+        "committed": sum(v == "committed" for v in verdicts),
+        "serializable": report.ok,
+        "detail": {
+            "backend": backend,
+            "end_time": end_time,
+            "schedule": report.render(),
+            **stats,
+        },
+    }
+
+
+def run_smallbank(
+    backend: str = "sim",
+    seed: int = 0,
+    accounts: int = 8,
+    pacts: int = 16,
+    acts: int = 4,
+    txn_size: int = 3,
+) -> Dict[str, Any]:
+    """Seeded hybrid SmallBank: contended PACTs + disjoint ACTs.
+
+    PACT MultiTransfers overlap freely on accounts ``[0, accounts)``;
+    ACT transfers each own a private account pair above that range.
+    The probe sweep reads every balance through ACTs at the end.
+    """
+    rng = random.Random(seed * 1_000_003 + 17)
+    specs: List[TxnSpec] = []
+    for _ in range(pacts):
+        keys = rng.sample(range(accounts), txn_size)
+        specs.append(
+            TxnSpec(
+                kind=ACCOUNT_KIND,
+                start_key=keys[0],
+                method="multi_transfer",
+                func_input=(1.0, keys[1:]),
+                access={key: 1 for key in keys},
+                is_pact=True,
+            )
+        )
+    for i in range(acts):
+        source, partner = accounts + 2 * i, accounts + 2 * i + 1
+        specs.append(
+            TxnSpec(
+                kind=ACCOUNT_KIND,
+                start_key=source,
+                method="multi_transfer",
+                func_input=(float(1 + i), [partner]),
+                access=None,
+                is_pact=False,
+            )
+        )
+    total_accounts = accounts + 2 * acts
+    probes = [
+        (ACCOUNT_KIND, key, "balance", None) for key in range(total_accounts)
+    ]
+    return _run_specs(
+        backend, seed, {ACCOUNT_KIND: SnapperAccountActor}, specs, probes
+    )
+
+
+def run_tpcc(
+    backend: str = "sim",
+    seed: int = 0,
+    payments: int = 12,
+) -> Dict[str, Any]:
+    """Seeded TPC-C Payment mix (PACTs across 3 actor kinds).
+
+    Payment's three legs — district, warehouse, and customer YTD
+    accumulations — all commute, so the committed state is a pure
+    function of the committed multiset.  Amounts are truncated to
+    integral dollars for order-independent float sums.
+    """
+    layout = TpccLayout()
+    workload = TpccWorkload(
+        layout=layout,
+        rng=random.Random(seed * 7_919 + 3),
+        payment_fraction=1.0,
+    )
+    specs: List[TxnSpec] = []
+    customers_touched = set()
+    for _ in range(payments):
+        spec = workload.next_payment()
+        spec.func_input["amount"] = float(int(spec.func_input["amount"]))
+        customers_touched.add(
+            (spec.func_input["customer_actor"][1],
+             spec.func_input["c_id"] % 300)
+        )
+        specs.append(spec)
+    probes: List[Tuple[str, Hashable, str, Any]] = []
+    for w in range(layout.num_warehouses):
+        probes.append(("warehouse", w, "read_ytd", None))
+        for d in range(10):
+            probes.append(("district", (w, d), "read_audit", None))
+    for w, c_id in sorted(customers_touched):
+        probes.append(("customer", w, "read_customer", c_id))
+    registrations = tpcc_actor_families()["snapper"]
+    return _run_specs(backend, seed, registrations, specs, probes)

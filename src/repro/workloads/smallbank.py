@@ -23,7 +23,7 @@ from repro.baselines.nontransactional import NonTransactionalActor
 from repro.baselines.orleans_txn import OrleansTxnActor
 from repro.core.context import AccessMode, FuncCall
 from repro.core.transactional_actor import TransactionalActor
-from repro.sim.loop import gather, spawn
+from repro.runtime.kernel import gather, spawn
 
 ACCOUNT_KIND = "account"
 INITIAL_CHECKING = 10_000.0

@@ -34,7 +34,7 @@ from repro.baselines.nontransactional import NonTransactionalActor
 from repro.baselines.orleans_txn import OrleansTxnActor
 from repro.core.context import AccessMode, FuncCall
 from repro.core.transactional_actor import TransactionalActor
-from repro.sim.loop import gather, spawn
+from repro.runtime.kernel import gather, spawn
 from repro.workloads.smallbank import TxnSpec
 
 NUM_ITEMS = 1_000
@@ -92,6 +92,11 @@ class WarehouseLogic:
         state["w_ytd"] += amount
         return state["w_ytd"]
 
+    async def read_ytd(self, ctx, _input=None):
+        """Read-only audit probe (the differential oracle's state read)."""
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state["w_ytd"]
+
 
 class DistrictLogic:
     def initial_state(self):
@@ -103,6 +108,11 @@ class DistrictLogic:
         o_id = state["d_next_o_id"]
         state["d_next_o_id"] = o_id + 1
         return o_id, state["d_tax"]
+
+    async def read_audit(self, ctx, _input=None):
+        """Read-only audit probe: ``(d_ytd, d_next_o_id)``."""
+        state = await self.get_state(ctx, AccessMode.READ)
+        return state.get("d_ytd", 0.0), state["d_next_o_id"]
 
 
 class CustomerLogic:

@@ -3,13 +3,14 @@
 Exercises the patterns the rules must NOT flag: ReadWrite mutation
 through the get_state handle, fire-and-forget ActorRef.call futures,
 spawned coroutines, seeded randomness outside transaction bodies, the
-sim clock, and sorted iteration over set-shaped data.
+sim clock, sorted iteration over set-shaped data, and substrate access
+through the runtime seam (never ``repro.sim`` directly — SNAP014).
 """
 
 import random
 
 from repro.core.context import AccessMode, FuncCall
-from repro.sim import gather, spawn
+from repro.runtime.kernel import gather, spawn
 
 
 class AccountActor:

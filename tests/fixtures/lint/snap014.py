@@ -1,0 +1,21 @@
+"""SNAP014: importing sim-kernel internals outside the runtime seam.
+
+This module pretends to be engine-layer code reaching straight into
+``repro.sim`` — it would run on the DES backend and break on every
+other substrate.  The sanctioned route is ``repro.runtime.kernel`` (or
+a backend handle).
+"""
+
+from repro.sim import gather, spawn  # direct seam violation
+from repro.sim.loop import SimLoop
+
+
+def build_loop():
+    return SimLoop(seed=0)
+
+
+async def fan_out(coros):
+    import repro.sim.future  # local imports violate the seam too
+
+    futures = [spawn(c) for c in coros]
+    return await gather(*futures)

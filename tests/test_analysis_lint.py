@@ -31,7 +31,9 @@ def test_registry_ids_are_stable_and_ordered():
     )
     for rule_id, rule in RULES.items():
         assert rule.id == rule_id
-        assert rule.scope in ("txn-body", "actor-method", "call-site")
+        assert rule.scope in (
+            "txn-body", "actor-method", "call-site", "module"
+        )
         assert rule.summary
 
 
@@ -98,6 +100,34 @@ def test_repo_sources_lint_clean():
         [str(REPO_ROOT / "src" / "repro"), str(REPO_ROOT / "examples")]
     )
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# -- SNAP014: the runtime-backend seam ---------------------------------------
+
+def test_snap014_exempts_kernel_and_seam_paths():
+    source = "from repro.sim.loop import SimLoop\n"
+    for exempt in (
+        "src/repro/sim/sync.py",
+        "src/repro/runtime/sim_backend.py",
+    ):
+        assert lint_source(source, exempt) == []
+    findings = lint_source(source, "src/repro/core/engine/act.py")
+    assert [f.rule_id for f in findings] == ["SNAP014"]
+
+
+def test_snap014_flags_local_and_plain_imports():
+    source = (
+        "def helper():\n"
+        "    import repro.sim.loop\n"
+        "    from repro.sim import spawn\n"
+    )
+    findings = lint_source(source, "src/repro/workloads/foo.py")
+    assert [f.rule_id for f in findings] == ["SNAP014", "SNAP014"]
+
+
+def test_snap014_noqa_suppression():
+    source = "from repro.sim import spawn  # snapper: noqa SNAP014\n"
+    assert lint_source(source, "src/repro/core/foo.py") == []
 
 
 # -- CLI ---------------------------------------------------------------------

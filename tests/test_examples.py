@@ -9,9 +9,9 @@ import pytest
 EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
 
 
-def run_example(name, timeout=240):
+def run_example(name, timeout=240, args=()):
     return subprocess.run(
-        [sys.executable, os.path.join(EXAMPLES, name)],
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
         capture_output=True, text=True, timeout=timeout,
     )
 
@@ -37,6 +37,18 @@ def test_crash_recovery_example():
     assert "presumed abort" in result.stdout
     assert "transfer preserved on both" in result.stdout
     assert "VERDICT: OK" in result.stdout
+
+
+def test_multiserver_deployment_example():
+    result = run_example("multiserver_deployment.py", args=("--quick",))
+    assert result.returncode == 0, result.stderr
+    assert "cross-silo msgs" in result.stdout
+    # part 2: the pluggable-substrate comparison (docs/runtime.md) —
+    # both backends run and commit identical balances
+    assert "sim backend:" in result.stdout
+    assert "asyncio backend:" in result.stdout
+    assert "socket envelope" in result.stdout
+    assert "backends agree" in result.stdout
 
 
 @pytest.mark.slow
