@@ -24,6 +24,7 @@ import tempfile
 
 from repro.actors.ref import ActorId
 from repro.actors.runtime import SiloConfig
+from repro.api import TxnRequest
 from repro.chaos.harness import ChaosHarness
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.oracle import recovered_states
@@ -51,9 +52,9 @@ def crash_window_demo(record_kind: str, log_dir: str) -> dict:
 
     async def client():
         try:
-            await system.submit_act(
+            await system.submit(TxnRequest.act(
                 CHAOS_ACCOUNT_KIND, 0, "chaos_transfer", ("marker", 5.0, (1,))
-            )
+            ))
         except Exception as exc:  # noqa: BLE001 - the crash is the point
             print(f"  client observed: {type(exc).__name__} (in doubt)")
         else:

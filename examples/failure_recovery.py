@@ -15,7 +15,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from quickstart import AccountActor  # noqa: E402
 
-from repro import SnapperSystem  # noqa: E402
+from repro import SnapperSystem, TxnRequest  # noqa: E402
 
 
 def main() -> None:
@@ -24,13 +24,15 @@ def main() -> None:
     system.start()
 
     async def before_crash():
-        await system.submit_pact(
+        await system.submit(TxnRequest.pact(
             "account", "alice", "transfer", (25.0, "bob"),
             access={"alice": 1, "bob": 1},
+        ))
+        await system.submit(
+            TxnRequest.act("account", "carol", "deposit", 50.0)
         )
-        await system.submit_act("account", "carol", "deposit", 50.0)
         return [
-            await system.submit_act("account", name, "balance")
+            await system.submit(TxnRequest.act("account", name, "balance"))
             for name in ("alice", "bob", "carol")
         ]
 
@@ -46,16 +48,16 @@ def main() -> None:
     async def after_recovery():
         await system.recover()
         balances = [
-            await system.submit_act("account", name, "balance")
+            await system.submit(TxnRequest.act("account", name, "balance"))
             for name in ("alice", "bob", "carol")
         ]
         # and the system keeps processing new transactions
-        await system.submit_pact(
+        await system.submit(TxnRequest.pact(
             "account", "bob", "transfer", (10.0, "carol"),
             access={"bob": 1, "carol": 1},
-        )
+        ))
         final = [
-            await system.submit_act("account", name, "balance")
+            await system.submit(TxnRequest.act("account", name, "balance"))
             for name in ("alice", "bob", "carol")
         ]
         return balances, final

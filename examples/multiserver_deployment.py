@@ -23,6 +23,7 @@ import sys
 import time
 
 from repro.actors.runtime import SiloConfig
+from repro.api import TxnRequest
 from repro.core.config import SnapperConfig
 from repro.core.system import SnapperSystem
 from repro.experiments.common import SMALLBANK_FAMILIES
@@ -88,18 +89,21 @@ def run_backend(backend, num_silos=2, accounts=6, pacts=12):
     rng = random.Random(11)
 
     async def scenario():
-        from repro.runtime.kernel import gather, spawn
+        from repro.runtime.kernel import gather
 
         jobs = []
         for _ in range(pacts):
             keys = rng.sample(range(accounts), 3)
-            jobs.append(spawn(system.submit_pact(
+            handle = system.submit(TxnRequest.pact(
                 ACCOUNT_KIND, keys[0], "multi_transfer",
                 (1.0, keys[1:]), access={key: 1 for key in keys},
-            )))
+            ))
+            jobs.append(handle.future)
         await gather(*jobs)
         return [
-            await system.submit_act(ACCOUNT_KIND, key, "balance")
+            await system.submit(
+                TxnRequest.act(ACCOUNT_KIND, key, "balance")
+            )
             for key in range(accounts)
         ]
 

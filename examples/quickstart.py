@@ -14,6 +14,7 @@ from repro import (
     SnapperSystem,
     TransactionAbortedError,
     TransactionalActor,
+    TxnRequest,
 )
 
 
@@ -57,28 +58,30 @@ def main() -> None:
 
     async def scenario():
         # --- a PACT: the accessed actors and counts are pre-declared ----
-        balance = await system.submit_pact(
+        balance = await system.submit(TxnRequest.pact(
             "account", "alice", "transfer", (30.0, "bob"),
             access={"alice": 1, "bob": 1},
-        )
+        ))
         print(f"PACT transfer committed; alice's balance: {balance:.2f}")
 
         # --- the same transaction as an ACT: no pre-declaration ---------
-        balance = await system.submit_act(
+        balance = await system.submit(TxnRequest.act(
             "account", "alice", "transfer", (20.0, "carol")
-        )
+        ))
         print(f"ACT transfer committed;  alice's balance: {balance:.2f}")
 
         # --- user aborts roll everything back ----------------------------
         try:
-            await system.submit_act(
+            await system.submit(TxnRequest.act(
                 "account", "alice", "transfer", (1_000.0, "bob")
-            )
+            ))
         except TransactionAbortedError as exc:
             print(f"over-withdrawal aborted as expected ({exc.reason})")
 
         for name in ("alice", "bob", "carol"):
-            balance = await system.submit_act("account", name, "balance")
+            balance = await system.submit(
+                TxnRequest.act("account", name, "balance")
+            )
             print(f"  {name:5s}: {balance:7.2f}")
 
     system.run(scenario())

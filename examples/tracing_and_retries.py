@@ -14,8 +14,7 @@ import sys
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from quickstart import AccountActor  # noqa: E402
 
-from repro import SnapperSystem  # noqa: E402
-from repro.retry import retry_transaction  # noqa: E402
+from repro import RetryPolicy, SnapperSystem, TxnRequest  # noqa: E402
 from repro.runtime.kernel import gather, sleep, spawn  # noqa: E402
 from repro.trace import TxnTracer  # noqa: E402
 
@@ -32,20 +31,18 @@ def main() -> None:
         # retries recover
         await sleep(0.0002 * i)
         source, target = ("hot-a", "hot-b") if i % 2 else ("hot-b", "hot-a")
-        await retry_transaction(
-            lambda: system.submit_act(
-                "account", source, "transfer", (1.0, target)
-            ),
-            max_attempts=15,
-        )
+        await system.submit(TxnRequest.act(
+            "account", source, "transfer", (1.0, target),
+            retry=RetryPolicy(max_attempts=15),
+        ))
 
     async def scenario():
         await gather(*[spawn(worker(i)) for i in range(10)])
         # and a few PACTs for a hybrid trace
         for i in range(3):
-            await system.submit_pact(
+            await system.submit(TxnRequest.pact(
                 "account", "hot-a", "deposit", 1.0, access={"hot-a": 1}
-            )
+            ))
 
     system.run(scenario())
 
@@ -74,8 +71,10 @@ def main() -> None:
     )
 
     balances_ok = system.run(
-        system.submit_act("account", "hot-a", "balance")
-    ) + system.run(system.submit_act("account", "hot-b", "balance"))
+        system.submit(TxnRequest.act("account", "hot-a", "balance"))
+    ) + system.run(
+        system.submit(TxnRequest.act("account", "hot-b", "balance"))
+    )
     print(f"total money across hot accounts: {balances_ok:.0f} "
           "(conserved, plus the three deposits)")
 

@@ -6,6 +6,8 @@ Actor Systems", Liu, Su, Shah, Zhou, Vaz Salles.
 Public surface:
 
 * :class:`SnapperSystem` / :class:`SnapperConfig` -- build a deployment.
+* :mod:`repro.api` -- the unified submission surface:
+  ``system.submit(TxnRequest) -> TxnHandle``.
 * :class:`TransactionalActor` -- base class for user actors (Fig. 2).
 * :class:`TxnContext`, :class:`FuncCall`, :class:`AccessMode` -- the
   transactional API types (Table 1).
@@ -16,6 +18,7 @@ Public surface:
 * :mod:`repro.experiments` -- regenerate every figure of Section 5.
 """
 
+from repro.api import RetryPolicy, TxnHandle, TxnRequest
 from repro.core import (
     AccessMode,
     FuncCall,
@@ -39,12 +42,15 @@ __all__ = [
     "AbortReason",
     "DeadlockError",
     "FuncCall",
+    "RetryPolicy",
     "SerializabilityError",
     "SnapperConfig",
     "SnapperSystem",
     "TransactionAbortedError",
     "TransactionalActor",
     "TxnContext",
+    "TxnHandle",
+    "TxnRequest",
     "TxnMode",
     "__version__",
 ]

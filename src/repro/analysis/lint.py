@@ -95,6 +95,9 @@ _MUTATORS = frozenset({
 #: paths allowed to import repro.sim internals (SNAP014): the kernel
 #: itself and the runtime seam that adapts it.
 _SIM_IMPORT_EXEMPT_RE = re.compile(r"repro[/\\](?:sim|runtime)[/\\]")
+#: paths allowed to call the submit_pact/submit_act shims (SNAP015):
+#: repro internals, where the shims themselves and their coverage live.
+_SUBMIT_SHIM_EXEMPT_RE = re.compile(r"repro[/\\]")
 
 
 def _is_sim_module(name: str) -> bool:
@@ -526,6 +529,21 @@ class ModuleLinter:
             name = dotted.split(".")[-1]
             if name == "submit_pact":
                 self._check_submit_pact(node)
+            if name in ("submit_pact", "submit_act"):
+                self._check_submit_shim(node, name)
+
+    # -- SNAP015: the deprecated submission shims ---------------------------
+    def _check_submit_shim(self, call: ast.Call, name: str) -> None:
+        """Flag direct shim calls outside repro internals: application
+        code should go through ``submit(TxnRequest...)``."""
+        if _SUBMIT_SHIM_EXEMPT_RE.search(self.module.path):
+            return
+        self.emit(
+            "SNAP015", call,
+            f"direct call to the deprecated {name!r} shim; build a "
+            f"TxnRequest ({'TxnRequest.pact(...)' if name == 'submit_pact' else 'TxnRequest.act(...)'}) "
+            f"and pass it to submit(), which returns a TxnHandle",
+        )
 
     def _check_submit_pact(self, call: ast.Call) -> None:
         access: Optional[ast.expr] = None

@@ -189,6 +189,18 @@ _RULES: Tuple[Rule, ...] = (
             "(or a backend handle) instead."
         ),
     ),
+    Rule(
+        id="SNAP015",
+        name="deprecated-submit-shim",
+        scope="call-site",
+        summary=(
+            "Application code calls the deprecated submit_pact/"
+            "submit_act shims directly.  Build a repro.api.TxnRequest "
+            "(TxnRequest.pact(...) / TxnRequest.act(...)) and pass it "
+            "to submit(), which returns a TxnHandle; the shims survive "
+            "only inside repro internals and will be removed."
+        ),
+    ),
 )
 
 #: rule ID -> :class:`Rule`, in declaration order.

@@ -13,6 +13,7 @@ from typing import Any, Dict, Hashable, Optional, Union
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
 from repro.actors.runtime import ActorRuntime, SiloConfig
+from repro.api import TxnHandle, TxnRequest, submit_over
 from repro.core.context import AccessMode, FuncCall, TxnContext
 from repro.errors import SimulationError
 from repro.runtime import as_backend
@@ -111,12 +112,33 @@ class NTSystem:
     def shutdown(self) -> None:
         pass
 
-    async def submit(
-        self, kind: str, key: Hashable, method: str, func_input: Any = None
-    ) -> Any:
-        return await self.actor(kind, key).call("start_txn", method, func_input)
+    def submit(
+        self,
+        request: Union[TxnRequest, str],
+        key: Hashable = None,
+        method: Optional[str] = None,
+        func_input: Any = None,
+    ) -> TxnHandle:
+        """Submit one call; the unified ``repro.api`` surface.
+
+        NT runs everything without transactions, so the request's
+        ``txn`` kind and access set are simply ignored.  The legacy
+        positional form ``submit(kind, key, method, func_input)`` is
+        still accepted; both return an awaitable :class:`TxnHandle`.
+        """
+        if not isinstance(request, TxnRequest):
+            request = TxnRequest.act(request, key, method, func_input)
+
+        def start(handle: TxnHandle) -> Any:
+            return self.actor(request.kind, request.key).call(
+                "start_txn", request.method, request.func_input
+            )
+
+        return submit_over(self.backend, start, request)
 
     def run(self, coro_or_future, until: Optional[float] = None):
+        if isinstance(coro_or_future, TxnHandle):
+            coro_or_future = coro_or_future.future
         return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:

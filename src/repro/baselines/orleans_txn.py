@@ -39,6 +39,7 @@ from typing import Any, Dict, Hashable, List, Optional, Set, Union
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
 from repro.actors.runtime import ActorRuntime, SiloConfig
+from repro.api import TxnHandle, TxnRequest, submit_over
 from repro.core.context import (
     AccessMode,
     FuncCall,
@@ -492,12 +493,34 @@ class OrleansTxnSystem:
     def shutdown(self) -> None:
         pass
 
-    async def submit(
-        self, kind: str, key: Hashable, method: str, func_input: Any = None
-    ) -> Any:
-        return await self.actor(kind, key).call("start_txn", method, func_input)
+    def submit(
+        self,
+        request: Union[TxnRequest, str],
+        key: Hashable = None,
+        method: Optional[str] = None,
+        func_input: Any = None,
+    ) -> TxnHandle:
+        """Submit one transaction; the unified ``repro.api`` surface.
+
+        OrleansTxn runs every transaction nondeterministically, so a
+        PACT request's access set is accepted but unused (the paper's
+        baseline has no pre-declared path).  The legacy positional form
+        ``submit(kind, key, method, func_input)`` is still accepted;
+        both return an awaitable :class:`TxnHandle`.
+        """
+        if not isinstance(request, TxnRequest):
+            request = TxnRequest.act(request, key, method, func_input)
+
+        def start(handle: TxnHandle) -> Any:
+            return self.actor(request.kind, request.key).call(
+                "start_txn", request.method, request.func_input
+            )
+
+        return submit_over(self.backend, start, request)
 
     def run(self, coro_or_future, until: Optional[float] = None):
+        if isinstance(coro_or_future, TxnHandle):
+            coro_or_future = coro_or_future.future
         return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:

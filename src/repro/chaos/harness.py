@@ -30,6 +30,7 @@ from typing import Any, Dict, List, Optional
 from repro.actors.ref import ActorId
 from repro.actors.runtime import SiloConfig
 from repro.analysis.tracecheck import check_tracer
+from repro.api import TxnRequest
 from repro.chaos.injector import ChaosInjector
 from repro.chaos.oracle import OracleReport, classify, recovered_states, verify
 from repro.chaos.plan import FaultPlan
@@ -198,11 +199,11 @@ class ChaosHarness:
 
     async def _submit(self, spec) -> Any:
         if spec.is_pact:
-            return await self.system.submit_pact(
+            return await self.system.submit(TxnRequest.pact(
                 spec.kind, spec.start_key, spec.method, spec.func_input,
-                access=spec.access)
-        return await self.system.submit_act(
-            spec.kind, spec.start_key, spec.method, spec.func_input)
+                access=spec.access))
+        return await self.system.submit(TxnRequest.act(
+            spec.kind, spec.start_key, spec.method, spec.func_input))
 
     # -- the run ------------------------------------------------------------
     def run(self) -> ChaosReport:
@@ -325,9 +326,9 @@ class ChaosHarness:
         try:
             for spec in probes:
                 system.run(
-                    system.submit_pact(
+                    system.submit(TxnRequest.pact(
                         spec.kind, spec.start_key, spec.method,
-                        spec.func_input, access=spec.access),
+                        spec.func_input, access=spec.access)),
                     until=deadline,
                 )
         except Exception as exc:  # noqa: BLE001 - any failure = not live

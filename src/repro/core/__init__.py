@@ -13,7 +13,7 @@ execution strategy of §3-§4:
   protocol, and ACT tid-range pre-allocation.
 * :class:`SnapperSystem` — wiring facade: builds the silo, loggers,
   commit registry, abort controller, and the coordinator ring; exposes
-  ``submit_pact`` / ``submit_act`` and failure/recovery controls.
+  ``submit(TxnRequest)`` (``repro.api``) and failure/recovery controls.
 * :class:`SnapperConfig` — every cost constant and protocol switch
   (ablations flip these).
 

@@ -7,8 +7,7 @@ library's bookkeeping contends with user code on a real silo.
 
 from __future__ import annotations
 
-import warnings
-from typing import Optional
+from typing import Any, Dict, Optional
 
 
 class SnapperConfig:
@@ -18,10 +17,39 @@ class SnapperConfig:
     4 coordinators on a 4-core silo, logging enabled through a small
     group of loggers, wait-die for ACT-ACT deadlocks and a timeout for
     hybrid PACT-ACT deadlocks.
+
+    Every tunable is keyword-only and grouped into the sections below;
+    :meth:`to_dict` / :meth:`from_dict` round-trip the full
+    configuration as a plain mapping (config files, sweep harnesses).
     """
+
+    #: every constructor tunable, in declaration order — the
+    #: ``to_dict``/``from_dict`` round-trip surface.
+    _FIELDS = (
+        # coordination (token ring, §4.2)
+        "num_coordinators", "act_tid_range", "token_cycle_time",
+        # logging
+        "logging_enabled", "num_loggers", "io_base_latency",
+        "io_per_byte", "group_commit",
+        # CC cost model
+        "cpu_txn_setup", "cpu_state_access", "cpu_lock_op",
+        "cpu_schedule_op", "cpu_commit_op",
+        # deadlock handling
+        "deadlock_timeout", "concurrency_control",
+        # ablation switches
+        "batching_enabled", "incomplete_after_set_optimization",
+        # recovery
+        "batch_complete_timeout", "log_dir",
+        # observability
+        "observability",
+        # execution substrate / deployment
+        "runtime_backend", "coordinator_placement",
+    )
 
     def __init__(
         self,
+        *,
+        # -- coordination (token ring, §4.2) --------------------------------
         num_coordinators: int = 4,
         act_tid_range: int = 64,
         token_cycle_time: float = 2e-3,
@@ -34,13 +62,12 @@ class SnapperConfig:
         # -- CC cost model (CPU seconds per operation) ---------------------
         cpu_txn_setup: float = 10e-6,
         cpu_state_access: float = 5e-6,
-        cpu_lock_op: float = 5e-6,
-        cpu_schedule_op: float = 3e-6,
-        cpu_commit_op: float = 10e-6,
+        cpu_lock_op: float = 3e-6,
+        cpu_schedule_op: float = 1e-6,
+        cpu_commit_op: float = 6e-6,
         # -- deadlock handling -----------------------------------------------
         deadlock_timeout: float = 0.05,
         concurrency_control: Optional[str] = None,
-        wait_die: Optional[bool] = None,
         # -- ablation switches -------------------------------------------------
         batching_enabled: bool = True,
         incomplete_after_set_optimization: bool = True,
@@ -49,9 +76,22 @@ class SnapperConfig:
         log_dir: Optional[str] = None,
         # -- observability ------------------------------------------------------
         observability: bool = False,
-        # -- execution substrate ------------------------------------------------
+        # -- execution substrate / deployment ------------------------------------
         runtime_backend: str = "sim",
+        coordinator_placement: Any = "spread",
+        **removed: Any,
     ):
+        if "wait_die" in removed:
+            raise TypeError(
+                "SnapperConfig(wait_die=...) was removed; pass "
+                "concurrency_control='wait_die' or "
+                "concurrency_control='timeout' instead"
+            )
+        if removed:
+            raise TypeError(
+                "unknown SnapperConfig option(s): "
+                + ", ".join(sorted(removed))
+            )
         if num_coordinators < 1:
             raise ValueError("need at least one coordinator")
         if act_tid_range < 1:
@@ -76,11 +116,16 @@ class SnapperConfig:
         self.cpu_txn_setup = cpu_txn_setup
         #: GetState body: copy/refcount handling of the state blob.
         self.cpu_state_access = cpu_state_access
-        #: one lock-table operation (acquire attempt or release).
+        #: one lock-table operation (acquire attempt or release); the
+        #: compatibility check walks the holder map in place, no copies.
         self.cpu_lock_op = cpu_lock_op
-        #: one local-schedule operation (admit, advance, append).
+        #: one local-schedule operation (admit, advance, append).  The
+        #: schedule keeps O(1) bid/tid indexes and a precomputed
+        #: per-batch dispatch order, so an op is a dict probe plus a
+        #: cursor bump — not a scan.
         self.cpu_schedule_op = cpu_schedule_op
-        #: per-transaction commit bookkeeping on coordinators/actors.
+        #: per-transaction commit bookkeeping on coordinators/actors;
+        #: the commit registry advances its bid chain by deque popleft.
         self.cpu_commit_op = cpu_commit_op
 
         #: time an ACT may block (admission or lock wait) before it is
@@ -89,20 +134,6 @@ class SnapperConfig:
         #: ACT-ACT concurrency-control strategy, by name ("wait_die" —
         #: §4.3.2 and the default, "timeout" — what Orleans Transactions
         #: does, "no_wait", ...); see repro.core.engine.concurrency.
-        if wait_die is not None:
-            warnings.warn(
-                "SnapperConfig(wait_die=...) is deprecated; use "
-                "concurrency_control='wait_die' or 'timeout'",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            legacy = "wait_die" if wait_die else "timeout"
-            if concurrency_control is not None and concurrency_control != legacy:
-                raise ValueError(
-                    f"conflicting settings: wait_die={wait_die} but "
-                    f"concurrency_control={concurrency_control!r}"
-                )
-            concurrency_control = legacy
         if concurrency_control is None:
             concurrency_control = "wait_die"
         from repro.core.engine.concurrency import CC_STRATEGIES
@@ -140,7 +171,7 @@ class SnapperConfig:
         #: multi-silo coordinator placement (§7 future work): "spread"
         #: round-robins the ring across silos; an integer pins the whole
         #: ring to that silo.  Ignored in single-silo deployments.
-        self.coordinator_placement = "spread"
+        self.coordinator_placement = coordinator_placement
 
         #: execution substrate: "sim" (deterministic DES kernel, the
         #: reproducibility reference) or "asyncio" (real tasks, wall
@@ -154,9 +185,25 @@ class SnapperConfig:
             )
         self.runtime_backend = runtime_backend
 
-    @property
-    def wait_die(self) -> bool:
-        """Deprecated read-only alias for ``concurrency_control``.
+    def __getattr__(self, name: str) -> Any:
+        if name == "wait_die":
+            raise AttributeError(
+                "SnapperConfig.wait_die was removed; read "
+                "config.concurrency_control instead"
+            )
+        raise AttributeError(
+            f"{type(self).__name__!s} object has no attribute {name!r}"
+        )
 
-        True iff the configured strategy is ``"wait_die"``."""
-        return self.concurrency_control == "wait_die"
+    # -- round-trip ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Snapshot every tunable as a plain mapping (declaration order)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SnapperConfig":
+        """Rebuild a config from a :meth:`to_dict`-style mapping.
+
+        Unknown keys raise the same clear ``TypeError`` the constructor
+        gives, so stale config files fail loudly."""
+        return cls(**dict(data))

@@ -23,7 +23,8 @@ ConcurrencyControl` interface for their locks.
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional, Set
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set
 
 from repro.actors.ref import ActorId
 from repro.core.context import (
@@ -214,7 +215,7 @@ class ActExecutor(ActExecutionCore):
         #: recently aborted ACT tids (bounded): a late-arriving invocation
         #: of an aborted transaction must be rejected, not executed.
         self._tombstones: Set[int] = set()
-        self._tombstone_order: List[int] = []
+        self._tombstone_order: Deque[int] = deque()
 
     def is_tombstoned(self, tid: int) -> bool:
         return tid in self._tombstones
@@ -251,13 +252,16 @@ class ActExecutor(ActExecutionCore):
             self.commit_local(tid, None)
 
     # -- root ACT (start_txn without actorAccessInfo) ---------------------------
-    async def run_root(self, method: str, func_input: Any) -> Any:
+    async def run_root(self, method: str, func_input: Any,
+                       on_tid=None) -> Any:
         host = self._host
         # optional per-phase timing used by the Fig. 15 microbenchmark
         recorder = host.runtime.services.get("breakdown_recorder")
         t_start = host.runtime.loop.now
         ctx: TxnContext = await host._coordinator.call("new_act", host.id)
         t_tid = host.runtime.loop.now
+        if on_tid is not None:
+            on_tid(ctx.tid)
         # back-dated to the engine-entry time (see PactExecutor.run_root).
         host.trace(ctx.tid, "submitted", mode=TxnMode.ACT, actor=host.id,
                    at=t_start)
@@ -639,7 +643,7 @@ class ActExecutor(ActExecutionCore):
         self._tombstones.add(tid)
         self._tombstone_order.append(tid)
         if len(self._tombstone_order) > 8192:
-            self._tombstones.discard(self._tombstone_order.pop(0))
+            self._tombstones.discard(self._tombstone_order.popleft())
         if host._delta_buffer:
             host._delta_buffer = [
                 (t, e) for t, e in host._delta_buffer if t != tid

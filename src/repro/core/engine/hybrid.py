@@ -92,7 +92,11 @@ class HybridScheduler:
         state access and waits for earlier batches to complete."""
         entry = self.schedule.ensure_act(tid)
         if not entry.admission.done():
-            blocked_at = current_loop().now
+            # hold the loop reference: the finally below may run while
+            # this task is being finalized after loop teardown, where
+            # current_loop() no longer resolves
+            loop = current_loop()
+            blocked_at = loop.now
             try:
                 await wait_for(
                     entry.admission,
@@ -102,7 +106,7 @@ class HybridScheduler:
             except TimeoutError as exc:
                 raise DeadlockError(str(exc), AbortReason.HYBRID_DEADLOCK)
             finally:
-                self._obs_act_wait.observe(current_loop().now - blocked_at)
+                self._obs_act_wait.observe(loop.now - blocked_at)
 
     def act_ended(self, tid: int) -> None:
         self.schedule.act_ended(tid)

@@ -52,12 +52,15 @@ class PactExecutor:
         scheduler.on_subbatch_complete = self._subbatch_completed
 
     # -- root PACT (start_txn with actorAccessInfo) ---------------------------
-    async def run_root(self, method: str, func_input: Any, access) -> Any:
+    async def run_root(self, method: str, func_input: Any, access,
+                       on_tid=None) -> Any:
         host = self._host
         submitted_at = host.runtime.loop.now
         ctx: TxnContext = await host._coordinator.call(
             "new_pact", host.id, access
         )
+        if on_tid is not None:
+            on_tid(ctx.tid)
         # back-dated: the span layer needs the pre-registration time, but
         # the transaction only has an identity after the coordinator
         # round-trip that forms its batch.

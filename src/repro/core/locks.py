@@ -97,11 +97,14 @@ class ActorLock:
 
     def _compatible(self, tid: int, mode: str) -> bool:
         """Can ``tid`` acquire ``mode`` given current holders?"""
-        others = {t: m for t, m in self._holders.items() if t != tid}
-        if not others:
+        holders = self._holders
+        if not holders or (len(holders) == 1 and tid in holders):
             return True
         if mode == AccessMode.READ:
-            return all(m == AccessMode.READ for m in others.values())
+            for t, m in holders.items():
+                if t != tid and m != AccessMode.READ:
+                    return False
+            return True
         return False  # write needs exclusivity over other holders
 
     # -- acquire/release -----------------------------------------------------

@@ -14,7 +14,8 @@ objects (§4.1.1); it is rebuilt from the WAL on recovery.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.actors.ref import ActorId
 from repro.errors import AbortReason, SimulationError, TransactionAbortedError
@@ -44,7 +45,9 @@ class CommitRegistry:
 
     def __init__(self):
         self._batches: Dict[int, BatchInfo] = {}
-        self._chain: List[int] = []  # uncommitted bids, ascending
+        #: uncommitted bids, ascending; commits pop from the left in bid
+        #: order, so a deque keeps both ends O(1).
+        self._chain: Deque[int] = deque()
         self.last_committed_bid: int = -1
         self._changed = Condition(label="registry")
         self.batches_committed = 0
@@ -96,7 +99,7 @@ class CommitRegistry:
                 f"batch {bid} committed out of bid order (head "
                 f"{self._chain[0] if self._chain else None})"
             )
-        self._chain.pop(0)
+        self._chain.popleft()
         info.status = BatchInfo.COMMITTED
         self.last_committed_bid = bid
         self.batches_committed += 1

@@ -41,6 +41,9 @@ class BatchEntry:
     EXECUTING = "executing"
     COMPLETED = "completed"
 
+    #: cheap type dispatch for the scheduler loop (no isinstance).
+    is_batch = True
+
     __slots__ = ("sub_batch", "remaining", "order", "cursor", "status",
                  "wrote_state")
 
@@ -49,6 +52,8 @@ class BatchEntry:
         self.remaining: Dict[int, int] = {
             tid: count for tid, count in sub_batch.plans
         }
+        #: the batch's dispatch order on this actor, precomputed once at
+        #: arrival: ``order[cursor]`` is always the tid whose turn it is.
         self.order: List[int] = [tid for tid, _ in sub_batch.plans]
         self.cursor = 0
         self.status = BatchEntry.WAITING
@@ -73,6 +78,8 @@ class ActEntry:
     ADMITTED = "admitted"
     ENDED = "ended"
 
+    is_batch = False
+
     __slots__ = ("tid", "status", "admission")
 
     def __init__(self, tid: int):
@@ -87,6 +94,10 @@ class LocalSchedule:
     def __init__(self, actor_label: str = "actor"):
         self.label = actor_label
         self._entries: List[object] = []
+        #: O(1) lookup indexes over ``_entries`` (bid -> BatchEntry,
+        #: tid -> ActEntry); ``_entries`` itself keeps the schedule order.
+        self._batch_index: Dict[int, BatchEntry] = {}
+        self._act_index: Dict[int, ActEntry] = {}
         #: sub-batches waiting for their predecessor batch: prev_bid -> batch
         self._orphans: Dict[int, SubBatch] = {}
         #: bids whose sub-batch completed (or committed) on this actor.
@@ -105,23 +116,17 @@ class LocalSchedule:
 
     @property
     def batch_entries(self) -> List[BatchEntry]:
-        return [e for e in self._entries if isinstance(e, BatchEntry)]
+        return [e for e in self._entries if e.is_batch]
 
     @property
     def act_entries(self) -> List[ActEntry]:
-        return [e for e in self._entries if isinstance(e, ActEntry)]
+        return [e for e in self._entries if not e.is_batch]
 
     def batch_entry(self, bid: int) -> Optional[BatchEntry]:
-        for entry in self._entries:
-            if isinstance(entry, BatchEntry) and entry.bid == bid:
-                return entry
-        return None
+        return self._batch_index.get(bid)
 
     def act_entry(self, tid: int) -> Optional[ActEntry]:
-        for entry in self._entries:
-            if isinstance(entry, ActEntry) and entry.tid == tid:
-                return entry
-        return None
+        return self._act_index.get(tid)
 
     def is_empty(self) -> bool:
         return not self._entries and not self._orphans
@@ -146,7 +151,9 @@ class LocalSchedule:
         if not placeable:
             self._orphans[prev] = sub_batch
             return
-        self._entries.append(BatchEntry(sub_batch))
+        entry = BatchEntry(sub_batch)
+        self._entries.append(entry)
+        self._batch_index[entry.bid] = entry
         # placing this batch may unblock its own orphaned successor
         successor = self._orphans.pop(sub_batch.bid, None)
         if successor is not None:
@@ -193,16 +200,16 @@ class LocalSchedule:
     # -- ACT scheduling ----------------------------------------------------------
     def ensure_act(self, tid: int) -> ActEntry:
         """Append an ACT at the schedule tail on first contact (§4.4.1)."""
-        entry = self.act_entry(tid)
+        entry = self._act_index.get(tid)
         if entry is None:
-            entry = ActEntry(tid)
+            entry = self._act_index[tid] = ActEntry(tid)
             self._entries.append(entry)
             self._pump()
         return entry
 
     def act_ended(self, tid: int) -> None:
         """The ACT committed or aborted: stop gating batches on it."""
-        entry = self.act_entry(tid)
+        entry = self._act_index.pop(tid, None)
         if entry is None:
             return
         entry.status = ActEntry.ENDED
@@ -214,10 +221,10 @@ class LocalSchedule:
         """Bid of the nearest batch scheduled before the ACT (or None)."""
         nearest: Optional[int] = None
         for entry in self._entries:
-            if isinstance(entry, ActEntry) and entry.tid == tid:
-                return nearest
-            if isinstance(entry, BatchEntry):
+            if entry.is_batch:
                 nearest = entry.bid
+            elif entry.tid == tid:
+                return nearest
         return nearest
 
     def after_evidence(self, tid: int) -> Optional[int]:
@@ -225,10 +232,10 @@ class LocalSchedule:
         an incomplete AfterSet on this actor)."""
         seen_act = False
         for entry in self._entries:
-            if isinstance(entry, ActEntry) and entry.tid == tid:
+            if not entry.is_batch and entry.tid == tid:
                 seen_act = True
                 continue
-            if seen_act and isinstance(entry, BatchEntry):
+            if seen_act and entry.is_batch:
                 return entry.bid
         return None
 
@@ -240,10 +247,11 @@ class LocalSchedule:
 
     # -- commit / abort ---------------------------------------------------------------
     def batch_committed(self, bid: int) -> None:
-        entry = self.batch_entry(bid)
+        entry = self._batch_index.pop(bid, None)
         if entry is None:
             return
         if entry.status != BatchEntry.COMPLETED:
+            self._batch_index[bid] = entry
             raise SimulationError(
                 f"{self.label}: batch {bid} committed before completing"
             )
@@ -258,7 +266,8 @@ class LocalSchedule:
         Returns the bids dropped.
         """
         dropped = [e.bid for e in self.batch_entries]
-        self._entries = [e for e in self._entries if isinstance(e, ActEntry)]
+        self._entries = [e for e in self._entries if not e.is_batch]
+        self._batch_index.clear()
         self._orphans.clear()
         for bid in dropped:
             self._done_bids.discard(bid)
@@ -284,7 +293,7 @@ class LocalSchedule:
             incomplete_batch_before = False
             pending_act_before = False
             for entry in self._entries:
-                if isinstance(entry, BatchEntry):
+                if entry.is_batch:
                     if entry.status == BatchEntry.WAITING:
                         can_start = (
                             not incomplete_batch_before

@@ -12,18 +12,20 @@ Typical use::
     system.register_actor("account", AccountActor)
     system.start()
     balance = system.run(
-        system.submit_pact(
+        system.submit(TxnRequest.pact(
             "account", 1, "transfer", (100.0, 2),
             access={1: 1, 2: 1},
-        )
+        ))
     )
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, Hashable, Optional, Set
 
 from repro.actors.ref import ActorId, ActorRef
+from repro.api import TxnHandle, TxnRequest, submit_over
 from repro.actors.runtime import ActorRuntime, SiloConfig
 from repro.core.config import SnapperConfig
 from repro.core.controller import AbortController
@@ -167,6 +169,23 @@ class SnapperSystem:
         self._token_active = False
         self.loggers.close()
 
+    def submit(self, request: TxnRequest) -> TxnHandle:
+        """Submit one transaction (Fig. 1) described by ``request``.
+
+        The unified entry point (``repro.api``): fires the start message
+        immediately and returns an awaitable :class:`TxnHandle` exposing
+        result, status, and trace id.  ``system.run(handle)`` drives it
+        to completion on any backend.
+        """
+
+        def start(handle: TxnHandle) -> Any:
+            return self.actor(request.kind, request.key).call(
+                "start_txn", request.method, request.func_input,
+                request.access, handle._set_tid,
+            )
+
+        return submit_over(self.backend, start, request)
+
     async def submit_pact(
         self,
         kind: str,
@@ -175,21 +194,35 @@ class SnapperSystem:
         func_input: Any = None,
         access: Optional[Dict[Any, int]] = None,
     ) -> Any:
-        """Submit a PACT starting on actor ``(kind, key)`` (Fig. 1)."""
+        """Deprecated shim over :meth:`submit` (PACT flavor)."""
+        warnings.warn(
+            "SnapperSystem.submit_pact is deprecated; use "
+            "submit(TxnRequest.pact(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if access is None:
             raise ValueError("a PACT needs actorAccessInfo")
-        return await self.actor(kind, key).call(
-            "start_txn", method, func_input, access
+        return await self.submit(
+            TxnRequest.pact(kind, key, method, func_input, access=access)
         )
 
     async def submit_act(
         self, kind: str, key: Hashable, method: str, func_input: Any = None
     ) -> Any:
-        """Submit an ACT starting on actor ``(kind, key)`` (Fig. 1)."""
-        return await self.actor(kind, key).call("start_txn", method, func_input)
+        """Deprecated shim over :meth:`submit` (ACT flavor)."""
+        warnings.warn(
+            "SnapperSystem.submit_act is deprecated; use "
+            "submit(TxnRequest.act(...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return await self.submit(TxnRequest.act(kind, key, method, func_input))
 
     def run(self, coro_or_future, until: Optional[float] = None):
         """Drive the backend until the given work completes."""
+        if isinstance(coro_or_future, TxnHandle):
+            coro_or_future = coro_or_future.future
         return self.backend.run_until_complete(coro_or_future, until=until)
 
     def run_for(self, duration: float) -> None:

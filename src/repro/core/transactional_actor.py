@@ -28,7 +28,7 @@ methods taking ``(ctx, func_input)``, exactly like Fig. 2's
 from __future__ import annotations
 
 import copy
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
@@ -163,6 +163,7 @@ class TransactionalActor(Actor):
         method: str,
         func_input: Any = None,
         actor_access_info: Optional[Dict[Any, int]] = None,
+        on_tid: Optional[Callable[[int], None]] = None,
     ) -> Any:
         """Submit a transaction starting at this actor (Fig. 1).
 
@@ -172,12 +173,15 @@ class TransactionalActor(Actor):
         access count.  Without it, the transaction runs as an ACT.
         Returns the first method's result after commit; raises
         :class:`TransactionAbortedError` if the transaction aborted.
+        ``on_tid`` (used by ``TxnHandle``) is called with the assigned
+        tid the moment the coordinator registers the transaction.
         """
         await self.charge(self._config.cpu_txn_setup)
         if actor_access_info is not None:
             access = self._normalize_access_info(actor_access_info)
-            return await self._pact.run_root(method, func_input, access)
-        return await self._acts.run_root(method, func_input)
+            return await self._pact.run_root(method, func_input, access,
+                                             on_tid)
+        return await self._acts.run_root(method, func_input, on_tid)
 
     def _normalize_access_info(
         self, info: Dict[Any, int]

@@ -6,6 +6,9 @@ Usage::
     REPRO_SCALE=paper python -m repro.experiments
     python -m repro.experiments bench-core      # pinned DES benchmark
     python -m repro.experiments bench-runtime   # SimBackend vs AsyncioBackend
+    python -m repro.experiments bench-core --compare BENCH_core.json
+                                # delta table vs a baseline; exits 1 on
+                                # drift of any seed-determined field
 
 Results are also written under ``results/`` next to the repository
 root, mirroring what ``pytest benchmarks/ --benchmark-only`` produces;
@@ -56,6 +59,15 @@ def _bench_main(command: str, argv: List[str]) -> int:
         ),
         help="output JSON path ('-' prints to stdout only)",
     )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline JSON from a previous run; print a delta table and "
+            "exit non-zero if any seed-determined field drifted"
+        ),
+    )
     args = parser.parse_args(argv)
     if command == "bench-core":
         result = bench_runtime.bench_core(seed=args.seed)
@@ -67,9 +79,23 @@ def _bench_main(command: str, argv: List[str]) -> int:
             json.dump(result, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"[written to {args.out}]")
+    drifted = False
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = json.load(f)
+        if baseline.get("benchmark") != result["benchmark"]:
+            print(
+                f"--compare: {args.compare} holds "
+                f"{baseline.get('benchmark')!r}, not {result['benchmark']!r}",
+                file=sys.stderr,
+            )
+            return 2
+        text, pinned_match = bench_runtime.compare_table(baseline, result)
+        print(text)
+        drifted = not pinned_match
     if command == "bench-runtime" and not result["differential_match"]:
         return 1
-    return 0
+    return 1 if drifted else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

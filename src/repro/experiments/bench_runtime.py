@@ -103,6 +103,74 @@ def bench_runtime(seed: int = 0) -> Dict[str, Any]:
     return out
 
 
+#: fields whose drift means the *behavior* changed, not the machine.
+_PINNED_CORE_FIELDS = (
+    "state_digest", "committed", "txns", "serializable",
+    "virtual_seconds", "messages_sent", "log_records", "log_bytes",
+    "batches_committed",
+)
+
+
+def _delta_cell(before: Any, after: Any) -> str:
+    if isinstance(before, (int, float)) and isinstance(after, (int, float)) \
+            and not isinstance(before, bool):
+        delta = after - before
+        if before:
+            return f"{delta:+g} ({delta / before:+.1%})"
+        return f"{delta:+g}"
+    return "" if before == after else "DRIFT"
+
+
+def compare_table(baseline: Dict[str, Any], result: Dict[str, Any]) -> tuple:
+    """Render a baseline-vs-current delta table.
+
+    Returns ``(text, pinned_match)`` where ``pinned_match`` is False iff
+    any seed-determined field drifted — digests, counts, virtual time —
+    as opposed to machine-dependent wall-clock numbers, which only show
+    up as informational deltas.
+    """
+    lines = [f"-- vs baseline ({baseline['benchmark']}, "
+             f"seed {baseline['seed']}) --"]
+    header = f"{'field':>34} {'baseline':>18} {'current':>18} delta"
+    lines.append(header)
+    pinned_match = True
+    if result["benchmark"] == "bench-core":
+        sections = [(name, baseline[name], result[name],
+                     _PINNED_CORE_FIELDS + ("virtual_tps",))
+                    for name in ("smallbank", "tpcc")]
+        pinned = set(_PINNED_CORE_FIELDS)
+    else:
+        sections = [(backend, baseline["backends"][backend],
+                     result["backends"][backend],
+                     ("state_digest", "committed", "serializable",
+                      "wall_seconds", "wall_tps"))
+                    for backend in result["backends"]]
+        pinned = {"state_digest", "committed", "serializable"}
+    for section, before_entry, after_entry, fields in sections:
+        for field in fields:
+            before, after = before_entry[field], after_entry[field]
+            cell = _delta_cell(before, after)
+            if field in pinned and before != after:
+                pinned_match = False
+                cell = (cell + " DRIFT").strip()
+            lines.append(
+                f"{section + '.' + field:>34} {before!s:>18} "
+                f"{after!s:>18} {cell}".rstrip()
+            )
+    if result["benchmark"] == "bench-runtime":
+        before = baseline["differential_match"]
+        after = result["differential_match"]
+        if not after or before != after:
+            pinned_match = pinned_match and after
+        lines.append(f"{'differential_match':>34} {before!s:>18} "
+                     f"{after!s:>18}")
+    lines.append(
+        "pinned fields match" if pinned_match
+        else "PINNED FIELD DRIFT: seed-determined behavior changed"
+    )
+    return "\n".join(lines), pinned_match
+
+
 def print_table(result: Dict[str, Any]) -> str:
     lines = [f"== {result['benchmark']} (seed {result['seed']}) =="]
     if result["benchmark"] == "bench-core":

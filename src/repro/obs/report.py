@@ -318,6 +318,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             enabled["wall_seconds"] / disabled["wall_seconds"] - 1.0
             if disabled["wall_seconds"] else 0.0
         ),
+        # full telemetry (metrics + tracer/span recording) vs none — the
+        # headline "span overhead" number.
+        "span_overhead_ratio": (
+            with_spans["wall_seconds"] / disabled["wall_seconds"] - 1.0
+            if disabled["wall_seconds"] else 0.0
+        ),
         "same_committed": (
             disabled["committed"] == enabled["committed"]
             == with_spans["committed"]

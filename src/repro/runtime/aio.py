@@ -186,6 +186,7 @@ class AioIoDevice:
         per_byte: float,
         label: str = "disk",
         bandwidth_cap: Optional[float] = None,
+        timer_resolution: float = 0.0,
     ):
         if base_latency < 0 or per_byte < 0:
             raise ValueError("IO costs must be >= 0")
@@ -193,6 +194,9 @@ class AioIoDevice:
         self.per_byte = per_byte
         self.label = label
         self.bandwidth_cap = bandwidth_cap
+        #: modelled latencies below this run as a bare yield instead of a
+        #: real timer (see ``AsyncioBackend.timer_resolution``).
+        self.timer_resolution = timer_resolution
         self._gate = asyncio.Lock()
         self.flushes = 0
         self.bytes_written = 0
@@ -209,7 +213,10 @@ class AioIoDevice:
             raise ValueError(f"negative write size: {size}")
         cost = self.flush_cost(size)
         async with self._gate:
-            await asyncio.sleep(self.base_latency)
+            if self.base_latency < self.timer_resolution:
+                await asyncio.sleep(0)
+            else:
+                await asyncio.sleep(self.base_latency)
             self.flushes += 1
             self.bytes_written += size
             self.busy_time += cost

@@ -42,6 +42,16 @@ _silo_var: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
     "repro_runtime_silo", default=None
 )
 
+#: timers shorter than this collapse to ``call_soon``: the callback still
+#: goes through the event loop (one fairness point), but skips the epoll
+#: timer wait.  Sub-resolution delays — per-message network latency,
+#: per-dispatch CPU charges — are *modelled* costs; on the wall-clock
+#: substrate the real cost is the CPU the callback burns, so waiting out
+#: each microsecond-scale timer only fragments the loop into thousands
+#: of near-empty epoll waits.  Longer delays (token pacing, deadlock and
+#: batch timeouts, retry backoff) remain real timers.
+TIMER_RESOLUTION = 250e-6
+
 
 def _completion(fut: Any) -> Tuple[Optional[BaseException], Any]:
     """Normalize a done future/task into ``(exception, result)``."""
@@ -61,7 +71,8 @@ class AsyncioBackend:
     name = "asyncio"
     deterministic = False
 
-    def __init__(self, seed: int = 0, transport: bool = True):
+    def __init__(self, seed: int = 0, transport: bool = True,
+                 timer_resolution: float = TIMER_RESOLUTION):
         self._loop = asyncio.new_event_loop()
         self.seed = seed
         #: seeded jitter/workload stream — same role as ``SimLoop.rng``
@@ -69,6 +80,7 @@ class AsyncioBackend:
         self.rng = random.Random(seed)
         self._epoch = self._loop.time()
         self._transport_enabled = transport
+        self.timer_resolution = timer_resolution
         #: silo -> (writer, reader_task, keepalive streams); created
         #: lazily inside the loop.  The unused halves of each stream
         #: pair must be retained: a garbage-collected ``StreamWriter``
@@ -76,6 +88,11 @@ class AsyncioBackend:
         self._endpoints: Dict[int, Tuple[Any, ...]] = {}
         self._endpoint_locks: Dict[int, asyncio.Lock] = {}
         self._pending_envelopes: Dict[int, Tuple[Callable, tuple]] = {}
+        #: silo -> tokens whose delivery delay has elapsed, awaiting one
+        #: coalesced socket write; drained by a single flusher task per
+        #: silo instead of one task + write + drain per envelope.
+        self._outboxes: Dict[int, list] = {}
+        self._flushers: Dict[int, Any] = {}
         self._next_token = 0
         self.transport_messages = 0
         self.transport_bytes = 0
@@ -88,11 +105,17 @@ class AsyncioBackend:
 
     def sleep(self, delay: float) -> AioFuture:
         fut = AioFuture(self._loop, label=f"sleep({delay:g})")
-        self._loop.call_later(max(0.0, delay), fut.try_set_result, None)
+        if delay < self.timer_resolution:
+            self._loop.call_soon(fut.try_set_result, None)
+        else:
+            self._loop.call_later(delay, fut.try_set_result, None)
         return fut
 
     def call_later(self, delay: float, callback: Callable, *args: Any):
-        self._loop.call_later(max(0.0, delay), callback, *args)
+        if delay < self.timer_resolution:
+            self._loop.call_soon(callback, *args)
+        else:
+            self._loop.call_later(delay, callback, *args)
 
     def call_at(self, when: float, callback: Callable, *args: Any):
         if when < self.now:
@@ -207,28 +230,53 @@ class AsyncioBackend:
         silo: Optional[int] = None,
         cross_silo: bool = False,
     ) -> None:
+        if self._closed:
+            return  # substrate shutting down: the message is lost with it
         if not cross_silo or not self._transport_enabled or silo is None:
             self.call_later(delay, callback, *args)
             return
-        self.create_task(
-            self._post(delay, silo, callback, args),
-            label=f"xsilo:{silo}",
-        )
-
-    async def _post(
-        self, delay: float, silo: int, callback: Callable, args: tuple
-    ) -> None:
-        if delay > 0:
-            await asyncio.sleep(delay)
-        writer = await self._writer_for(silo)
         token = self._next_token
         self._next_token += 1
         self._pending_envelopes[token] = (callback, args)
-        frame = token.to_bytes(8, "big")
-        writer.write(frame)
-        self.transport_messages += 1
-        self.transport_bytes += len(frame)
-        await writer.drain()
+        # No per-envelope task: once the modelled network delay elapses
+        # the token joins the silo's outbox, and one flusher task writes
+        # every queued token as a single coalesced frame + drain.
+        if delay < self.timer_resolution:
+            self._enqueue_frame(silo, token)
+        else:
+            self._loop.call_later(delay, self._enqueue_frame, silo, token)
+
+    def _enqueue_frame(self, silo: int, token: int) -> None:
+        if self._closed:
+            return
+        outbox = self._outboxes.get(silo)
+        if outbox is None:
+            outbox = self._outboxes[silo] = []
+        outbox.append(token)
+        if silo not in self._flushers:
+            self._flushers[silo] = self.create_task(
+                self._flush_outbox(silo), label=f"xsilo:{silo}"
+            )
+
+    async def _flush_outbox(self, silo: int) -> None:
+        """Drain the silo's outbox: all queued tokens, one write, one
+        drain per round — sub-ms envelope bursts share a socket frame."""
+        writer = await self._writer_for(silo)
+        outbox = self._outboxes[silo]
+        while True:
+            if not outbox:
+                # single-threaded loop, no await between the check and
+                # the unregister: nothing can slip into the gap.
+                del self._flushers[silo]
+                return
+            payload = b"".join(
+                token.to_bytes(8, "big") for token in outbox
+            )
+            self.transport_messages += len(outbox)
+            self.transport_bytes += len(payload)
+            outbox.clear()
+            writer.write(payload)
+            await writer.drain()
 
     async def _writer_for(self, silo: int):
         lock = self._endpoint_locks.setdefault(silo, asyncio.Lock())
@@ -276,7 +324,8 @@ class AsyncioBackend:
         bandwidth_cap: Optional[float] = None,
     ) -> AioIoDevice:
         return AioIoDevice(
-            base_latency, per_byte, label=label, bandwidth_cap=bandwidth_cap
+            base_latency, per_byte, label=label, bandwidth_cap=bandwidth_cap,
+            timer_resolution=self.timer_resolution,
         )
 
     # -- running ---------------------------------------------------------

@@ -43,16 +43,26 @@ def spawn(coro: Coroutine, label: str = "") -> Task:
     return current_loop().create_task(coro, label=label)
 
 
+def _ensure_future(loop: "SimLoop", aw: Any) -> Future:
+    if isinstance(aw, Future):
+        return aw
+    inner = getattr(aw, "future", None)
+    if isinstance(inner, Future):
+        # future-like wrappers (e.g. TxnHandle) expose the real future
+        return inner
+    return loop.create_task(aw)
+
+
 def gather(*awaitables: Future) -> Future:
     """Return a future resolving to the list of results.
 
     Fails fast with the first exception, like ``asyncio.gather``.  Plain
-    coroutines are spawned as tasks.
+    coroutines are spawned as tasks; future-like objects exposing a
+    ``.future`` attribute are unwrapped.
     """
     loop = current_loop()
     futures: List[Future] = [
-        aw if isinstance(aw, Future) else loop.create_task(aw)
-        for aw in awaitables
+        _ensure_future(loop, aw) for aw in awaitables
     ]
     result = Future(label="gather")
     if not futures:

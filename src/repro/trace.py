@@ -193,35 +193,62 @@ class TxnTrace:
 
 
 class TxnTracer:
-    """Collects :class:`TxnTrace` timelines, bounded to ``capacity``."""
+    """Collects :class:`TxnTrace` timelines, bounded to ``capacity``.
+
+    Recording is a buffered append: :meth:`record` pushes one flat tuple
+    onto an internal buffer and returns — no :class:`TraceEvent` or
+    :class:`TxnTrace` is constructed on the engine's hot path.  The
+    buffer is folded into per-transaction timelines lazily, the first
+    time anything *reads* the tracer (``traces``, ``all_events``,
+    ``dump_jsonl``, ...).  Recording order is preserved, so the folded
+    result is identical to eager construction — including the
+    ``capacity`` eviction of the oldest transactions.
+    """
 
     def __init__(self, capacity: int = 10_000):
         self.capacity = capacity
-        self.traces: Dict[int, TxnTrace] = {}
-        self._order: List[int] = []
+        self._traces: Dict[int, TxnTrace] = {}
+        #: flat (now, tid, event, detail, mode, bid, actor, access, seq)
+        #: tuples awaiting materialization.
+        self._pending: List[Tuple[Any, ...]] = []
         self._seq = 0
 
     def record(self, now: float, tid: int, event: str,
                detail: Any = None, mode: Optional[str] = None, *,
                bid: Optional[int] = None, actor: Any = None,
                access: Optional[str] = None) -> None:
-        trace = self.traces.get(tid)
-        if trace is None:
-            if len(self._order) >= self.capacity:
-                evicted = self._order.pop(0)
-                self.traces.pop(evicted, None)
-            trace = TxnTrace(tid=tid)
-            self.traces[tid] = trace
-            self._order.append(tid)
-        if mode is not None:
-            trace.mode = mode
-        if bid is not None and trace.bid is None:
-            trace.bid = bid
         self._seq += 1
-        trace.events.append(TraceEvent(
-            now, event, detail,
-            tid=tid, bid=bid, actor=actor, access=access, seq=self._seq,
-        ))
+        self._pending.append(
+            (now, tid, event, detail, mode, bid, actor, access, self._seq)
+        )
+
+    def _drain(self) -> None:
+        """Fold buffered records into per-transaction timelines."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        traces = self._traces
+        capacity = self.capacity
+        for now, tid, event, detail, mode, bid, actor, access, seq in pending:
+            trace = traces.get(tid)
+            if trace is None:
+                if len(traces) >= capacity:
+                    traces.pop(next(iter(traces)), None)
+                trace = traces[tid] = TxnTrace(tid=tid)
+            if mode is not None:
+                trace.mode = mode
+            if bid is not None and trace.bid is None:
+                trace.bid = bid
+            trace.events.append(TraceEvent(
+                now, event, detail,
+                tid=tid, bid=bid, actor=actor, access=access, seq=seq,
+            ))
+
+    @property
+    def traces(self) -> Dict[int, TxnTrace]:
+        self._drain()
+        return self._traces
 
     # -- queries ----------------------------------------------------------
     def trace_of(self, tid: int) -> Optional[TxnTrace]:

@@ -15,7 +15,7 @@
   every experiment.
 """
 
-from repro.workloads.client import ClientPool, TxnRequest
+from repro.workloads.client import ClientPool, PipelinedTxn
 from repro.workloads.distributions import (
     SKEW_LEVELS,
     HotspotDistribution,
@@ -32,8 +32,8 @@ __all__ = [
     "EpochResult",
     "HotspotDistribution",
     "MetricsCollector",
+    "PipelinedTxn",
     "SKEW_LEVELS",
-    "TxnRequest",
     "UniformDistribution",
     "ZipfDistribution",
     "make_distribution",

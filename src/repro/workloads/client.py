@@ -19,8 +19,12 @@ from repro.runtime.kernel import current_loop, gather, spawn
 from repro.workloads.metrics import MetricsCollector
 
 
-class TxnRequest:
-    """One transaction instance flowing through a client pipeline."""
+class PipelinedTxn:
+    """One transaction instance flowing through a client pipeline.
+
+    (Renamed from ``TxnRequest``, which now names the engine-facing
+    request object in :mod:`repro.api`.)
+    """
 
     __slots__ = ("spec", "label")
 

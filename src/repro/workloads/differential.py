@@ -34,6 +34,7 @@ import random
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.analysis.tracecheck import check_tracer
+from repro.api import TxnRequest
 from repro.core.config import SnapperConfig
 from repro.core.system import SnapperSystem
 from repro.runtime.kernel import gather, spawn
@@ -79,16 +80,15 @@ def _run_specs(
     verdicts: List[Optional[str]] = [None] * len(specs)
 
     async def _submit(index: int, spec: TxnSpec) -> None:
+        request = (
+            TxnRequest.pact(spec.kind, spec.start_key, spec.method,
+                            spec.func_input, access=spec.access)
+            if spec.is_pact
+            else TxnRequest.act(spec.kind, spec.start_key, spec.method,
+                                spec.func_input)
+        )
         try:
-            if spec.is_pact:
-                await system.submit_pact(
-                    spec.kind, spec.start_key, spec.method,
-                    spec.func_input, access=spec.access,
-                )
-            else:
-                await system.submit_act(
-                    spec.kind, spec.start_key, spec.method, spec.func_input
-                )
+            await system.submit(request)
         except Exception as exc:  # noqa: BLE001 - verdict, not failure
             verdicts[index] = f"aborted:{type(exc).__name__}"
         else:
@@ -101,7 +101,9 @@ def _run_specs(
         state: List[Any] = []
         for kind, key, method, func_input in probes:
             state.append(
-                await system.submit_act(kind, key, method, func_input)
+                await system.submit(
+                    TxnRequest.act(kind, key, method, func_input)
+                )
             )
         return state
 

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional
 
 from repro.actors.runtime import SiloConfig
+from repro.api import TxnRequest
 from repro.baselines.nontransactional import NTSystem
 from repro.baselines.orleans_txn import OrleansTxnConfig, OrleansTxnSystem
 from repro.core.config import SnapperConfig
@@ -88,30 +89,29 @@ class EngineRunner:
         self.loop = self.system.loop
 
     # -- submission -------------------------------------------------------
-    async def submit(self, spec) -> Any:
-        """Submit one :class:`TxnSpec` under this engine's rules."""
-        if self.engine == "pact":
-            return await self.system.submit_pact(
+    def request_for(self, spec) -> TxnRequest:
+        """Translate one :class:`TxnSpec` into a :class:`TxnRequest`."""
+        as_pact = self.engine == "pact" or (
+            self.engine == "hybrid" and spec.is_pact
+        )
+        if as_pact:
+            return TxnRequest.pact(
                 spec.kind, spec.start_key, spec.method, spec.func_input,
                 access=spec.access,
             )
-        if self.engine == "act":
-            return await self.system.submit_act(
-                spec.kind, spec.start_key, spec.method, spec.func_input
-            )
-        if self.engine == "hybrid":
-            if spec.is_pact:
-                return await self.system.submit_pact(
-                    spec.kind, spec.start_key, spec.method, spec.func_input,
-                    access=spec.access,
-                )
-            return await self.system.submit_act(
-                spec.kind, spec.start_key, spec.method, spec.func_input
-            )
-        # nt / orleans share the same submit surface
-        return await self.system.submit(
+        # act / nt / orleans all run nondeterministically
+        return TxnRequest.act(
             spec.kind, spec.start_key, spec.method, spec.func_input
         )
+
+    async def submit(self, spec) -> Any:
+        """Submit one :class:`TxnSpec` under this engine's rules.
+
+        Every engine — Snapper and both baselines — exposes the same
+        ``submit(TxnRequest) -> TxnHandle`` surface (``repro.api``), so
+        the runner no longer dispatches per engine.
+        """
+        return await self.system.submit(self.request_for(spec))
 
     def label_for(self, spec) -> str:
         if self.engine == "hybrid":

@@ -49,10 +49,13 @@ class Workload:
 
 
 async def submit(system):
-    return await system.submit_pact(
+    from repro.api import TxnRequest
+
+    handle = system.submit(TxnRequest.pact(
         "account", "alice", "multi_transfer", (1.0, ["bob"]),
         access={"alice": 1, "bob": 1},
-    )
+    ))
+    return await handle
 
 
 def attach_obs(obs, ladder):

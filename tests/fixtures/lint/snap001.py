@@ -2,7 +2,7 @@
 
 
 async def submit(system):
-    return await system.submit_pact(
+    return await system.submit_pact(  # snapper: noqa SNAP015
         "account", "alice", "transfer", (10.0, "bob"),
         access={"bob": 1},
     )

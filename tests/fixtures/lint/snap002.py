@@ -16,7 +16,7 @@ class TransferActor:
 
 
 async def submit(system):
-    return await system.submit_pact(
+    return await system.submit_pact(  # snapper: noqa SNAP015
         "account", "alice", "transfer", None,
         access={"alice": 1, "bob": 1},
     )

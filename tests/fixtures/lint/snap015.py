@@ -1,0 +1,19 @@
+"""SNAP015: calling the deprecated submission shims directly.
+
+This module pretends to be application code still driving the system
+through ``submit_pact`` / ``submit_act``.  The supported surface is
+``submit(TxnRequest.pact(...))`` / ``submit(TxnRequest.act(...))``,
+which returns a :class:`TxnHandle`; the shims remain only for repro
+internals.
+"""
+
+
+async def transfer(system):
+    return await system.submit_pact(
+        "account", 0, "transfer", {"to": 1, "amount": 5},
+        {0: 1, 1: 1},
+    )
+
+
+async def audit(system):
+    return await system.submit_act("account", 0, "balance", None)

@@ -130,6 +130,29 @@ def test_snap014_noqa_suppression():
     assert lint_source(source, "src/repro/core/foo.py") == []
 
 
+# -- SNAP015: the deprecated submission shims --------------------------------
+
+def test_snap015_exempts_repro_internals():
+    source = (
+        "async def run(system):\n"
+        "    await system.submit_act('account', 0, 'balance')\n"
+    )
+    assert lint_source(source, "src/repro/workloads/client.py") == []
+    findings = lint_source(source, "apps/teller.py")
+    assert [f.rule_id for f in findings] == ["SNAP015"]
+    assert "TxnRequest.act" in findings[0].message
+
+
+def test_snap015_flags_both_shims_and_bare_names():
+    source = (
+        "async def run(system, submit_pact):\n"
+        "    await system.submit_pact('a', 0, 'm', None, {0: 1})\n"
+        "    await submit_pact('a', 0, 'm', None, {0: 1})\n"
+    )
+    findings = lint_source(source, "apps/teller.py")
+    assert [f.rule_id for f in findings] == ["SNAP015", "SNAP015"]
+
+
 # -- CLI ---------------------------------------------------------------------
 
 def test_cli_lint_exit_codes(capsys):

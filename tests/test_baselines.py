@@ -262,10 +262,10 @@ def test_orleans_early_lock_release_allows_pipelining():
 
         async def main():
             jobs = [
-                spawn(system.submit("account", 0, "deposit", 1.0))
+                system.submit("account", 0, "deposit", 1.0)
                 for _ in range(8)
             ]
-            await gather(*jobs)
+            await gather(*(job.future for job in jobs))
             return system.loop.now
 
         return system.run(main())

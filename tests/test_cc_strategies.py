@@ -1,8 +1,9 @@
 """Concurrency-control strategy selection and the ablation it enables.
 
 Covers the pluggable :class:`ConcurrencyControl` layer: name-based
-selection through ``SnapperConfig``, the deprecated ``wait_die``
-boolean shims (config and lock), and — the point of the ablation — that
+selection through ``SnapperConfig``, the removed config-level
+``wait_die`` boolean (clear errors name the replacement), the lock-level
+boolean shim, and — the point of the ablation — that
 swapping the strategy name actually changes end-to-end abort behavior.
 """
 
@@ -49,29 +50,40 @@ def test_registry_contains_all_shipped_strategies():
     assert {"wait_die", "timeout", "no_wait", "2pl_elr"} <= set(CC_STRATEGIES)
 
 
-# -- SnapperConfig selection + deprecation shim ------------------------------
+# -- SnapperConfig selection + removed-option errors --------------------------
 
 def test_config_selects_strategy_by_name():
     assert SnapperConfig().concurrency_control == "wait_die"
-    assert SnapperConfig(concurrency_control="timeout").wait_die is False
-    assert SnapperConfig(concurrency_control="wait_die").wait_die is True
+    assert (SnapperConfig(concurrency_control="timeout").concurrency_control
+            == "timeout")
     with pytest.raises(ValueError, match="unknown concurrency_control"):
         SnapperConfig(concurrency_control="mvcc")
 
 
-def test_config_wait_die_flag_is_deprecated_but_works():
-    with pytest.warns(DeprecationWarning):
-        config = SnapperConfig(wait_die=False)
-    assert config.concurrency_control == "timeout"
-    with pytest.warns(DeprecationWarning):
-        config = SnapperConfig(wait_die=True)
-    assert config.concurrency_control == "wait_die"
+def test_config_wait_die_flag_is_gone():
+    with pytest.raises(TypeError, match="concurrency_control"):
+        SnapperConfig(wait_die=False)
+    with pytest.raises(AttributeError, match="concurrency_control"):
+        SnapperConfig().wait_die
 
 
-def test_config_conflicting_settings_raise():
-    with pytest.warns(DeprecationWarning):
-        with pytest.raises(ValueError, match="conflicting"):
-            SnapperConfig(wait_die=True, concurrency_control="timeout")
+def test_config_unknown_option_and_positional_args_rejected():
+    with pytest.raises(TypeError, match="unknown SnapperConfig option"):
+        SnapperConfig(num_cordinators=2)  # typo'd key fails loudly
+    with pytest.raises(TypeError):
+        SnapperConfig(2)  # every tunable is keyword-only
+
+
+def test_config_dict_round_trip():
+    config = SnapperConfig(concurrency_control="timeout", num_loggers=2,
+                           observability=True)
+    data = config.to_dict()
+    assert data["concurrency_control"] == "timeout"
+    assert data["num_loggers"] == 2
+    clone = SnapperConfig.from_dict(data)
+    assert clone.to_dict() == data
+    with pytest.raises(TypeError, match="wait_die"):
+        SnapperConfig.from_dict({**data, "wait_die": True})
 
 
 def test_actor_lock_boolean_shim():
