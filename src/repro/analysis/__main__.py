@@ -5,10 +5,17 @@ Usage::
     python -m repro.analysis lint [PATH ...] [--select SNAP0xx ...]
     python -m repro.analysis lint --list-rules
     python -m repro.analysis check-trace TRACE.jsonl [...]
+    python -m repro.analysis infer  [PATH ...] [--kind K] [--method M]
+    python -m repro.analysis verify [PATH ...] [--strict] [--fix]
 
 ``lint`` exits 1 when findings remain (after ``# snapper: noqa``
 suppressions), ``check-trace`` exits 1 when a trace fails either the
-conflict-graph or the BeforeSet/AfterSet audit.
+conflict-graph or the BeforeSet/AfterSet audit.  ``infer`` prints the
+interprocedurally inferred access set of every (kind, method) entry
+point; ``verify`` checks declared PACT access sets against the
+inferred ones — exit 1 on errors (under-declaration, count shortfall,
+mode downgrade), and on warnings too under ``--strict``; ``--fix``
+rewrites fixable literal access dicts in place.
 """
 
 from __future__ import annotations
@@ -58,6 +65,66 @@ def _cmd_check_trace(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_infer(args: argparse.Namespace) -> int:
+    from repro.analysis.accessflow import Inferencer, Program
+
+    if not args.paths:
+        print("error: no paths given (try: infer src examples)",
+              file=sys.stderr)
+        return 2
+    program = Program.load(args.paths)
+    inferencer = Inferencer(program)
+    if args.method:
+        summary = inferencer.entry_summary(args.kind, args.method)
+        if summary is None:
+            print(f"no transaction body found for "
+                  f"{args.kind or '?'}.{args.method}", file=sys.stderr)
+            return 2
+        print(summary.render())
+        return 0
+    shown = 0
+    for kind, summary in inferencer.all_entry_summaries():
+        if args.kind and kind != args.kind:
+            continue
+        print(f"[{kind}]")
+        print(summary.render())
+        print()
+        shown += 1
+    print(f"accessflow: {shown} entry point(s)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.accessflow import apply_fixes, verify_paths
+
+    if not args.paths:
+        print("error: no paths given (try: verify src examples tests)",
+              file=sys.stderr)
+        return 2
+    program, findings = verify_paths(args.paths)
+    if args.exclude:
+        findings = [
+            f for f in findings
+            if not any(needle in f.path for needle in args.exclude)
+        ]
+    for finding in findings:
+        print(finding.render())
+    if args.fix:
+        applied = apply_fixes(program, findings)
+        for path, count in sorted(applied.items()):
+            print(f"fixed {count} access dict(s) in {path}")
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = sum(1 for f in findings if f.severity == "warning")
+    notes = len(findings) - errors - warnings
+    print(
+        f"accessflow: {errors} error(s), {warnings} warning(s), "
+        f"{notes} note(s)"
+    )
+    if errors or (args.strict and warnings):
+        return 0 if args.fix else 1
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
@@ -89,6 +156,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="trace files written by TxnTracer.dump_jsonl",
     )
     trace_p.set_defaults(func=_cmd_check_trace)
+
+    infer_p = sub.add_parser(
+        "infer",
+        help="print inferred transitive access sets per entry point",
+    )
+    infer_p.add_argument("paths", nargs="*", help="files or directories")
+    infer_p.add_argument("--kind", help="only this actor kind")
+    infer_p.add_argument(
+        "--method", help="one entry method (with --kind if bound)"
+    )
+    infer_p.set_defaults(func=_cmd_infer)
+
+    verify_p = sub.add_parser(
+        "verify",
+        help="check declared PACT access sets against inferred ones",
+    )
+    verify_p.add_argument("paths", nargs="*", help="files or directories")
+    verify_p.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings (over-declaration) too",
+    )
+    verify_p.add_argument(
+        "--fix", action="store_true",
+        help="rewrite fixable literal access dicts in place",
+    )
+    verify_p.add_argument(
+        "--exclude", nargs="+", metavar="SUBSTR", default=[],
+        help="drop findings whose path contains any substring "
+        "(e.g. tests/fixtures: deliberately broken declarations)",
+    )
+    verify_p.set_defaults(func=_cmd_verify)
 
     args = parser.parse_args(argv)
     result: int = args.func(args)

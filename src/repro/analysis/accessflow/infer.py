@@ -1,0 +1,948 @@
+"""Interprocedural access-set inference over an abstract key domain.
+
+For every transaction body (``async def m(self, ctx, ...)``) the
+:class:`Inferencer` computes an :class:`AccessSummary`: which actors the
+method touches — transitively, through same-actor helper calls and
+cross-actor ``call_actor`` edges — with how many invocations and in
+which mode.  Actor identities are abstracted into a small key domain:
+
+* ``SELF`` — the hosting actor itself;
+* ``LIT`` — a statically known key (constant, module constant);
+* ``ARG(param)`` — the value of (``exact=True``) or a value derived
+  from (``exact=False``) a method parameter.  Parameter-forwarded keys
+  substitute precisely when the edge is inlined: a helper's
+  ``ARG('key')`` access becomes ``LIT('bob')`` at a call site passing
+  the literal;
+* ``INPUT`` — determined by the transaction input but with no
+  statically trackable projection (the workload-routed TPC-C targets);
+* ``TOP`` (⊤) — genuinely unresolvable (computed from live state,
+  unknown calls).  ⊤ is an explicit verdict, never silent unsoundness:
+  a summary containing ⊤ (or an opaque call edge) disables every claim
+  that needs exhaustiveness (over-declaration, exact counts).
+
+Counts follow the engine's charging rule: one per ``call_actor``
+invocation landing on the actor, plus one for the entry invocation
+itself; ``get_state`` is free.  Accesses found under loops over
+input-dependent iterables carry ``many=True`` (count is a lower bound);
+accesses under branches carry ``conditional=True`` (may not happen —
+but must still be declared, so they never count as over-declaration).
+Recursion is detected and widens the involved summaries the same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.accessflow.model import (
+    ActorCtor,
+    ClassInfo,
+    FunctionNode,
+    Program,
+    const_value,
+    dotted,
+    is_framework_module,
+    is_txn_body,
+)
+
+#: ``Access.kind`` sentinels (real kinds are plain strings).
+HOST_KIND = "<host>"    # the hosting actor's kind (raw-key idiom)
+INPUT_KIND = "<input>"  # kind itself determined by the input
+TOP_KIND = "<top>"      # kind unresolvable
+
+#: modes, mirrored from repro.core.context.AccessMode (kept literal so
+#: the analyzer has no runtime dependency on the engine).
+READ = "Read"
+READ_WRITE = "ReadWrite"
+
+#: loop-multiplicity sentinel (vs. a literal int multiplier).
+MANY = "many"
+
+_MAX_DEPTH = 15
+
+
+class KeyKind:
+    """Sorts of the abstract key domain."""
+
+    SELF = "self"
+    LIT = "lit"
+    ARG = "arg"
+    INPUT = "input"
+    TOP = "top"
+
+
+@dataclass(frozen=True)
+class Key:
+    """One abstract actor key."""
+
+    sort: str
+    value: Any = None          # LIT: the literal key
+    param: Optional[str] = None  # ARG: the parameter it comes from
+    exact: bool = True         # ARG: identity use (substitutes precisely)
+
+    def describe(self) -> str:
+        if self.sort == KeyKind.SELF:
+            return "self"
+        if self.sort == KeyKind.LIT:
+            return repr(self.value)
+        if self.sort == KeyKind.ARG:
+            marker = "" if self.exact else "*"
+            return f"<{self.param}{marker}>"
+        if self.sort == KeyKind.INPUT:
+            return "<input>"
+        return "⊤"
+
+
+KEY_SELF = Key(KeyKind.SELF)
+KEY_INPUT = Key(KeyKind.INPUT)
+KEY_TOP = Key(KeyKind.TOP)
+
+
+def key_lit(value: Any) -> Key:
+    return Key(KeyKind.LIT, value=value)
+
+
+def key_arg(param: str, exact: bool = True) -> Key:
+    return Key(KeyKind.ARG, param=param, exact=exact)
+
+
+def degrade(key: Key) -> Key:
+    """What a key becomes when observed through an untracked projection
+    (``exact=False`` substitution): the value is still input-determined
+    but the identity is lost."""
+    if key.sort == KeyKind.TOP:
+        return KEY_TOP
+    if key.sort == KeyKind.ARG:
+        return replace(key, exact=False)
+    if key.sort == KeyKind.LIT:
+        # a projection of a literal is computable in principle but not
+        # tracked: input-determined, not ⊤.
+        return KEY_INPUT
+    return KEY_INPUT
+
+
+@dataclass(frozen=True)
+class Access:
+    """One inferred actor access of a method."""
+
+    kind: str          # literal kind, HOST_KIND, INPUT_KIND, or TOP_KIND
+    key: Key
+    count: int         # definite invocation count (lower bound if many)
+    many: bool         # plus input-dependent multiplicity
+    mode: str          # READ / READ_WRITE
+    conditional: bool  # only on some branch (still must be declared)
+    lines: Tuple[int, ...] = ()
+    via: str = ""      # call-chain provenance for messages
+
+    def describe_actor(self) -> str:
+        kind = {HOST_KIND: "<kind>", INPUT_KIND: "<input-kind>",
+                TOP_KIND: "⊤"}.get(self.kind, self.kind)
+        if self.key.sort == KeyKind.SELF and self.kind == HOST_KIND:
+            return "self"
+        return f"{kind}[{self.key.describe()}]"
+
+    def render(self) -> str:
+        count = f"{self.count}{'+' if self.many else ''}"
+        flags = " (conditional)" if self.conditional else ""
+        via = f"   via {self.via}" if self.via else ""
+        return (
+            f"{self.describe_actor():<28} count={count:<3} "
+            f"mode={self.mode}{flags}{via}"
+        )
+
+
+def _merge_key(access: Access) -> Tuple[str, Key]:
+    return access.kind, access.key
+
+
+@dataclass
+class AccessSummary:
+    """The inferred transitive access set of one transaction body."""
+
+    cls_name: str
+    method: str
+    path: str
+    line: int
+    accesses: List[Access] = field(default_factory=list)
+    #: part of a recursive call cycle: counts are lower bounds.
+    recursive: bool = False
+    #: lines of call edges whose callee/method could not be resolved:
+    #: their transitive accesses are unknown (treated like ⊤).
+    opaque_lines: Tuple[int, ...] = ()
+
+    @property
+    def has_top(self) -> bool:
+        """⊤ anywhere: an unresolvable key/kind or an opaque edge.
+
+        A ⊤ summary keeps its under-declaration evidence (those
+        accesses are real) but supports no exhaustiveness claims."""
+        return bool(self.opaque_lines) or any(
+            a.key.sort == KeyKind.TOP or a.kind == TOP_KIND
+            for a in self.accesses
+        )
+
+    @property
+    def exhaustive(self) -> bool:
+        """Every access resolved and counts exact: over-declaration and
+        count claims are sound."""
+        return not self.has_top and not self.recursive
+
+    def merge_access(self, access: Access) -> None:
+        for index, existing in enumerate(self.accesses):
+            if _merge_key(existing) == _merge_key(access):
+                self.accesses[index] = _combine(existing, access)
+                return
+        self.accesses.append(access)
+
+    def self_mode(self) -> Optional[str]:
+        """The mode of the summary's own-state accesses, if any."""
+        mode: Optional[str] = None
+        for access in self.accesses:
+            if access.key.sort == KeyKind.SELF and access.kind == HOST_KIND:
+                mode = _mode_join(mode, access.mode)
+        return mode
+
+    def render(self) -> str:
+        flags = []
+        if self.recursive:
+            flags.append("recursive")
+        if self.has_top:
+            flags.append("⊤")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        head = (
+            f"{self.cls_name}.{self.method} "
+            f"({self.path}:{self.line}){suffix}"
+        )
+        body = "\n".join(
+            f"  {a.render()}"
+            for a in sorted(
+                self.accesses,
+                key=lambda a: (a.kind, a.key.sort, repr(a.key.value)),
+            )
+        )
+        return f"{head}\n{body}" if body else head
+
+
+def _combine(a: Access, b: Access) -> Access:
+    """Merge two accesses to the same abstract actor: counts add, MANY
+    and ⊤-ness join, ReadWrite wins, unconditional wins."""
+    return Access(
+        kind=a.kind,
+        key=a.key,
+        count=a.count + b.count,
+        many=a.many or b.many,
+        mode=_mode_join(a.mode, b.mode) or READ,
+        conditional=a.conditional and b.conditional,
+        lines=tuple(dict.fromkeys(a.lines + b.lines))[:8],
+        via=a.via or b.via,
+    )
+
+
+def _mode_join(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    if a == READ_WRITE or b == READ_WRITE:
+        return READ_WRITE
+    return a or b
+
+
+# -- the walker ---------------------------------------------------------------
+@dataclass
+class _Frame:
+    """Per-method analysis state."""
+
+    cls: ClassInfo
+    fn: FunctionNode
+    params: Tuple[str, ...]
+    env: Dict[str, Key]
+    actors: Dict[str, Tuple[str, Key]]  # names bound to actor ids
+    summary: AccessSummary
+    depth: int
+
+
+class Inferencer:
+    """Summarizes transaction bodies over a loaded :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self._memo: Dict[int, AccessSummary] = {}
+        self._in_progress: Dict[int, AccessSummary] = {}
+
+    # -- public API ---------------------------------------------------------
+    def entry_summary(
+        self, kind: Optional[str], method: str
+    ) -> Optional[AccessSummary]:
+        """The summary of a ``(kind, method)`` entry point, including
+        the +1 entry invocation on the start actor; candidate bodies
+        (engine families) are merged."""
+        candidates = self.program.entry_candidates(kind, method)
+        if not candidates:
+            return None
+        return self._merge_entry(method, candidates)
+
+    def _merge_entry(
+        self,
+        method: str,
+        candidates: Sequence[Tuple[ClassInfo, FunctionNode]],
+    ) -> AccessSummary:
+        merged: Optional[AccessSummary] = None
+        for cls, fn in candidates:
+            summary = self.summarize_method(cls, fn)
+            if merged is None:
+                merged = AccessSummary(
+                    cls_name=summary.cls_name, method=summary.method,
+                    path=summary.path, line=summary.line,
+                    recursive=summary.recursive,
+                    opaque_lines=summary.opaque_lines,
+                )
+                for access in summary.accesses:
+                    merged.merge_access(access)
+            else:
+                merged.recursive |= summary.recursive
+                merged.opaque_lines = tuple(
+                    dict.fromkeys(merged.opaque_lines + summary.opaque_lines)
+                )
+                for access in summary.accesses:
+                    merged.merge_access(access)
+        assert merged is not None
+        merged.merge_access(Access(
+            kind=HOST_KIND, key=KEY_SELF, count=1, many=False,
+            mode=READ, conditional=False, lines=(merged.line,),
+            via=f"{method} (entry invocation)",
+        ))
+        return merged
+
+    def all_entry_summaries(self) -> List[Tuple[str, AccessSummary]]:
+        """``(kind, summary)`` for every bound kind's transaction
+        bodies — the ``infer`` CLI surface.  Actor classes not bound
+        to any kind (no ``register_actor`` call in the analyzed
+        paths) are still listed, labelled ``?/ClassName``."""
+        out: List[Tuple[str, AccessSummary]] = []
+        seen = set()
+        bound_classes = set()
+        for kind in sorted(self.program.kind_bindings):
+            methods = set()
+            for cls in self.program.classes_for_kind(kind):
+                bound_classes.add(id(cls))
+                methods.update(self._txn_methods(cls))
+            for method in sorted(methods):
+                marker = (kind, method)
+                if marker in seen:
+                    continue
+                seen.add(marker)
+                summary = self.entry_summary(kind, method)
+                if summary is not None:
+                    out.append((kind, summary))
+        for module in self.program.modules:
+            if is_framework_module(module.path):
+                continue
+            for cls in module.classes.values():
+                if id(cls) in bound_classes:
+                    continue
+                for name, fn in sorted(cls.methods.items()):
+                    if not is_txn_body(fn):
+                        continue
+                    out.append((
+                        f"?/{cls.name}",
+                        self._merge_entry(name, [(cls, fn)]),
+                    ))
+        return out
+
+    def _txn_methods(self, cls: ClassInfo) -> List[str]:
+        names: List[str] = []
+        stack = [cls]
+        seen = set()
+        while stack:
+            info = stack.pop(0)
+            if id(info) in seen:
+                continue
+            seen.add(id(info))
+            if not is_framework_module(info.module.path):
+                for name, fn in info.methods.items():
+                    if is_txn_body(fn) and not name.startswith("_"):
+                        names.append(name)
+            for base in info.bases:
+                local = info.module.classes.get(base)
+                stack.extend(
+                    [local] if local is not None
+                    else self.program.classes_by_name.get(base, [])
+                )
+        return names
+
+    # -- summarization ------------------------------------------------------
+    def summarize_method(
+        self, cls: ClassInfo, fn: FunctionNode, depth: int = 0
+    ) -> AccessSummary:
+        memo_key = id(fn)
+        if memo_key in self._memo:
+            return self._memo[memo_key]
+        if memo_key in self._in_progress:
+            # recursion: return the (empty) in-progress marker; every
+            # summary on the cycle is widened to `recursive`.
+            marker = self._in_progress[memo_key]
+            marker.recursive = True
+            return marker
+        summary = AccessSummary(
+            cls_name=cls.name, method=fn.name,
+            path=cls.module.path, line=fn.lineno,
+        )
+        self._in_progress[memo_key] = summary
+        try:
+            params = tuple(a.arg for a in fn.args.args[2:]) + tuple(
+                a.arg for a in fn.args.kwonlyargs
+            )
+            frame = _Frame(
+                cls=cls, fn=fn, params=params, env={}, actors={},
+                summary=summary, depth=depth,
+            )
+            self._walk_block(frame, fn.body, cond=False, mult=1)
+        finally:
+            del self._in_progress[memo_key]
+        self._memo[memo_key] = summary
+        return summary
+
+    # -- statement walking --------------------------------------------------
+    def _walk_block(
+        self, frame: _Frame, body: Sequence[ast.stmt],
+        cond: bool, mult: Any,
+    ) -> None:
+        for stmt in body:
+            self._walk_stmt(frame, stmt, cond, mult)
+
+    def _walk_stmt(
+        self, frame: _Frame, stmt: ast.stmt, cond: bool, mult: Any
+    ) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(frame, stmt.value, cond, mult)
+            self._bind_targets(frame, stmt.targets, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(frame, stmt.value, cond, mult)
+                self._bind_targets(frame, [stmt.target], stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan_expr(frame, stmt.value, cond, mult)
+        elif isinstance(stmt, (ast.Expr, ast.Return)):
+            if getattr(stmt, "value", None) is not None:
+                self._scan_expr(frame, stmt.value, cond, mult)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan_expr(frame, stmt.iter, cond, mult)
+            iter_mult, var_key = self._loop_iteration(frame, stmt.iter)
+            self._bind_pattern(frame, stmt.target, var_key)
+            self._walk_block(
+                frame, stmt.body, cond=True,
+                mult=_mult_combine(mult, iter_mult),
+            )
+            self._walk_block(frame, stmt.orelse, cond=True, mult=mult)
+        elif isinstance(stmt, ast.While):
+            self._scan_expr(frame, stmt.test, cond, mult)
+            self._walk_block(
+                frame, stmt.body, cond=True, mult=_mult_combine(mult, MANY)
+            )
+            self._walk_block(frame, stmt.orelse, cond=True, mult=mult)
+        elif isinstance(stmt, ast.If):
+            self._scan_expr(frame, stmt.test, cond, mult)
+            self._walk_block(frame, stmt.body, cond=True, mult=mult)
+            self._walk_block(frame, stmt.orelse, cond=True, mult=mult)
+        elif isinstance(stmt, ast.Try):
+            self._walk_block(frame, stmt.body, cond, mult)
+            for handler in stmt.handlers:
+                self._walk_block(frame, handler.body, cond=True, mult=mult)
+            self._walk_block(frame, stmt.orelse, cond=True, mult=mult)
+            self._walk_block(frame, stmt.finalbody, cond, mult)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_expr(frame, item.context_expr, cond, mult)
+            self._walk_block(frame, stmt.body, cond, mult)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._scan_expr(frame, child, cond, mult)
+        # nested function/class defs: out of scope (never txn bodies)
+
+    def _bind_targets(
+        self, frame: _Frame, targets: Sequence[ast.expr], value: ast.expr
+    ) -> None:
+        actor = self._eval_actor(frame, value)
+        key = self._eval_key(frame, value)
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if actor is not None:
+                    frame.actors[target.id] = actor
+                    frame.env.pop(target.id, None)
+                else:
+                    frame.env[target.id] = key
+                    frame.actors.pop(target.id, None)
+            elif isinstance(target, ast.Tuple):
+                # unpack: every element derives from the value
+                self._bind_pattern(frame, target, degrade(key))
+
+    def _bind_pattern(
+        self, frame: _Frame, target: ast.expr, key: Key
+    ) -> None:
+        if isinstance(target, ast.Name):
+            frame.env[target.id] = key
+            frame.actors.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_pattern(frame, element, key)
+
+    def _loop_iteration(
+        self, frame: _Frame, iter_expr: ast.expr
+    ) -> Tuple[Any, Key]:
+        """``(multiplier, loop-var key)`` for iterating ``iter_expr``."""
+        if isinstance(iter_expr, (ast.List, ast.Tuple)):
+            return len(iter_expr.elts), KEY_INPUT
+        if (
+            isinstance(iter_expr, ast.Call)
+            and (dotted(iter_expr.func) or "") == "range"
+            and len(iter_expr.args) == 1
+        ):
+            ok, value = const_value(iter_expr.args[0])
+            if ok and isinstance(value, int):
+                return value, KEY_INPUT
+        source = self._eval_key(frame, iter_expr)
+        return MANY, degrade(source)
+
+    # -- expression scanning ------------------------------------------------
+    def _scan_expr(
+        self, frame: _Frame, expr: ast.expr, cond: bool, mult: Any
+    ) -> None:
+        if isinstance(expr, ast.Await):
+            self._scan_expr(frame, expr.value, cond, mult)
+            return
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+        ):
+            inner = mult
+            for generator in expr.generators:
+                self._scan_expr(frame, generator.iter, cond, mult)
+                gen_mult, var_key = self._loop_iteration(
+                    frame, generator.iter
+                )
+                self._bind_pattern(frame, generator.target, var_key)
+                inner = _mult_combine(inner, gen_mult)
+            self._scan_expr(frame, expr.elt, True, inner)
+            return
+        if isinstance(expr, ast.DictComp):
+            inner = mult
+            for generator in expr.generators:
+                self._scan_expr(frame, generator.iter, cond, mult)
+                gen_mult, var_key = self._loop_iteration(
+                    frame, generator.iter
+                )
+                self._bind_pattern(frame, generator.target, var_key)
+                inner = _mult_combine(inner, gen_mult)
+            self._scan_expr(frame, expr.key, True, inner)
+            self._scan_expr(frame, expr.value, True, inner)
+            return
+        if isinstance(expr, ast.Call):
+            handled = self._scan_call(frame, expr, cond, mult)
+            if handled:
+                return
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self._scan_expr(frame, child, cond, mult)
+            elif isinstance(child, ast.keyword):
+                self._scan_expr(frame, child.value, cond, mult)
+
+    def _scan_call(
+        self, frame: _Frame, call: ast.Call, cond: bool, mult: Any
+    ) -> bool:
+        """Record access-relevant calls; returns True when fully
+        handled (children already scanned as needed)."""
+        func = call.func
+        name = (dotted(func) or "").split(".")[-1]
+        if name == "get_state":
+            self._record_get_state(frame, call, cond)
+            return True
+        if name == "call_actor" and len(call.args) >= 2:
+            # scan the target expression first: it may itself contain
+            # calls (never call_actor, but be safe), then the edge.
+            self._record_call_edge(frame, call, cond, mult)
+            return True
+        # same-actor helper call: await self.helper(ctx, ...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+            and call.args
+            and isinstance(call.args[0], ast.Name)
+            and call.args[0].id == "ctx"
+        ):
+            hit = self.program.lookup_method(frame.cls, func.attr)
+            if hit is not None and is_txn_body(hit[1]):
+                for arg in call.args[1:]:
+                    self._scan_expr(frame, arg, cond, mult)
+                self._inline_helper(frame, hit, call, cond, mult)
+                return True
+        return False
+
+    def _record_get_state(
+        self, frame: _Frame, call: ast.Call, cond: bool
+    ) -> None:
+        mode = READ_WRITE
+        mode_expr: Optional[ast.expr] = (
+            call.args[1] if len(call.args) >= 2 else None
+        )
+        for keyword in call.keywords:
+            if keyword.arg == "mode":
+                mode_expr = keyword.value
+        if mode_expr is not None and (
+            (isinstance(mode_expr, ast.Attribute)
+             and mode_expr.attr == "READ")
+            or (isinstance(mode_expr, ast.Constant)
+                and mode_expr.value == READ)
+        ):
+            mode = READ
+        frame.summary.merge_access(Access(
+            kind=HOST_KIND, key=KEY_SELF, count=0, many=False,
+            mode=mode, conditional=cond, lines=(call.lineno,),
+            via=frame.fn.name,
+        ))
+
+    def _record_call_edge(
+        self, frame: _Frame, call: ast.Call, cond: bool, mult: Any
+    ) -> None:
+        target = call.args[1]
+        actor = self._eval_actor(frame, target) or (TOP_KIND, KEY_TOP)
+        method, input_expr = self._call_payload(call)
+        candidates: List[Tuple[ClassInfo, FunctionNode]] = []
+        if method is not None:
+            if actor[0] == HOST_KIND:
+                hit = self.program.lookup_method(frame.cls, method)
+                if hit is not None and is_txn_body(hit[1]):
+                    candidates = [hit]
+            if not candidates:
+                kind = actor[0] if actor[0] not in (
+                    HOST_KIND, INPUT_KIND, TOP_KIND
+                ) else None
+                candidates = self.program.entry_candidates(kind, method)
+        via = f"{frame.fn.name} -> {method or '?'}"
+        count, many = (0, True) if mult == MANY else (int(mult), False)
+        if method is None or not candidates:
+            # opaque edge: the invocation is real, its transitive
+            # behaviour unknown — widen to ReadWrite and mark ⊤.
+            frame.summary.merge_access(Access(
+                kind=actor[0], key=actor[1], count=count, many=many,
+                mode=READ_WRITE, conditional=cond or many,
+                lines=(call.lineno,), via=via,
+            ))
+            frame.summary.opaque_lines = tuple(dict.fromkeys(
+                frame.summary.opaque_lines + (call.lineno,)
+            ))
+            # still scan the input payload for nested accesses
+            if input_expr is not None:
+                self._scan_expr(frame, input_expr, cond, mult)
+            return
+        if input_expr is not None:
+            self._scan_expr(frame, input_expr, cond, mult)
+        merged_mode: Optional[str] = None
+        for cls, fn in candidates:
+            callee = self.summarize_method(cls, fn, frame.depth + 1)
+            if frame.depth >= _MAX_DEPTH:
+                frame.summary.opaque_lines = tuple(dict.fromkeys(
+                    frame.summary.opaque_lines + (call.lineno,)
+                ))
+                continue
+            merged_mode = _mode_join(merged_mode, callee.self_mode())
+            self._absorb_callee(
+                frame, callee, actor, fn, input_expr, cond, mult, via
+            )
+        frame.summary.merge_access(Access(
+            kind=actor[0], key=actor[1], count=count, many=many,
+            mode=merged_mode or READ, conditional=cond or many,
+            lines=(call.lineno,), via=via,
+        ))
+
+    def _call_payload(
+        self, call: ast.Call
+    ) -> Tuple[Optional[str], Optional[ast.expr]]:
+        """``(method name, input expr)`` out of the FuncCall argument."""
+        payload = call.args[2] if len(call.args) >= 3 else None
+        for keyword in call.keywords:
+            if keyword.arg == "call":
+                payload = keyword.value
+        if not (
+            isinstance(payload, ast.Call)
+            and (dotted(payload.func) or "").split(".")[-1] == "FuncCall"
+        ):
+            return None, None
+        method_expr = payload.args[0] if payload.args else None
+        input_expr = payload.args[1] if len(payload.args) >= 2 else None
+        for keyword in payload.keywords:
+            if keyword.arg == "method":
+                method_expr = keyword.value
+            elif keyword.arg == "func_input":
+                input_expr = keyword.value
+        if isinstance(method_expr, ast.Constant) and isinstance(
+            method_expr.value, str
+        ):
+            return method_expr.value, input_expr
+        return None, input_expr
+
+    def _inline_helper(
+        self, frame: _Frame, hit: Tuple[ClassInfo, FunctionNode],
+        call: ast.Call, cond: bool, mult: Any,
+    ) -> None:
+        """Same-actor helper: inline its summary (no invocation count —
+        it runs inside the current turn)."""
+        cls, fn = hit
+        if fn is frame.fn:
+            frame.summary.recursive = True
+            return
+        callee = self.summarize_method(cls, fn, frame.depth + 1)
+        if frame.depth >= _MAX_DEPTH:
+            frame.summary.opaque_lines = tuple(dict.fromkeys(
+                frame.summary.opaque_lines + (call.lineno,)
+            ))
+            return
+        arg_map = self._arg_map(frame, fn, call.args[1:], call.keywords)
+        via = f"{frame.fn.name} -> {fn.name}"
+        self._absorb_accesses(
+            frame, callee, (HOST_KIND, KEY_SELF), arg_map, cond, mult, via
+        )
+
+    def _absorb_callee(
+        self, frame: _Frame, callee: AccessSummary,
+        target: Tuple[str, Key], fn: FunctionNode,
+        input_expr: Optional[ast.expr], cond: bool, mult: Any, via: str,
+    ) -> None:
+        """Fold a cross-actor callee's accesses into the caller."""
+        # map the callee's single input parameter to the FuncCall input
+        params = [a.arg for a in fn.args.args[2:]]
+        arg_map: Dict[str, Key] = {}
+        if params and input_expr is not None:
+            arg_map[params[0]] = self._eval_key(frame, input_expr)
+        self._absorb_accesses(
+            frame, callee, target, arg_map, cond, mult, via
+        )
+
+    def _arg_map(
+        self, frame: _Frame, fn: FunctionNode, args: Sequence[ast.expr],
+        keywords: Sequence[ast.keyword],
+    ) -> Dict[str, Key]:
+        """Callee param -> abstract value of the caller's argument.
+        ``args`` excludes ctx; callee params start after (self, ctx)."""
+        params = [a.arg for a in fn.args.args[2:]] + [
+            a.arg for a in fn.args.kwonlyargs
+        ]
+        arg_map: Dict[str, Key] = {}
+        for param, arg in zip(params, args):
+            arg_map[param] = self._eval_key(frame, arg)
+        for keyword in keywords:
+            if keyword.arg in params:
+                arg_map[keyword.arg] = self._eval_key(frame, keyword.value)
+        return arg_map
+
+    def _absorb_accesses(
+        self, frame: _Frame, callee: AccessSummary,
+        target: Tuple[str, Key], arg_map: Dict[str, Key],
+        cond: bool, mult: Any, via: str,
+    ) -> None:
+        frame.summary.recursive |= callee.recursive
+        if callee.opaque_lines:
+            frame.summary.opaque_lines = tuple(dict.fromkeys(
+                frame.summary.opaque_lines + callee.opaque_lines
+            ))
+        many_edge = mult == MANY
+        for access in callee.accesses:
+            if access.key.sort == KeyKind.SELF and access.kind == HOST_KIND:
+                kind, key = target
+            else:
+                kind = access.kind
+                if kind == HOST_KIND and target[0] not in (HOST_KIND,):
+                    # the callee's raw-key idiom resolves against the
+                    # actor it runs on
+                    kind = target[0]
+                key = self._substitute(access.key, arg_map)
+            if many_edge:
+                count, many = 0, True
+            else:
+                count, many = access.count * int(mult), access.many
+            frame.summary.merge_access(Access(
+                kind=kind, key=key, count=count, many=many,
+                mode=access.mode,
+                conditional=cond or many_edge or access.conditional,
+                lines=access.lines,
+                via=f"{via} -> {access.via}" if access.via else via,
+            ))
+
+    def _substitute(self, key: Key, arg_map: Dict[str, Key]) -> Key:
+        if key.sort != KeyKind.ARG:
+            return key
+        mapped = arg_map.get(key.param or "")
+        if mapped is None:
+            return KEY_INPUT
+        if key.exact:
+            return mapped
+        return degrade(mapped)
+
+    # -- expression evaluation ---------------------------------------------
+    def _eval_actor(
+        self, frame: _Frame, expr: ast.expr
+    ) -> Optional[Tuple[str, Key]]:
+        """``(kind, key)`` when ``expr`` names an actor, else None
+        (meaning: treat it as a raw key of the host's kind)."""
+        if isinstance(expr, ast.Attribute) and expr.attr == "id":
+            inner = self._eval_actor(frame, expr.value)
+            if inner is not None:
+                return inner
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return frame.actors.get(expr.id)
+        if not isinstance(expr, ast.Call):
+            return None
+        func_name = (dotted(expr.func) or "").split(".")[-1]
+        # self.ref(kind, key) / runtime refs / ActorId(kind, key)
+        if func_name in ("ref", "actor", "ActorId") and len(expr.args) >= 2:
+            return (
+                self._eval_kind(frame, expr.args[0]),
+                self._eval_key(frame, expr.args[1]),
+            )
+        # helper constructors: self._account(key) / _aid(pair)
+        ctor: Optional[ActorCtor] = None
+        ctor_args = list(expr.args)
+        if (
+            isinstance(expr.func, ast.Attribute)
+            and isinstance(expr.func.value, ast.Name)
+            and expr.func.value.id == "self"
+        ):
+            ctor = self.program.method_actor_ctor(frame.cls, expr.func.attr)
+        elif isinstance(expr.func, ast.Name):
+            ctor = self.program.fn_ctors.get(
+                (frame.cls.module.path, expr.func.id)
+            )
+        if ctor is None:
+            return None
+        return self._apply_ctor(frame, ctor, ctor_args)
+
+    def _apply_ctor(
+        self, frame: _Frame, ctor: ActorCtor, args: List[ast.expr]
+    ) -> Tuple[str, Key]:
+        if ctor.pair_param is not None:
+            # _aid((kind, key)) destructuring: a literal pair resolves
+            # fully; an input-derived pair is input-determined.
+            pair = args[0] if args else None
+            if isinstance(pair, ast.Tuple) and len(pair.elts) == 2:
+                return (
+                    self._eval_kind(frame, pair.elts[0]),
+                    self._eval_key(frame, pair.elts[1]),
+                )
+            key = self._eval_key(frame, pair) if pair is not None else KEY_TOP
+            if key.sort in (KeyKind.ARG, KeyKind.INPUT):
+                return INPUT_KIND, KEY_INPUT
+            return TOP_KIND, KEY_TOP
+        # substitute the ctor's parameters with the call arguments
+        env: Dict[str, Key] = {}
+        for param, arg in zip(ctor.params, args):
+            env[param] = self._eval_key(frame, arg)
+        kind = (
+            self._eval_kind(frame, ctor.kind_expr, inner_env=env)
+            if ctor.kind_expr is not None else TOP_KIND
+        )
+        if ctor.key_expr is None:
+            return kind, KEY_TOP
+        if (
+            isinstance(ctor.key_expr, ast.Name)
+            and ctor.key_expr.id in env
+        ):
+            return kind, env[ctor.key_expr.id]
+        # the ctor's key expression evaluated in the *ctor's* module
+        # scope (constants) — anything parameter-derived degrades
+        key = self._eval_key(frame, ctor.key_expr, params=ctor.params)
+        if key.sort == KeyKind.ARG:
+            mapped = env.get(key.param or "")
+            key = (mapped if key.exact and mapped is not None
+                   else degrade(mapped or KEY_TOP))
+        return kind, key
+
+    def _eval_kind(
+        self, frame: _Frame, expr: ast.expr,
+        inner_env: Optional[Dict[str, Key]] = None,
+    ) -> str:
+        resolved = self.program.resolve_const(frame.cls.module, expr)
+        if isinstance(resolved, str):
+            return resolved
+        if isinstance(expr, ast.Name) and inner_env is not None:
+            key = inner_env.get(expr.id)
+            if key is not None:
+                if key.sort == KeyKind.LIT and isinstance(key.value, str):
+                    return key.value
+                if key.sort in (KeyKind.ARG, KeyKind.INPUT):
+                    return INPUT_KIND
+        key = self._eval_key(frame, expr)
+        if key.sort == KeyKind.LIT and isinstance(key.value, str):
+            return key.value
+        if key.sort in (KeyKind.ARG, KeyKind.INPUT):
+            return INPUT_KIND
+        return TOP_KIND
+
+    def _eval_key(
+        self, frame: _Frame, expr: ast.expr,
+        params: Optional[Tuple[str, ...]] = None,
+    ) -> Key:
+        """Abstract value of an expression used as an actor key."""
+        param_set = params if params is not None else frame.params
+        ok, value = const_value(expr)
+        if ok:
+            return key_lit(value)
+        path = dotted(expr)
+        if path in ("self.id.key", "self.key"):
+            return KEY_SELF
+        if isinstance(expr, ast.Name):
+            if expr.id in param_set:
+                return key_arg(expr.id, exact=True)
+            if expr.id in frame.env:
+                return frame.env[expr.id]
+            resolved = self.program.resolve_const(
+                frame.cls.module, expr
+            )
+            if resolved is not None:
+                return key_lit(resolved)
+            return KEY_TOP
+        if isinstance(expr, (ast.Subscript, ast.Attribute)):
+            root: ast.expr = expr
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            root_key = self._eval_key(frame, root, params)
+            return degrade(root_key)
+        if isinstance(expr, ast.BinOp):
+            left = self._eval_key(frame, expr.left, params)
+            right = self._eval_key(frame, expr.right, params)
+            sorts = {left.sort, right.sort}
+            if KeyKind.TOP in sorts:
+                return KEY_TOP
+            if sorts <= {KeyKind.LIT}:
+                return KEY_INPUT  # computable but untracked
+            return KEY_INPUT
+        if isinstance(expr, (ast.List, ast.Tuple, ast.Starred)):
+            elements = (
+                expr.elts if not isinstance(expr, ast.Starred)
+                else [expr.value]
+            )
+            keys = [self._eval_key(frame, e, params) for e in elements]
+            if any(k.sort == KeyKind.TOP for k in keys):
+                return KEY_TOP
+            if any(k.sort in (KeyKind.ARG, KeyKind.INPUT) for k in keys):
+                return KEY_INPUT
+            return KEY_INPUT
+        if isinstance(expr, ast.Call):
+            # unknown computation — but a call over purely
+            # input/literal arguments is still input-determined
+            arg_keys = [
+                self._eval_key(frame, a, params) for a in expr.args
+            ]
+            if arg_keys and all(
+                k.sort in (KeyKind.LIT, KeyKind.ARG, KeyKind.INPUT)
+                for k in arg_keys
+            ) and (dotted(expr.func) or "").split(".")[-1] in (
+                "int", "str", "tuple", "sorted", "len", "abs", "min", "max",
+            ):
+                return KEY_INPUT
+            return KEY_TOP
+        return KEY_TOP
+
+
+def _mult_combine(outer: Any, inner: Any) -> Any:
+    if outer == MANY or inner == MANY:
+        return MANY
+    return int(outer) * int(inner)

@@ -1,0 +1,438 @@
+"""Program model for the accessflow pass.
+
+Loads a set of Python sources and extracts everything the inference
+needs that is *not* per-method dataflow:
+
+* modules with their import aliases and module-level string/int
+  constants (``ACCOUNT_KIND = "account"``);
+* classes with their method tables and base-class names, resolved
+  across modules by name (actor families mix a logic base class into
+  one engine class per backend, so the transaction bodies usually live
+  on a base);
+* ``kind -> classes`` bindings, collected from ``register_actor(kind,
+  Class)`` / ``runtime.register(kind, Class)`` call sites and from dict
+  literals mapping kind strings to class names (the
+  ``tpcc_actor_families()`` idiom);
+* *actor constructors*: helpers that return an actor id —
+  ``def _account(self, key): return self.ref(ACCOUNT_KIND, key).id``
+  methods and ``def _aid(pair): return ActorId(kind, key)`` module
+  functions — so call-target expressions can be resolved through them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: literal types accepted as actor keys / kind names in declarations.
+_CONST_TYPES = (str, int, float, bool, tuple, frozenset, bytes, type(None))
+
+
+def is_txn_body(fn: FunctionNode) -> bool:
+    """The Fig. 2 signature contract: ``async def m(self, ctx, ...)``."""
+    if not isinstance(fn, ast.AsyncFunctionDef):
+        return False
+    args = fn.args.args
+    return len(args) >= 2 and args[0].arg == "self" and args[1].arg == "ctx"
+
+
+def is_framework_module(path: str) -> bool:
+    """Engine/baseline internals: their ``(self, ctx, ...)`` methods
+    (``call_actor``, ``pact_invoke``, ...) are the actor runtime
+    surface, not user transaction bodies — never entry candidates."""
+    normalized = path.replace("\\", "/")
+    return "repro/core/" in normalized or "repro/baselines/" in normalized
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def const_value(node: ast.AST) -> Tuple[bool, object]:
+    """``(True, value)`` for a hashable literal expression (constants
+    and tuples of constants), else ``(False, None)``."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, _CONST_TYPES
+    ):
+        return True, node.value
+    if isinstance(node, ast.Tuple):
+        values = []
+        for element in node.elts:
+            ok, value = const_value(element)
+            if not ok:
+                return False, None
+            values.append(value)
+        return True, tuple(values)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        ok, value = const_value(node.operand)
+        if ok and isinstance(value, (int, float)):
+            return True, -value
+        return False, None
+    return False, None
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: method table plus base-class names."""
+
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: Tuple[str, ...]
+    methods: Dict[str, FunctionNode] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClassInfo {self.module.name}.{self.name}>"
+
+
+@dataclass
+class ActorCtor:
+    """A helper whose return value names an actor.
+
+    ``kind_expr``/``key_expr`` are the AST expressions inside the
+    ``self.ref(kind, key)`` / ``ActorId(kind, key)`` return, to be
+    evaluated in the helper's own parameter environment;
+    ``pair_param`` is set instead when the helper destructures one
+    ``(kind, key)`` argument (the ``_aid`` idiom).
+    """
+
+    params: Tuple[str, ...]
+    kind_expr: Optional[ast.expr] = None
+    key_expr: Optional[ast.expr] = None
+    pair_param: Optional[str] = None
+
+
+class ModuleInfo:
+    """One parsed module plus its accessflow-relevant tables."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module):
+        self.path = path
+        self.name = Path(path).stem
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        #: local alias -> fully-qualified import target.
+        self.import_aliases: Dict[str, str] = {}
+        #: module-level ``NAME = <literal>`` constants.
+        self.constants: Dict[str, object] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.functions: Dict[str, FunctionNode] = {}
+        for node in tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = (
+                        alias.name
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.import_aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                ok, value = const_value(node.value)
+                if isinstance(target, ast.Name) and ok:
+                    self.constants[target.id] = value
+            elif isinstance(node, ast.ClassDef):
+                info = ClassInfo(
+                    name=node.name,
+                    module=self,
+                    node=node,
+                    bases=tuple(
+                        b for b in ((dotted(base) or "").split(".")[-1]
+                                    for base in node.bases) if b
+                    ),
+                )
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info.methods[item.name] = item
+                self.classes[node.name] = info
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+
+
+class Program:
+    """A loaded set of modules with cross-module resolution tables."""
+
+    def __init__(self) -> None:
+        self.modules: List[ModuleInfo] = []
+        self.modules_by_path: Dict[str, ModuleInfo] = {}
+        #: simple class name -> definitions (collisions possible; the
+        #: engine-family classes deliberately share logic bases).
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        #: kind string -> classes registered (or family-mapped) to it.
+        self.kind_bindings: Dict[str, List[ClassInfo]] = {}
+        #: module-function actor constructors (the ``_aid`` idiom),
+        #: keyed by (module path, function name).
+        self.fn_ctors: Dict[Tuple[str, str], ActorCtor] = {}
+
+    # -- loading ------------------------------------------------------------
+    @classmethod
+    def load(cls, paths: Sequence[str]) -> "Program":
+        program = cls()
+        for file_path in iter_python_files(paths):
+            program.add_source(
+                file_path.read_text(encoding="utf-8"), str(file_path)
+            )
+        program.finalize()
+        return program
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<string>") -> "Program":
+        program = cls()
+        program.add_source(source, path)
+        program.finalize()
+        return program
+
+    def add_source(self, source: str, path: str) -> None:
+        tree = ast.parse(source, filename=path)
+        module = ModuleInfo(path, source, tree)
+        self.modules.append(module)
+        self.modules_by_path[path] = module
+
+    def finalize(self) -> None:
+        """Build the cross-module tables once every module is loaded."""
+        self.classes_by_name.clear()
+        self.kind_bindings.clear()
+        self.fn_ctors.clear()
+        for module in self.modules:
+            for info in module.classes.values():
+                self.classes_by_name.setdefault(info.name, []).append(info)
+            for name, fn in module.functions.items():
+                ctor = _function_actor_ctor(fn)
+                if ctor is not None:
+                    self.fn_ctors[(module.path, name)] = ctor
+        for module in self.modules:
+            self._collect_kind_bindings(module)
+
+    # -- kind bindings ------------------------------------------------------
+    def _collect_kind_bindings(self, module: ModuleInfo) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                name = (dotted(node.func) or "").split(".")[-1]
+                if name in ("register_actor", "register") and len(
+                    node.args
+                ) >= 2:
+                    kind = self.resolve_str(module, node.args[0])
+                    self._bind_kind(module, kind, node.args[1])
+            elif isinstance(node, ast.Dict):
+                # family dicts: {"warehouse": SnapperWarehouse, ...}
+                for key, value in zip(node.keys, node.values):
+                    if key is None or not isinstance(value, ast.Name):
+                        continue
+                    if value.id not in self.classes_by_name:
+                        continue
+                    kind = self.resolve_str(module, key)
+                    self._bind_kind(module, kind, value)
+
+    def _bind_kind(
+        self, module: ModuleInfo, kind: Optional[str], cls_expr: ast.expr
+    ) -> None:
+        if kind is None or not isinstance(cls_expr, ast.Name):
+            return
+        local = module.classes.get(cls_expr.id)
+        candidates = (
+            [local] if local is not None
+            else self.classes_by_name.get(cls_expr.id, [])
+        )
+        bound = self.kind_bindings.setdefault(kind, [])
+        for info in candidates:
+            if info not in bound:
+                bound.append(info)
+
+    # -- resolution ---------------------------------------------------------
+    def resolve_str(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> Optional[str]:
+        """A literal string, through module constants and imports."""
+        value = self.resolve_const(module, node)
+        return value if isinstance(value, str) else None
+
+    def resolve_const(
+        self, module: ModuleInfo, node: ast.expr
+    ) -> Optional[object]:
+        """A literal value, through module constants and cross-module
+        constant imports (``from ..smallbank import ACCOUNT_KIND``)."""
+        ok, value = const_value(node)
+        if ok:
+            return value
+        if isinstance(node, ast.Name):
+            if node.id in module.constants:
+                return module.constants[node.id]
+            target = module.import_aliases.get(node.id)
+            if target is not None:
+                source_module, _, const = target.rpartition(".")
+                stem = source_module.rpartition(".")[2]
+                for other in self.modules:
+                    if other.name == stem and const in other.constants:
+                        return other.constants[const]
+        return None
+
+    def lookup_method(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[Tuple[ClassInfo, FunctionNode]]:
+        """Find ``name`` on ``cls`` or (by simple name, across modules)
+        on its transitive bases."""
+        seen: Set[int] = set()
+        stack = [cls]
+        while stack:
+            info = stack.pop(0)
+            if id(info) in seen:
+                continue
+            seen.add(id(info))
+            if name in info.methods:
+                return info, info.methods[name]
+            for base in info.bases:
+                local = info.module.classes.get(base)
+                if local is not None:
+                    stack.append(local)
+                else:
+                    stack.extend(self.classes_by_name.get(base, []))
+        return None
+
+    def classes_for_kind(self, kind: str) -> List[ClassInfo]:
+        return self.kind_bindings.get(kind, [])
+
+    def entry_candidates(
+        self, kind: Optional[str], method: str
+    ) -> List[Tuple[ClassInfo, FunctionNode]]:
+        """The transaction-body definitions a ``(kind, method)`` entry
+        point could dispatch to.
+
+        With a resolvable kind binding, look the method up on the bound
+        classes (through their bases); otherwise fall back to every
+        transaction body of that name program-wide — if they disagree,
+        the inference merges (widens) them.
+        """
+        found: List[Tuple[ClassInfo, FunctionNode]] = []
+        if kind is not None:
+            for cls in self.classes_for_kind(kind):
+                hit = self.lookup_method(cls, method)
+                if (
+                    hit is not None
+                    and is_txn_body(hit[1])
+                    and not is_framework_module(hit[0].module.path)
+                ):
+                    found.append(hit)
+        if not found:
+            for infos in self.classes_by_name.values():
+                for info in infos:
+                    if is_framework_module(info.module.path):
+                        continue
+                    fn = info.methods.get(method)
+                    if fn is not None and is_txn_body(fn):
+                        found.append((info, fn))
+        # dedupe by defining function node (families share logic bases)
+        unique: Dict[int, Tuple[ClassInfo, FunctionNode]] = {}
+        for cls, fn in found:
+            unique.setdefault(id(fn), (cls, fn))
+        return list(unique.values())
+
+    def method_actor_ctor(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[ActorCtor]:
+        """``self.<name>(...)`` as an actor constructor, if it is one."""
+        hit = self.lookup_method(cls, name)
+        if hit is None:
+            return None
+        return _method_actor_ctor(hit[1])
+
+
+# -- actor-constructor recognition -------------------------------------------
+def _return_expr(fn: FunctionNode) -> Optional[ast.expr]:
+    """The single return expression of a tiny helper, else None."""
+    returns = [
+        node for node in ast.walk(fn)
+        if isinstance(node, ast.Return) and node.value is not None
+    ]
+    if len(returns) != 1:
+        return None
+    return returns[0].value
+
+
+def _unwrap_id(expr: ast.expr) -> ast.expr:
+    """Strip a trailing ``.id`` (``self.ref(...).id`` -> the ref call)."""
+    if isinstance(expr, ast.Attribute) and expr.attr == "id":
+        return expr.value
+    return expr
+
+
+def _method_actor_ctor(fn: FunctionNode) -> Optional[ActorCtor]:
+    """``def _account(self, key): return self.ref(KIND, key).id``."""
+    expr = _return_expr(fn)
+    if expr is None:
+        return None
+    expr = _unwrap_id(expr)
+    if not (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("ref", "actor", "actor_ref")
+        and len(expr.args) >= 2
+    ):
+        return None
+    params = tuple(a.arg for a in fn.args.args[1:])  # drop self
+    return ActorCtor(
+        params=params, kind_expr=expr.args[0], key_expr=expr.args[1]
+    )
+
+
+def _function_actor_ctor(fn: FunctionNode) -> Optional[ActorCtor]:
+    """``def _aid(pair): kind, key = pair; return ActorId(kind, key)``
+    and the direct ``def _aid(k, key): return ActorId(k, key)`` form."""
+    expr = _return_expr(fn)
+    if expr is None:
+        return None
+    expr = _unwrap_id(expr)
+    if not (
+        isinstance(expr, ast.Call)
+        and (dotted(expr.func) or "").split(".")[-1] == "ActorId"
+        and len(expr.args) == 2
+    ):
+        return None
+    params = tuple(a.arg for a in fn.args.args)
+    kind_expr, key_expr = expr.args
+    # the destructuring form: one param unpacked into (kind, key)
+    if len(params) == 1:
+        for node in fn.body:
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Tuple)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == params[0]
+                and len(node.targets[0].elts) == 2
+                and all(isinstance(e, ast.Name)
+                        for e in node.targets[0].elts)
+            ):
+                names = [e.id for e in node.targets[0].elts]  # type: ignore[union-attr]
+                if (
+                    isinstance(kind_expr, ast.Name)
+                    and isinstance(key_expr, ast.Name)
+                    and kind_expr.id == names[0]
+                    and key_expr.id == names[1]
+                ):
+                    return ActorCtor(params=params, pair_param=params[0])
+    return ActorCtor(params=params, kind_expr=kind_expr, key_expr=key_expr)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path

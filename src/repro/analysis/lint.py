@@ -520,7 +520,7 @@ class ModuleLinter:
             return isinstance(root, ast.Name) and root.id in tainted
         return False
 
-    # -- SNAP001 / SNAP002: PACT access declarations ------------------------
+    # -- SNAP001 / SNAP002 / SNAP016: PACT access declarations ---------------
     def _check_submit_sites(self) -> None:
         for node in ast.walk(self.module.tree):
             if not isinstance(node, ast.Call):
@@ -531,6 +531,10 @@ class ModuleLinter:
                 self._check_submit_pact(node)
             if name in ("submit_pact", "submit_act"):
                 self._check_submit_shim(node, name)
+            if (name == "pact" and "TxnRequest" in dotted) or (
+                name == "TxnRequest"
+            ):
+                self._check_txn_request_pact(node)
 
     # -- SNAP015: the deprecated submission shims ---------------------------
     def _check_submit_shim(self, call: ast.Call, name: str) -> None:
@@ -552,14 +556,45 @@ class ModuleLinter:
         for keyword in call.keywords:
             if keyword.arg == "access":
                 access = keyword.value
+        self._check_pact_declaration(call, access)
+
+    def _check_txn_request_pact(self, call: ast.Call) -> None:
+        """The same declaration checks on the TxnRequest surface:
+        ``TxnRequest.pact(kind, key, method, ..., access={...})`` and
+        the raw ``TxnRequest(..., access={...})`` constructor."""
+        access: Optional[ast.expr] = None
+        for keyword in call.keywords:
+            if keyword.arg == "access":
+                access = keyword.value
+        self._check_pact_declaration(call, access)
+
+    def _check_pact_declaration(
+        self, call: ast.Call, access: Optional[ast.expr]
+    ) -> None:
         if not isinstance(access, ast.Dict):
             return
         keys: List[Any] = []
+        literal = True
         for key in access.keys:
-            if not isinstance(key, ast.Constant):
-                return  # computed keys: nothing provable statically
-            keys.append(key.value)
+            if isinstance(key, ast.Constant):
+                keys.append(key.value)
+            else:
+                literal = False
+                if key is not None and not self._checkable_access_key(key):
+                    self.emit(
+                        "SNAP016", key,
+                        f"access-dict key "
+                        f"{ast.unparse(key)!r} is a computed "
+                        f"expression: the declared actor cannot be "
+                        f"checked statically; hoist it into a variable "
+                        f"or declare the literal key",
+                    )
+        if not literal:
+            return  # computed keys: SNAP001/002 have nothing provable
         start_key = call.args[1] if len(call.args) >= 2 else None
+        for keyword in call.keywords:
+            if keyword.arg == "key":
+                start_key = keyword.value
         if isinstance(start_key, ast.Constant) and (
             start_key.value not in keys
         ):
@@ -570,10 +605,36 @@ class ModuleLinter:
                 f"such PACTs",
             )
         method = call.args[2] if len(call.args) >= 3 else None
+        for keyword in call.keywords:
+            if keyword.arg == "method":
+                method = keyword.value
         if isinstance(method, ast.Constant) and isinstance(
             method.value, str
         ):
             self._check_declared_targets(call, method.value, keys)
+
+    @staticmethod
+    def _checkable_access_key(key: ast.expr) -> bool:
+        """Keys the access tooling can still reason about: literals,
+        plain names (loop/parameter variables, module constants), and
+        all-constant ``ActorId(kind, key)`` constructions."""
+        if isinstance(key, ast.Constant) or isinstance(key, ast.Name):
+            return True
+        if isinstance(key, ast.Tuple):
+            return all(
+                ModuleLinter._checkable_access_key(element)
+                for element in key.elts
+            )
+        if (
+            isinstance(key, ast.Call)
+            and (_dotted(key.func) or "").split(".")[-1] == "ActorId"
+            and len(key.args) == 2
+        ):
+            return all(
+                isinstance(arg, (ast.Constant, ast.Name))
+                for arg in key.args
+            )
+        return False
 
     def _check_declared_targets(
         self, call: ast.Call, method: str, declared: List[Any]

@@ -201,6 +201,19 @@ _RULES: Tuple[Rule, ...] = (
             "only inside repro internals and will be removed."
         ),
     ),
+    Rule(
+        id="SNAP016",
+        name="pact-dynamic-access-key",
+        scope="call-site",
+        summary=(
+            "A key of a PACT access dict is a computed expression "
+            "(call, attribute, subscript, arithmetic) rather than a "
+            "literal, a plain name, or a constant ActorId(...): the "
+            "declared actor cannot be checked statically and may "
+            "silently diverge from what the body touches.  Hoist the "
+            "expression into a variable, or declare the literal key."
+        ),
+    ),
 )
 
 #: rule ID -> :class:`Rule`, in declaration order.

@@ -72,8 +72,12 @@ class TxnRequest:
     from the presence of ``access`` (a PACT pre-declares its access set,
     an ACT declares nothing — §3.1).  ``access`` maps each accessed
     actor (an ``ActorId``, an ``ActorRef``, or a raw key of the start
-    actor's kind) to its access count, exactly like the old
-    ``submit_pact(access=...)`` argument.
+    actor's kind) to its declared access: an int count (mode defaults to
+    ``ReadWrite``), a mode string (``"r"``/``"rw"``), or a
+    ``(count, mode)`` pair — see
+    :func:`repro.core.context.parse_access_decl`.  Declarations are
+    checked statically by ``python -m repro.analysis verify`` and, under
+    ``SnapperConfig(sanitize_access_sets=True)``, at execution time.
     """
 
     kind: str
@@ -81,7 +85,7 @@ class TxnRequest:
     method: str
     func_input: Any = None
     txn: str = ""
-    access: Optional[Mapping[Any, int]] = None
+    access: Optional[Mapping[Any, Any]] = None
     retry: Optional[RetryPolicy] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -114,7 +118,7 @@ class TxnRequest:
         method: str,
         func_input: Any = None,
         *,
-        access: Mapping[Any, int],
+        access: Mapping[Any, Any],
         retry: Optional[RetryPolicy] = None,
     ) -> "TxnRequest":
         """A pre-declared (deterministic, batched) transaction."""

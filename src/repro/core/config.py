@@ -42,6 +42,8 @@ class SnapperConfig:
         "batch_complete_timeout", "log_dir",
         # observability
         "observability",
+        # verification
+        "sanitize_access_sets",
         # execution substrate / deployment
         "runtime_backend", "coordinator_placement",
     )
@@ -76,6 +78,8 @@ class SnapperConfig:
         log_dir: Optional[str] = None,
         # -- observability ------------------------------------------------------
         observability: bool = False,
+        # -- verification -------------------------------------------------------
+        sanitize_access_sets: bool = False,
         # -- execution substrate / deployment ------------------------------------
         runtime_backend: str = "sim",
         coordinator_placement: Any = "spread",
@@ -162,6 +166,18 @@ class SnapperConfig:
         #: simulated time and charge no simulated CPU, so enabling this
         #: does not change any simulated result.
         self.observability = observability
+
+        #: run the :class:`repro.core.engine.sanitizer.AccessSanitizer`:
+        #: every PACT context carries its normalized access declaration,
+        #: and the engine cross-checks actual accesses (cross-actor
+        #: calls, invocation counts, ``get_state`` modes) against it at
+        #: execution time, failing fast with
+        #: ``AbortReason.ACCESS_VIOLATION`` and the offending
+        #: actor/mode.  The dynamic oracle for the static
+        #: ``repro.analysis.accessflow`` pass; off by default — with it
+        #: off, contexts and message payloads are bit-for-bit what they
+        #: were before the sanitizer existed.  See docs/analysis.md.
+        self.sanitize_access_sets = sanitize_access_sets
 
         #: directory for file-backed WALs (None keeps them in memory,
         #: which still survives simulated crashes — the WAL object *is*

@@ -31,12 +31,66 @@ class AccessMode:
     READ_WRITE = "ReadWrite"
 
 
+#: spellings accepted for the mode half of an access-set declaration.
+_ACCESS_MODE_ALIASES = {
+    "r": AccessMode.READ,
+    "read": AccessMode.READ,
+    "rw": AccessMode.READ_WRITE,
+    "readwrite": AccessMode.READ_WRITE,
+}
+
+
+def parse_access_decl(value: Any) -> Tuple[int, str]:
+    """Normalize one access-set declaration value to ``(count, mode)``.
+
+    Declarations historically carried only the access *count* per actor;
+    they may now also carry the access *mode* so the static verifier and
+    the runtime sanitizer can catch declared-READ/inferred-write
+    downgrades.  Accepted forms:
+
+    * ``int`` — the access count; mode defaults to ``ReadWrite`` (the
+      ``get_state`` default, and the only sound assumption).
+    * ``str`` — a mode (``"r"``/``"rw"``/``"Read"``/``"ReadWrite"``);
+      count defaults to 1.
+    * ``(count, mode)`` — both explicit.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"bad access declaration {value!r}")
+    if isinstance(value, int):
+        return value, AccessMode.READ_WRITE
+    if isinstance(value, str):
+        return 1, _parse_mode(value)
+    if isinstance(value, tuple) and len(value) == 2:
+        count, mode = value
+        if isinstance(count, bool) or not isinstance(count, int):
+            raise ValueError(f"bad access count in declaration {value!r}")
+        return count, _parse_mode(mode)
+    raise ValueError(
+        f"bad access declaration {value!r}: expected an int count, a mode "
+        "string ('r'/'rw'), or a (count, mode) pair"
+    )
+
+
+def _parse_mode(mode: Any) -> str:
+    if isinstance(mode, str):
+        normalized = _ACCESS_MODE_ALIASES.get(mode.lower())
+        if normalized is not None:
+            return normalized
+    raise ValueError(
+        f"bad access mode {mode!r}: expected 'r'/'Read' or 'rw'/'ReadWrite'"
+    )
+
+
 @dataclass(frozen=True)
 class TxnContext:
     """Read-only context identifying one transaction.
 
     ``tid`` orders transactions globally; for PACTs ``bid`` is the batch
     the transaction belongs to, assigned by the coordinators.
+    ``declared_access`` carries the PACT's normalized access declaration
+    — ``(actor, count, mode)`` triples in a deterministic order — but
+    only when ``SnapperConfig(sanitize_access_sets=True)``; it is what
+    the runtime access sanitizer checks actual accesses against.
     """
 
     tid: int
@@ -44,10 +98,23 @@ class TxnContext:
     start_actor: ActorId
     coordinator_key: int
     bid: Optional[int] = None
+    declared_access: Optional[Tuple[Tuple[ActorId, int, str], ...]] = None
 
     @property
     def is_pact(self) -> bool:
         return self.mode == TxnMode.PACT
+
+    def declared_for(self, actor: ActorId) -> Optional[Tuple[int, str]]:
+        """The ``(count, mode)`` declared for ``actor``, if any.
+
+        Linear scan: declared sets are small (a handful of actors), and
+        this only runs under the sanitizer."""
+        if self.declared_access is None:
+            return None
+        for declared, count, mode in self.declared_access:
+            if declared == actor:
+                return count, mode
+        return None
 
 
 @dataclass(frozen=True)

@@ -21,12 +21,17 @@ Coordinators assign transaction IDs and drive the PACT batch protocol:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId
 from repro.core.config import SnapperConfig
-from repro.core.context import SubBatch, TxnContext, TxnMode
+from repro.core.context import (
+    SubBatch,
+    TxnContext,
+    TxnMode,
+    parse_access_decl,
+)
 from repro.errors import AbortReason, TransactionAbortedError
 from repro.obs.instruments import (
     LATENCY_BUCKETS,
@@ -58,8 +63,10 @@ class Token:
 class _PendingPact:
     __slots__ = ("start_actor", "access", "reply")
 
-    def __init__(self, start_actor: ActorId, access: Dict[ActorId, int]):
+    def __init__(self, start_actor: ActorId, access: Dict[ActorId, Any]):
         self.start_actor = start_actor
+        #: ActorId -> declaration value: an int count or a normalized
+        #: ``(count, mode)`` pair (``parse_access_decl`` takes both).
         self.access = access
         self.reply: Future = Future(label="pact-ctx")
 
@@ -74,6 +81,21 @@ class _PendingBatch:
         self.votes: Set[ActorId] = set()
         self.emitted_at = emitted_at
         self.committing = False
+
+
+def _declared_tuple(
+    declared: Dict[ActorId, Tuple[int, str]]
+) -> Tuple[Tuple[ActorId, int, str], ...]:
+    """Deterministic ordering of a declaration for ``TxnContext``.
+
+    Sorted by ``(kind, repr(key))`` — actor keys are arbitrary hashables
+    and need not be mutually comparable."""
+    return tuple(
+        (actor, count, mode)
+        for actor, (count, mode) in sorted(
+            declared.items(), key=lambda kv: (kv[0].kind, repr(kv[0].key))
+        )
+    )
 
 
 class CoordinatorActor(Actor):
@@ -130,7 +152,7 @@ class CoordinatorActor(Actor):
 
     # -- client-facing registration ----------------------------------------
     async def new_pact(
-        self, start_actor: ActorId, access: Dict[ActorId, int]
+        self, start_actor: ActorId, access: Dict[ActorId, Any]
     ) -> TxnContext:
         """Register a PACT; replies with its context once the batch that
         contains it is formed (at the next token visit)."""
@@ -221,9 +243,14 @@ class CoordinatorActor(Actor):
         contexts: List[Tuple[_PendingPact, TxnContext]] = []
         bid = token.last_tid + 1
         per_actor: Dict[ActorId, List[Tuple[int, int]]] = {}
+        sanitize = self._config.sanitize_access_sets
         for pending in pacts:
             token.last_tid += 1
             tid = token.last_tid
+            declared = {
+                actor: parse_access_decl(decl)
+                for actor, decl in pending.access.items()
+            }
             contexts.append(
                 (
                     pending,
@@ -233,10 +260,16 @@ class CoordinatorActor(Actor):
                         start_actor=pending.start_actor,
                         coordinator_key=self.key,
                         bid=bid,
+                        # attached only under the sanitizer, so contexts
+                        # are bit-identical to the pre-sanitizer ones
+                        # when the flag is off.
+                        declared_access=(
+                            _declared_tuple(declared) if sanitize else None
+                        ),
                     ),
                 )
             )
-            for actor, count in pending.access.items():
+            for actor, (count, _mode) in declared.items():
                 per_actor.setdefault(actor, []).append((tid, count))
         def live_prev(actor: ActorId) -> Optional[int]:
             # A prev_bid pointing at a batch killed by a cascading abort

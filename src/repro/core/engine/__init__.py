@@ -55,9 +55,12 @@ from repro.core.engine.guard import SerializabilityGuard
 from repro.core.engine.hybrid import HybridScheduler
 from repro.core.engine.pact import PactExecutor
 from repro.core.engine.recovery import RecoveryWarning, recover_state
+from repro.core.engine.sanitizer import AccessSanitizer, AccessViolation
 
 __all__ = [
     "CC_STRATEGIES",
+    "AccessSanitizer",
+    "AccessViolation",
     "ActExecutionCore",
     "ActExecutor",
     "ActRun",

@@ -77,6 +77,9 @@ class PactExecutor:
         except TransactionAbortedError as exc:
             host.trace(ctx.tid, "aborted", exc.reason)
             raise
+        finally:
+            if host._sanitizer is not None:
+                host._sanitizer.forget_txn(ctx.tid)
         host.trace(ctx.tid, "committed")
         return result
 
@@ -84,6 +87,12 @@ class PactExecutor:
     async def invoke(self, ctx: TxnContext, call: FuncCall) -> Any:
         host = self._host
         await host.charge(host._config.cpu_schedule_op)
+        if host._sanitizer is not None and ctx.declared_access is not None:
+            # fail fast *before* awaiting the turn: an invocation beyond
+            # the declared count would otherwise wait for a turn the
+            # schedule will never grant (and the schedule's own overflow
+            # check only fires after the access already ran).
+            host._sanitizer.note_invocation(host.id, ctx)
         await self._scheduler.await_pact_turn(ctx.bid, ctx.tid)
         host.trace(ctx.tid, "turn_started", str(host.id),
                    bid=ctx.bid, actor=host.id)
@@ -109,6 +118,8 @@ class PactExecutor:
         makes locks unnecessary; writes mark the batch entry so the
         completion snapshot knows state changed (§4.2.4)."""
         host = self._host
+        if host._sanitizer is not None and ctx.declared_access is not None:
+            host._sanitizer.check_state_access(host.id, ctx, mode)
         if mode == AccessMode.READ_WRITE:
             entry = self._scheduler.batch_entry(ctx.bid)
             if entry is None:

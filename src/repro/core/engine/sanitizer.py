@@ -1,0 +1,172 @@
+"""Runtime access-set sanitizer: the dynamic oracle for ``accessflow``.
+
+A PACT's determinism rests on an unchecked programmer promise — the
+declared access set exactly covers what the transaction body touches,
+transitively through cross-actor calls (§3.2.1; Theorem 4.2 only holds
+for accurate declarations).  An under-declaration normally *stalls*: the
+undeclared actor never receives a sub-batch plan for the transaction, so
+its ``await_pact_turn`` waiter never resolves and the whole batch wedges
+until the vote timeout cascades it away — a slow, hard-to-attribute
+failure.  With ``SnapperConfig(sanitize_access_sets=True)`` the
+coordinator attaches the normalized declaration to every PACT's
+:class:`~repro.core.context.TxnContext` and this sanitizer cross-checks
+*actual* accesses against it, failing fast at the exact offending
+operation with :data:`~repro.errors.AbortReason.ACCESS_VIOLATION`:
+
+* **undeclared-actor** — ``call_actor`` targeting an actor outside the
+  declared set, checked *caller-side before the message is sent* (the
+  callee would otherwise stall, never raise);
+* **count-overflow** — more invocations landing on an actor than its
+  declared access count, checked before the turn is awaited (the
+  schedule's own overflow check in ``pact_access_done`` only fires
+  after the extra access already executed — usually it stalls first);
+* **mode-downgrade** — ``get_state(ReadWrite)`` on an actor declared
+  ``Read`` (the static pass calls the converse, a declared-RW actor the
+  body only reads, *over-declaration*; it costs parallelism, not
+  correctness, so the runtime does not abort for it).
+
+Every verdict is recorded as an :class:`AccessViolation` (the evidence
+the differential tests compare across backends) and the sanitizer
+reports the batch to the abort controller *itself* before raising — a
+violation inside a spawned, fire-and-forget invocation would otherwise
+vanish without aborting anyone.
+
+The sanitizer is a single service shared by every actor in the system
+(``runtime.services["access_sanitizer"]``); with the flag off the
+service is absent, contexts carry no declaration, and every hook is one
+``is None`` check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.actors.ref import ActorId
+from repro.core.context import AccessMode, TxnContext
+from repro.errors import AbortReason, TransactionAbortedError
+
+#: violation kinds (``AccessViolation.kind``).
+UNDECLARED_ACTOR = "undeclared-actor"
+COUNT_OVERFLOW = "count-overflow"
+MODE_DOWNGRADE = "mode-downgrade"
+
+
+@dataclass(frozen=True)
+class AccessViolation:
+    """Evidence for one sanitizer verdict.
+
+    ``declared`` is the ``(count, mode)`` the declaration carried for
+    the actor (``None`` when the actor was not declared at all);
+    ``observed`` names the operation that crossed the line.
+    """
+
+    kind: str
+    tid: int
+    bid: Optional[int]
+    actor: ActorId
+    declared: Optional[Tuple[int, str]]
+    observed: str
+
+    def message(self) -> str:
+        if self.declared is None:
+            decl = "not in the declared access set"
+        else:
+            count, mode = self.declared
+            decl = f"declared (count={count}, mode={mode})"
+        return (
+            f"PACT {self.tid} (batch {self.bid}) {self.kind} on "
+            f"{self.actor}: {self.observed}, {decl}"
+        )
+
+    @property
+    def evidence(self) -> Tuple[str, ActorId, Optional[Tuple[int, str]], str]:
+        """The backend-independent core of the verdict (no tid/bid —
+        those depend on batching timing, which differs between the sim
+        and asyncio substrates)."""
+        return self.kind, self.actor, self.declared, self.observed
+
+
+class AccessSanitizer:
+    """Cross-checks a PACT's actual accesses against its declaration."""
+
+    def __init__(self, controller=None):
+        #: the abort controller; violations report their batch to it
+        #: directly so even a violation inside a fire-and-forget child
+        #: invocation triggers the cascading abort.
+        self._controller = controller
+        #: (tid, actor) -> invocations charged so far.
+        self._used: Dict[Tuple[int, ActorId], int] = {}
+        #: every verdict, in detection order — the differential tests'
+        #: comparison surface.
+        self.violations: List[AccessViolation] = []
+
+    # -- checks (each raises TransactionAbortedError on violation) ----------
+    def check_call(
+        self, caller: ActorId, ctx: TxnContext, target: ActorId
+    ) -> None:
+        """``call_actor`` about to send to ``target`` — declared?"""
+        if ctx.declared_for(target) is None:
+            self._violate(
+                AccessViolation(
+                    UNDECLARED_ACTOR, ctx.tid, ctx.bid, target, None,
+                    f"call_actor from {caller}",
+                )
+            )
+
+    def note_invocation(self, host: ActorId, ctx: TxnContext) -> None:
+        """An invocation is landing on ``host`` — within its count?"""
+        declared = ctx.declared_for(host)
+        if declared is None:
+            self._violate(
+                AccessViolation(
+                    UNDECLARED_ACTOR, ctx.tid, ctx.bid, host, None,
+                    "pact invocation",
+                )
+            )
+            return  # pragma: no cover - _violate always raises
+        used = self._used.get((ctx.tid, host), 0) + 1
+        self._used[(ctx.tid, host)] = used
+        if used > declared[0]:
+            self._violate(
+                AccessViolation(
+                    COUNT_OVERFLOW, ctx.tid, ctx.bid, host, declared,
+                    f"invocation #{used}",
+                )
+            )
+
+    def check_state_access(
+        self, host: ActorId, ctx: TxnContext, mode: str
+    ) -> None:
+        """``get_state(mode)`` on ``host`` — mode within the declared?"""
+        declared = ctx.declared_for(host)
+        if declared is None:
+            self._violate(
+                AccessViolation(
+                    UNDECLARED_ACTOR, ctx.tid, ctx.bid, host, None,
+                    f"get_state({mode})",
+                )
+            )
+            return  # pragma: no cover - _violate always raises
+        if mode == AccessMode.READ_WRITE and declared[1] == AccessMode.READ:
+            self._violate(
+                AccessViolation(
+                    MODE_DOWNGRADE, ctx.tid, ctx.bid, host, declared,
+                    f"get_state({mode})",
+                )
+            )
+
+    # -- bookkeeping --------------------------------------------------------
+    def forget_txn(self, tid: int) -> None:
+        """Drop the invocation counters of a finished transaction."""
+        for key in [k for k in self._used if k[0] == tid]:
+            del self._used[key]
+
+    def _violate(self, violation: AccessViolation) -> None:
+        self.violations.append(violation)
+        exc = TransactionAbortedError(
+            violation.message(), AbortReason.ACCESS_VIOLATION
+        )
+        if self._controller is not None and violation.bid is not None:
+            self._controller.report_pact_failure(violation.bid, exc)
+        raise exc

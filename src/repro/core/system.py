@@ -105,6 +105,15 @@ class SnapperSystem:
         services["coordinator_for"] = self._coordinator_for
         services["token_active"] = lambda: self._token_active
         services["token_epoch"] = lambda: self._token_epoch
+        #: the runtime access sanitizer (``docs/analysis.md``): live only
+        #: under ``SnapperConfig(sanitize_access_sets=True)``; with it
+        #: off, no service exists and contexts carry no declaration.
+        self.sanitizer = None
+        if self.config.sanitize_access_sets:
+            from repro.core.engine.sanitizer import AccessSanitizer
+
+            self.sanitizer = AccessSanitizer(self.controller)
+            services["access_sanitizer"] = self.sanitizer
         if self.obs.enabled:
             services["obs"] = self.obs
             self.runtime.attach_obs(self.obs)

@@ -28,12 +28,18 @@ methods taking ``(ctx, func_input)``, exactly like Fig. 2's
 from __future__ import annotations
 
 import copy
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.actors.actor import Actor
 from repro.actors.ref import ActorId, ActorRef
 from repro.core.config import SnapperConfig
-from repro.core.context import AccessMode, FuncCall, ResultObj, TxnContext
+from repro.core.context import (
+    AccessMode,
+    FuncCall,
+    ResultObj,
+    TxnContext,
+    parse_access_decl,
+)
 from repro.core.engine import (
     ActExecutor,
     HybridScheduler,
@@ -105,6 +111,9 @@ class TransactionalActor(Actor):
         self._coordinator: ActorRef = self.runtime.service("coordinator_for")(
             self.id
         )
+        #: the access sanitizer service, present only under
+        #: ``SnapperConfig(sanitize_access_sets=True)``.
+        self._sanitizer = self.runtime.services.get("access_sanitizer")
 
         self._obs = registry_from_services(self.runtime.services)
         self._scheduler = HybridScheduler(
@@ -162,7 +171,7 @@ class TransactionalActor(Actor):
         self,
         method: str,
         func_input: Any = None,
-        actor_access_info: Optional[Dict[Any, int]] = None,
+        actor_access_info: Optional[Dict[Any, Any]] = None,
         on_tid: Optional[Callable[[int], None]] = None,
     ) -> Any:
         """Submit a transaction starting at this actor (Fig. 1).
@@ -170,11 +179,14 @@ class TransactionalActor(Actor):
         With ``actor_access_info`` the transaction runs as a PACT; the
         dictionary maps each accessed actor (an :class:`ActorId`, an
         :class:`ActorRef`, or a raw key of this actor's kind) to its
-        access count.  Without it, the transaction runs as an ACT.
-        Returns the first method's result after commit; raises
-        :class:`TransactionAbortedError` if the transaction aborted.
-        ``on_tid`` (used by ``TxnHandle``) is called with the assigned
-        tid the moment the coordinator registers the transaction.
+        declared access — an int count, a mode string (``"r"``/``"rw"``),
+        or a ``(count, mode)`` pair (see
+        :func:`repro.core.context.parse_access_decl`).  Without it, the
+        transaction runs as an ACT.  Returns the first method's result
+        after commit; raises :class:`TransactionAbortedError` if the
+        transaction aborted.  ``on_tid`` (used by ``TxnHandle``) is
+        called with the assigned tid the moment the coordinator
+        registers the transaction.
         """
         await self.charge(self._config.cpu_txn_setup)
         if actor_access_info is not None:
@@ -184,16 +196,28 @@ class TransactionalActor(Actor):
         return await self._acts.run_root(method, func_input, on_tid)
 
     def _normalize_access_info(
-        self, info: Dict[Any, int]
-    ) -> Dict[ActorId, int]:
-        access: Dict[ActorId, int] = {}
-        for target, count in info.items():
+        self, info: Dict[Any, Any]
+    ) -> Dict[ActorId, Tuple[int, str]]:
+        """Resolve targets and declaration values to ``ActorId ->
+        (count, mode)``; duplicate targets merge (counts add, ReadWrite
+        wins over Read)."""
+        access: Dict[ActorId, Tuple[int, str]] = {}
+        for target, decl in info.items():
             actor_id = self._resolve_target(target)
+            try:
+                count, mode = parse_access_decl(decl)
+            except ValueError as exc:
+                raise SimulationError(str(exc)) from None
             if count < 1:
                 raise SimulationError(
                     f"access count for {actor_id} must be >= 1"
                 )
-            access[actor_id] = access.get(actor_id, 0) + count
+            prev = access.get(actor_id)
+            if prev is not None:
+                count += prev[0]
+                if AccessMode.READ_WRITE in (mode, prev[1]):
+                    mode = AccessMode.READ_WRITE
+            access[actor_id] = (count, mode)
         if self.id not in access:
             raise SimulationError(
                 f"actorAccessInfo must include the first actor {self.id}"
@@ -220,6 +244,10 @@ class TransactionalActor(Actor):
         await self.charge(self.runtime.config.cpu_per_send)
         target_id = self._resolve_target(target)
         if ctx.is_pact:
+            if self._sanitizer is not None and ctx.declared_access is not None:
+                # caller-side: an undeclared callee would stall (it never
+                # receives a plan for this tid), so fail before sending.
+                self._sanitizer.check_call(self.id, ctx, target_id)
             return await self.actor_ref(target_id).call(
                 "pact_invoke", ctx, call
             )

@@ -67,6 +67,9 @@ class AbortReason:
     CASCADING = "cascading"
     #: actor or silo failure while the transaction was in flight.
     FAILURE = "failure"
+    #: the runtime access sanitizer caught a PACT touching an actor (or
+    #: mode, or access count) its declaration never covered.
+    ACCESS_VIOLATION = "access_violation"
 
     ALL = (
         ACT_CONFLICT,
@@ -76,6 +79,7 @@ class AbortReason:
         USER_ABORT,
         CASCADING,
         FAILURE,
+        ACCESS_VIOLATION,
     )
 
 

@@ -1,5 +1,7 @@
 """Fixture: SNAP002 — the transaction body calls an undeclared actor."""
 
+from repro.api import TxnRequest
+
 
 class FakeFuncCall:
     def __init__(self, method, func_input=None):
@@ -18,5 +20,13 @@ class TransferActor:
 async def submit(system):
     return await system.submit_pact(  # snapper: noqa SNAP015
         "account", "alice", "transfer", None,
+        access={"alice": 1, "bob": 1},
+    )
+
+
+def build_request():
+    # the TxnRequest surface is checked the same way
+    return TxnRequest.pact(
+        "account", "alice", "transfer",
         access={"alice": 1, "bob": 1},
     )

@@ -1,0 +1,17 @@
+"""Fixture: SNAP016 — a computed key in a PACT access dict.
+
+The declared actor is the result of an expression evaluated at
+submission time; neither ``python -m repro.analysis verify`` nor a
+reader of the call site can tell which actor the declaration covers.
+Literals, plain names, and all-constant ``ActorId(...)`` keys stay
+checkable and are not flagged.
+"""
+
+from repro.api import TxnRequest
+
+
+def build_request(layout, key):
+    return TxnRequest.pact(
+        "account", key, "transfer", (10.0, key + 1),
+        access={key: 1, layout.partition(key + 1): 1},
+    )

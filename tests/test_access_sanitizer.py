@@ -1,0 +1,269 @@
+"""Runtime access-set sanitizer (``sanitize_access_sets=True``).
+
+Differential tests: every injected violation — undeclared actor, count
+overflow, mode downgrade — must abort with
+``AbortReason.ACCESS_VIOLATION`` and produce *identical*
+:class:`AccessViolation.evidence` on the sim and asyncio backends.
+The deliberately wrong declarations below carry bare ``# snapper:
+noqa`` so the static ``accessflow verify`` pass (which flags exactly
+these sites) stays clean repo-wide.
+"""
+
+import pytest
+
+from repro import (
+    AbortReason,
+    AccessMode,
+    FuncCall,
+    SnapperConfig,
+    SnapperSystem,
+    TransactionAbortedError,
+    TransactionalActor,
+)
+from repro.actors.ref import ActorId
+from repro.api import TxnRequest
+from repro.core.engine.sanitizer import (
+    COUNT_OVERFLOW,
+    MODE_DOWNGRADE,
+    UNDECLARED_ACTOR,
+)
+
+BACKENDS = ("sim", "asyncio")
+
+
+class SanAccount(TransactionalActor):
+    def initial_state(self):
+        return 100.0
+
+    async def balance(self, ctx, _input=None):
+        return await self.get_state(ctx, AccessMode.READ)
+
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        self._state = state + money
+        return self._state
+
+    async def transfer(self, ctx, txn_input):
+        money, to_key = txn_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        self._state = state - money
+        await self.call_actor(
+            ctx, self.ref("acct", to_key).id, FuncCall("deposit", money)
+        )
+        return self._state
+
+    async def pay_twice(self, ctx, txn_input):
+        money, to_key = txn_input
+        await self.get_state(ctx, AccessMode.READ)
+        target = self.ref("acct", to_key).id
+        await self.call_actor(ctx, target, FuncCall("deposit", money))
+        await self.call_actor(ctx, target, FuncCall("deposit", money))
+        return "done"
+
+    async def fan_out(self, ctx, txn_input):
+        """Spawned (fire-and-forget-style) child invocations."""
+        money, to_keys = txn_input
+        state = await self.get_state(ctx, AccessMode.READ_WRITE)
+        self._state = state - money * len(to_keys)
+        from repro.runtime.kernel import gather, spawn
+
+        await gather(
+            *[
+                spawn(
+                    self.call_actor(
+                        ctx,
+                        self.ref("acct", key).id,
+                        FuncCall("deposit", money),
+                    )
+                )
+                for key in to_keys
+            ]
+        )
+        return self._state
+
+
+def make_system(backend, sanitize=True, seed=11):
+    system = SnapperSystem(
+        config=SnapperConfig(
+            runtime_backend=backend, sanitize_access_sets=sanitize
+        ),
+        seed=seed,
+    )
+    system.register_actor("acct", SanAccount)
+    system.start()
+    return system
+
+
+async def read_balance(system, key):
+    return await system.submit(
+        TxnRequest.pact("acct", key, "balance", access={key: "r"})
+    )
+
+
+def run_violation(system, request):
+    """Submit ``request``; return the abort reason, then drain cleanly."""
+
+    async def main():
+        with pytest.raises(TransactionAbortedError) as excinfo:
+            await system.submit(request)
+        # a clean follow-up PACT drains the aborted batch's wake-ups
+        await read_balance(system, 1)
+        return excinfo.value.reason
+
+    return system.run(main())
+
+
+# -- clean paths --------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_correct_declarations_commit(backend):
+    system = make_system(backend)
+
+    async def main():
+        out = await system.submit(TxnRequest.pact(
+            "acct", 1, "transfer", (30.0, 2), access={1: 1, 2: 1}
+        ))
+        return out, await read_balance(system, 2)
+
+    assert system.run(main()) == (70.0, 130.0)
+    assert system.sanitizer.violations == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_read_declaration_commits_readonly_body(backend):
+    system = make_system(backend)
+    assert system.run(read_balance(system, 5)) == 100.0
+    assert system.sanitizer.violations == []
+
+
+def test_sanitizer_off_is_inert():
+    system = make_system("sim", sanitize=False)
+    assert system.sanitizer is None
+
+    async def main():
+        return await system.submit(TxnRequest.pact(
+            "acct", 1, "transfer", (30.0, 2), access={1: 1, 2: 1}
+        ))
+
+    assert system.run(main()) == 70.0
+
+
+# -- violations, per backend --------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_undeclared_call_target_aborts(backend):
+    system = make_system(backend)
+    reason = run_violation(
+        system,
+        TxnRequest.pact(  # snapper: noqa
+            "acct", 1, "transfer", (30.0, 2), access={1: 1}
+        ),
+    )
+    assert reason == AbortReason.ACCESS_VIOLATION
+    (violation,) = system.sanitizer.violations
+    assert violation.kind == UNDECLARED_ACTOR
+    assert violation.actor == ActorId("acct", 2)
+    assert violation.declared is None
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_count_overflow_aborts(backend):
+    system = make_system(backend)
+    reason = run_violation(
+        system,
+        TxnRequest.pact(  # snapper: noqa
+            "acct", 1, "pay_twice", (5.0, 2), access={1: 1, 2: 1}
+        ),
+    )
+    assert reason in (
+        AbortReason.ACCESS_VIOLATION,
+        AbortReason.CASCADING,
+    )
+    (violation,) = system.sanitizer.violations
+    assert violation.kind == COUNT_OVERFLOW
+    assert violation.actor == ActorId("acct", 2)
+    assert violation.declared == (1, AccessMode.READ_WRITE)
+    assert violation.observed == "invocation #2"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mode_downgrade_aborts(backend):
+    system = make_system(backend)
+    reason = run_violation(
+        system,
+        TxnRequest.pact(  # snapper: noqa
+            "acct", 1, "deposit", 5.0, access={1: "r"}
+        ),
+    )
+    assert reason == AbortReason.ACCESS_VIOLATION
+    (violation,) = system.sanitizer.violations
+    assert violation.kind == MODE_DOWNGRADE
+    assert violation.actor == ActorId("acct", 1)
+    assert violation.declared == (1, AccessMode.READ)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_spawned_violation_cascades_to_root(backend):
+    """An undeclared target inside a *spawned* child invocation still
+    aborts the root (the sanitizer reports the batch itself)."""
+    system = make_system(backend)
+    reason = run_violation(
+        system,
+        TxnRequest.pact(  # snapper: noqa
+            "acct", 1, "fan_out", (5.0, [2, 3]), access={1: 1, 2: 1}
+        ),
+    )
+    assert reason in (
+        AbortReason.ACCESS_VIOLATION,
+        AbortReason.CASCADING,
+    )
+    kinds = {v.kind for v in system.sanitizer.violations}
+    assert kinds == {UNDECLARED_ACTOR}
+    assert ActorId("acct", 3) in {
+        v.actor for v in system.sanitizer.violations
+    }
+    # rollback: the root's withdraw was undone with the batch
+    assert system.run(read_balance(system, 1)) == 100.0
+
+
+# -- the differential ---------------------------------------------------------
+
+SCENARIOS = {
+    "undeclared-actor": (
+        "transfer", (30.0, 2), {1: 1}
+    ),
+    "count-overflow": (
+        "pay_twice", (5.0, 2), {1: 1, 2: 1}
+    ),
+    "mode-downgrade": (
+        "deposit", 5.0, {1: "r"}
+    ),
+    "spawned-undeclared": (
+        "fan_out", (5.0, [2, 3]), {1: 1, 2: 1}
+    ),
+}
+
+
+def violation_evidence(backend, scenario):
+    method, txn_input, access = SCENARIOS[scenario]
+    system = make_system(backend)
+    run_violation(
+        system,
+        TxnRequest.pact(  # snapper: noqa
+            "acct", 1, method, txn_input, access=access
+        ),
+    )
+    return [v.evidence for v in system.sanitizer.violations]
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_backends_agree_on_evidence(scenario):
+    """The tentpole's differential guarantee: identical verdicts —
+    kind, actor, declared (count, mode), observed operation — on the
+    deterministic-sim and real-asyncio substrates."""
+    per_backend = {
+        backend: violation_evidence(backend, scenario)
+        for backend in BACKENDS
+    }
+    assert per_backend["sim"], "scenario must produce a verdict"
+    assert per_backend["sim"] == per_backend["asyncio"]

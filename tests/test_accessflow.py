@@ -1,0 +1,453 @@
+"""Interprocedural access-set inference + declaration verification.
+
+Unit tests drive :mod:`repro.analysis.accessflow` over inline sources:
+the inference half (key forwarding through helpers, diamond call
+graphs, recursion, conditional calls, loops, ⊤ propagation) and the
+verification half (under/over-declaration, count and mode claims,
+``--fix`` rewrites, noqa suppression, CLI exit codes).
+"""
+
+import pytest
+
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.accessflow import Inferencer, Program, verify_program
+from repro.analysis.accessflow.infer import (
+    HOST_KIND,
+    READ,
+    READ_WRITE,
+    KeyKind,
+)
+from repro.analysis.accessflow.verify import apply_fixes
+
+ACTOR_PRELUDE = '''
+class FuncCall:
+    def __init__(self, method, func_input=None):
+        self.method = method
+        self.func_input = func_input
+
+
+class AccessMode:
+    READ = "Read"
+    READ_WRITE = "ReadWrite"
+'''
+
+
+def summarize(source, method, kind=None):
+    program = Program.from_source(ACTOR_PRELUDE + source)
+    summary = Inferencer(program).entry_summary(kind, method)
+    assert summary is not None, f"no summary for {method}"
+    return summary
+
+
+def access_map(summary):
+    """``describe_actor() -> Access`` for easy assertions."""
+    return {a.describe_actor(): a for a in summary.accesses}
+
+
+# -- inference ----------------------------------------------------------------
+
+def test_entry_invocation_and_state_modes():
+    summary = summarize('''
+class A:
+    async def balance(self, ctx, _input=None):
+        return await self.get_state(ctx, AccessMode.READ)
+''', "balance")
+    accesses = access_map(summary)
+    assert set(accesses) == {"self"}
+    assert accesses["self"].count == 1  # the entry invocation
+    assert accesses["self"].mode == READ
+    assert summary.exhaustive
+
+
+def test_literal_call_target_and_mode_join():
+    summary = summarize('''
+class A:
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        self._state = state + money
+
+    async def feed(self, ctx, _input=None):
+        await self.call_actor(
+            ctx, self.ref("account", 7).id, FuncCall("deposit", 1.0)
+        )
+''', "feed")
+    accesses = access_map(summary)
+    target = accesses["account[7]"]
+    assert target.count == 1
+    assert target.mode == READ_WRITE  # callee writes its state
+    assert accesses["self"].mode == READ  # feed itself never reads state
+    assert summary.exhaustive
+
+
+def test_key_forwarding_through_helpers():
+    """A literal argument substitutes exactly through a same-actor
+    helper and an actor-constructor helper."""
+    summary = summarize('''
+KIND = "account"
+
+class A:
+    def _acct(self, key):
+        return self.ref(KIND, key).id
+
+    async def pay(self, ctx, to_key):
+        await self.call_actor(
+            ctx, self._acct(to_key), FuncCall("deposit", 1.0)
+        )
+
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        self._state = state + money
+
+    async def settle(self, ctx, _input=None):
+        await self.pay(ctx, "bob")
+''', "settle")
+    accesses = access_map(summary)
+    bob = accesses["account['bob']"]
+    assert bob.key.sort == KeyKind.LIT and bob.key.value == "bob"
+    assert bob.count == 1 and bob.mode == READ_WRITE
+    assert summary.exhaustive
+
+
+def test_diamond_call_graph_counts_add():
+    """settle -> left/right (helpers) -> the same literal actor: the
+    two edges merge with counts added."""
+    summary = summarize('''
+class A:
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        self._state = state + money
+
+    async def left(self, ctx, amount):
+        await self.call_actor(
+            ctx, self.ref("account", 9).id, FuncCall("deposit", amount)
+        )
+
+    async def right(self, ctx, amount):
+        await self.call_actor(
+            ctx, self.ref("account", 9).id, FuncCall("deposit", amount)
+        )
+
+    async def settle(self, ctx, _input=None):
+        await self.left(ctx, 1.0)
+        await self.right(ctx, 2.0)
+''', "settle")
+    accesses = access_map(summary)
+    assert accesses["account[9]"].count == 2
+    assert summary.exhaustive
+
+
+def test_recursion_widens_summary():
+    summary = summarize('''
+class A:
+    async def ping(self, ctx, n):
+        if n > 0:
+            await self.ping(ctx, n - 1)
+        await self.call_actor(
+            ctx, self.ref("account", 3).id, FuncCall("ping", n)
+        )
+''', "ping")
+    assert summary.recursive
+    assert not summary.exhaustive  # counts are lower bounds
+
+
+def test_conditional_cross_actor_call():
+    summary = summarize('''
+class A:
+    async def maybe(self, ctx, flag):
+        if flag:
+            await self.call_actor(
+                ctx, self.ref("account", 5).id, FuncCall("noop")
+            )
+
+    async def noop(self, ctx, _input=None):
+        return "ok"
+''', "maybe")
+    accesses = access_map(summary)
+    assert accesses["account[5]"].conditional
+    assert not accesses["self"].conditional  # entry is unconditional
+    assert summary.exhaustive  # conditional != unresolvable
+
+
+def test_loop_over_input_is_many():
+    summary = summarize('''
+class A:
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        self._state = state + money
+
+    async def fan_out(self, ctx, keys):
+        for key in keys:
+            await self.call_actor(
+                ctx, self.ref("account", key).id, FuncCall("deposit", 1.0)
+            )
+''', "fan_out")
+    fanned = [a for a in summary.accesses if a.kind == "account"]
+    assert len(fanned) == 1
+    assert fanned[0].many and fanned[0].conditional
+    assert fanned[0].key.sort == KeyKind.ARG
+
+
+def test_top_propagation_from_opaque_call():
+    """A FuncCall held in a variable makes the edge opaque: the summary
+    carries an explicit ⊤ verdict instead of silently guessing."""
+    summary = summarize('''
+class A:
+    async def run(self, ctx, txn_input):
+        call = make_call(txn_input)
+        await self.call_actor(
+            ctx, self.ref("account", 1).id, call
+        )
+''', "run")
+    assert summary.has_top
+    assert not summary.exhaustive
+    assert summary.opaque_lines
+
+
+def test_top_key_from_unresolvable_expression():
+    summary = summarize('''
+class A:
+    async def run(self, ctx, _input=None):
+        await self.call_actor(
+            ctx,
+            self.ref("account", self._route()).id,
+            FuncCall("noop"),
+        )
+
+    async def noop(self, ctx, _input=None):
+        return "ok"
+''', "run")
+    tops = [a for a in summary.accesses if a.key.sort == KeyKind.TOP]
+    assert tops, "unresolvable key must surface as ⊤, not disappear"
+    assert summary.has_top
+
+
+def test_entry_summary_merges_kind_candidates():
+    source = ACTOR_PRELUDE + '''
+class Reader:
+    async def probe(self, ctx, _input=None):
+        return await self.get_state(ctx, AccessMode.READ)
+
+
+class Writer:
+    async def probe(self, ctx, _input=None):
+        state = await self.get_state(ctx)
+        self._state = state + 1
+'''
+    program = Program.from_source(source)
+    summary = Inferencer(program).entry_summary(None, "probe")
+    # both candidates merged: the join must be ReadWrite
+    assert access_map(summary)["self"].mode == READ_WRITE
+
+
+# -- verification -------------------------------------------------------------
+
+SITE_PRELUDE = ACTOR_PRELUDE + '''
+class TxnRequest:
+    @classmethod
+    def pact(cls, kind, key, method, func_input=None, *, access):
+        return (kind, key, method, func_input, access)
+
+
+class Account:
+    async def balance(self, ctx, _input=None):
+        return await self.get_state(ctx, AccessMode.READ)
+
+    async def deposit(self, ctx, money):
+        state = await self.get_state(ctx)
+        self._state = state + money
+
+    async def transfer(self, ctx, txn_input):
+        state = await self.get_state(ctx)
+        self._state = state - txn_input
+        await self.call_actor(
+            ctx, self.ref("account", 2).id, FuncCall("deposit", txn_input)
+        )
+
+    async def double(self, ctx, txn_input):
+        state = await self.get_state(ctx)
+        self._state = state - txn_input
+        target = self.ref("account", 2).id
+        await self.call_actor(ctx, target, FuncCall("deposit", 1.0))
+        await self.call_actor(ctx, target, FuncCall("deposit", 2.0))
+'''
+
+
+def verify_source(source):
+    program = Program.from_source(SITE_PRELUDE + source)
+    return program, verify_program(program)
+
+
+def rules_of(findings):
+    return [(f.severity, f.rule) for f in findings]
+
+
+def test_under_declaration_is_an_error():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "transfer", 10.0, access={1: 1})
+''')
+    assert ("error", "under-declared") in rules_of(findings)
+    assert any("account/2" in f.message for f in findings)
+
+
+def test_correct_declaration_is_clean():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "transfer", 10.0,
+                      access={1: 1, 2: 1})
+''')
+    assert findings == []
+
+
+def test_over_declaration_is_a_warning():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "deposit", 10.0,
+                      access={1: 1, 3: 1})
+''')
+    assert rules_of(findings) == [("warning", "over-declared")]
+
+
+def test_mode_downgrade_is_an_error():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "deposit", 10.0, access={1: "r"})
+''')
+    assert ("error", "mode-downgrade") in rules_of(findings)
+
+
+def test_mode_over_claims_read_parallelism():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "balance", access={1: 1})
+''')
+    assert rules_of(findings) == [("warning", "mode-over")]
+
+
+def test_count_shortfall_is_an_error():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "double", 5.0,
+                      access={1: 1, 2: 1})
+''')
+    assert ("error", "count-shortfall") in rules_of(findings)
+
+
+def test_count_exact_is_clean():
+    _, findings = verify_source('''
+req = TxnRequest.pact("account", 1, "double", 5.0,
+                      access={1: 1, 2: 2})
+''')
+    assert findings == []
+
+
+def test_dynamic_declared_keys_disable_under_claims():
+    _, findings = verify_source('''
+def build(key):
+    return TxnRequest.pact("account", 1, "transfer", 10.0,
+                           access={1: 1, key: 1})
+''')
+    assert not any(f.severity == "error" for f in findings)
+
+
+def test_noqa_suppresses_site():
+    _, findings = verify_source('''
+req = TxnRequest.pact(  # snapper: noqa
+    "account", 1, "transfer", 10.0, access={1: 1})
+''')
+    assert findings == []
+
+
+def test_top_summary_yields_note_not_silence():
+    _, findings = verify_source('''
+class Router:
+    async def route(self, ctx, txn_input):
+        call = pick(txn_input)
+        await self.call_actor(ctx, self.ref("account", 1).id, call)
+
+req = TxnRequest.pact("account", 1, "route", None, access={1: 1})
+''')
+    assert ("note", "unverifiable") in rules_of(findings)
+
+
+def test_fix_rewrites_access_dict(tmp_path):
+    path = tmp_path / "workload.py"
+    path.write_text(SITE_PRELUDE + '''
+req = TxnRequest.pact("account", 1, "double", 5.0,
+                      access={1: 1, 2: 1, 3: 1})
+''', encoding="utf-8")
+    program = Program.load([str(path)])
+    findings = verify_program(program)
+    assert any(f.fixable for f in findings)
+    applied = apply_fixes(program, findings)
+    assert applied == {str(path): 1}
+    # the rewritten declaration verifies clean
+    program = Program.load([str(path)])
+    assert verify_program(program) == []
+    assert "access={1: 1, 2: 2}" in path.read_text(encoding="utf-8")
+
+
+def test_fix_downgrades_readonly_to_r(tmp_path):
+    path = tmp_path / "workload.py"
+    path.write_text(SITE_PRELUDE + '''
+req = TxnRequest.pact("account", 1, "balance", access={1: 1, 9: 1})
+''', encoding="utf-8")
+    program = Program.load([str(path)])
+    applied = apply_fixes(program, verify_program(program))
+    assert applied == {str(path): 1}
+    assert 'access={1: "r"}' in path.read_text(encoding="utf-8")
+
+
+# -- CLI ----------------------------------------------------------------------
+
+def write_site(tmp_path, body):
+    path = tmp_path / "site.py"
+    path.write_text(SITE_PRELUDE + body, encoding="utf-8")
+    return str(path)
+
+
+def test_cli_verify_exit_codes(tmp_path, capsys):
+    bad = write_site(tmp_path, '''
+req = TxnRequest.pact("account", 1, "transfer", 10.0, access={1: 1})
+''')
+    assert analysis_main(["verify", bad]) == 1
+    out = capsys.readouterr().out
+    assert "under-declared" in out and "error" in out
+
+    good = write_site(tmp_path, '''
+req = TxnRequest.pact("account", 1, "transfer", 10.0,
+                      access={1: 1, 2: 1})
+''')
+    assert analysis_main(["verify", good]) == 0
+
+
+def test_cli_verify_strict_elevates_warnings(tmp_path):
+    over = write_site(tmp_path, '''
+req = TxnRequest.pact("account", 1, "deposit", 10.0,
+                      access={1: 1, 3: 1})
+''')
+    assert analysis_main(["verify", over]) == 0
+    assert analysis_main(["verify", over, "--strict"]) == 1
+
+
+def test_cli_verify_fix_then_clean(tmp_path, capsys):
+    path = write_site(tmp_path, '''
+req = TxnRequest.pact("account", 1, "double", 5.0, access={1: 1, 2: 1})
+''')
+    assert analysis_main(["verify", path, "--fix"]) == 0
+    capsys.readouterr()
+    assert analysis_main(["verify", path, "--strict"]) == 0
+
+
+def test_cli_infer_lists_entry_points(tmp_path, capsys):
+    path = write_site(tmp_path, "")
+    assert analysis_main(["infer", path, "--method", "transfer"]) == 0
+    out = capsys.readouterr().out
+    assert "account[2]" in out and "mode=ReadWrite" in out
+
+
+def test_cli_repo_wide_verify_gate():
+    """The CI gate: verify runs clean (no errors/warnings) repo-wide."""
+    import pathlib
+
+    root = pathlib.Path(__file__).parent.parent
+    code = analysis_main([
+        "verify",
+        str(root / "src"), str(root / "examples"), str(root / "tests"),
+        "--strict", "--exclude", "tests/fixtures",
+    ])
+    assert code == 0

@@ -40,7 +40,7 @@ def test_request_validation():
     with pytest.raises(ValueError, match="pre-declares its access set"):
         TxnRequest("account", 1, "transfer", txn=PACT)
     with pytest.raises(ValueError, match="declares no access set"):
-        TxnRequest("account", 1, "balance", txn=ACT, access={1: 1})
+        TxnRequest("account", 1, "balance", txn=ACT, access={1: "r"})
     with pytest.raises(ValueError, match="unknown transaction kind"):
         TxnRequest("account", 1, "balance", txn="interactive")
 

@@ -22,8 +22,8 @@ def test_multi_actor_pact_transfers_money(system):
         balance = await system.submit_pact(
             "account", 1, "transfer", (30.0, 2), access={1: 1, 2: 1}
         )
-        b1 = await system.submit_pact("account", 1, "balance", access={1: 1})
-        b2 = await system.submit_pact("account", 2, "balance", access={2: 1})
+        b1 = await system.submit_pact("account", 1, "balance", access={1: "r"})
+        b2 = await system.submit_pact("account", 2, "balance", access={2: "r"})
         return balance, b1, b2
 
     balance, b1, b2 = system.run(main())
@@ -69,7 +69,7 @@ def test_concurrent_pacts_all_commit_no_aborts(system):
                 for _ in range(50)
             ]
         )
-        final = await system.submit_pact("account", 1, "balance", access={1: 1})
+        final = await system.submit_pact("account", 1, "balance", access={1: "r"})
         return results, final
 
     results, final = system.run(main())
@@ -121,8 +121,8 @@ def test_pact_user_abort_rolls_back_whole_batch(system):
             AbortReason.USER_ABORT,
             AbortReason.CASCADING,
         )
-        b1 = await system.submit_pact("account", 1, "balance", access={1: 1})
-        b2 = await system.submit_pact("account", 2, "balance", access={2: 1})
+        b1 = await system.submit_pact("account", 1, "balance", access={1: "r"})
+        b2 = await system.submit_pact("account", 2, "balance", access={2: "r"})
         return b1, b2
 
     assert system.run(main()) == (100.0, 100.0)
@@ -136,7 +136,7 @@ def test_pact_batches_execute_in_bid_order(system):
         # sequential submissions => deterministic order of effects
         await system.submit_pact("account", 7, "deposit", 1.0, access={7: 1})
         await system.submit_pact("account", 7, "withdraw", 50.0, access={7: 1})
-        return await system.submit_pact("account", 7, "balance", access={7: 1})
+        return await system.submit_pact("account", 7, "balance", access={7: "r"})
 
     assert system.run(main()) == 51.0
 
@@ -184,7 +184,7 @@ def test_no_batching_ablation_one_batch_per_pact():
 def test_pact_requires_first_actor_in_access_info(system):
     async def main():
         with pytest.raises(Exception, match="must include the first actor"):
-            await system.submit_pact(
+            await system.submit_pact(  # snapper: noqa
                 "account", 1, "deposit", 1.0, access={2: 1}
             )
 
@@ -224,7 +224,7 @@ def test_declared_multiple_accesses_same_actor(system):
         assert system.run(main()) == "done"
         assert (
             system.run(
-                system.submit_pact("account", 2, "balance", access={2: 1})
+                system.submit_pact("account", 2, "balance", access={2: "r"})
             )
             == 112.0
         )
