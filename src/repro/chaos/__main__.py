@@ -41,6 +41,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fraction of transactions submitted as PACTs")
     parser.add_argument("--workload", choices=("smallbank", "tpcc"),
                         default="smallbank")
+    parser.add_argument("--snapshots", action="store_true",
+                        help="run with the snapshot subsystem live "
+                             "(checkpoints, WAL truncation, cold-actor "
+                             "eviction), extend the fault vocabulary "
+                             "with its crash points, and audit C8 "
+                             "(snapshot recovery == replay-from-zero)")
     parser.add_argument("--backend", choices=("sim", "asyncio"),
                         default="sim",
                         help="execution substrate: 'sim' (deterministic "
@@ -79,6 +85,7 @@ def _build_plan(args: argparse.Namespace) -> FaultPlan:
         num_coordinators=2,
         num_loggers=2,
         rate_multiplier=args.rate,
+        snapshots=args.snapshots,
     )
 
 
@@ -89,6 +96,7 @@ def _run_once(plan: FaultPlan, args: argparse.Namespace) -> ChaosReport:
         pact_fraction=args.pact_fraction,
         workload=args.workload,
         backend=args.backend,
+        snapshots=args.snapshots,
     )
     return harness.run()
 
@@ -139,7 +147,8 @@ def main(argv: Optional[list] = None) -> int:
             print(
                 f"replay exactly with: python -m repro.chaos "
                 f"--seed {plan.seed} --duration {plan.duration} "
-                f"--rate {args.rate} --workload {args.workload}",
+                f"--rate {args.rate} --workload {args.workload}"
+                + (" --snapshots" if args.snapshots else ""),
                 file=sys.stderr,
             )
         return 1

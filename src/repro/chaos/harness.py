@@ -32,7 +32,13 @@ from repro.actors.runtime import SiloConfig
 from repro.analysis.tracecheck import check_tracer
 from repro.api import TxnRequest
 from repro.chaos.injector import ChaosInjector
-from repro.chaos.oracle import OracleReport, classify, recovered_states, verify
+from repro.chaos.oracle import (
+    OracleReport,
+    classify,
+    recovered_states,
+    snapshot_equivalence,
+    verify,
+)
 from repro.chaos.plan import FaultPlan
 from repro.chaos.workload import (
     CHAOS_ACCOUNT_KIND,
@@ -115,11 +121,17 @@ class ChaosHarness:
         txn_size: int = 3,
         workload: str = "smallbank",
         backend: str = "sim",
+        snapshots: bool = False,
     ):
         if workload not in ("smallbank", "tpcc"):
             raise ValueError(f"unknown chaos workload {workload!r}")
         self.plan = plan
         self.backend_name = backend
+        #: run with the snapshot subsystem live (checkpoints, frontier
+        #: truncation, residency eviction) and audit C8 against the
+        #: replay-from-zero baseline.  Plans generated with
+        #: ``FaultPlan.generate(..., snapshots=True)`` set this in meta.
+        self.snapshots = snapshots or bool(plan.meta.get("snapshots"))
         self.num_actors = num_actors
         self.num_clients = num_clients
         self.pipeline_size = pipeline_size
@@ -137,6 +149,12 @@ class ChaosHarness:
             deadlock_timeout=0.03,
             observability=bool(meta.get("observability", False)),
             runtime_backend=backend,
+            # snapshot mode: aggressive interval and a residency budget
+            # below the keyspace, so eviction/reactivation and frontier
+            # truncation all happen *during* the faulted run.
+            snapshot_interval=0.05 if self.snapshots else None,
+            max_resident_actors=(
+                max(1, num_actors // 2) if self.snapshots else None),
         )
         self.system = SnapperSystem(
             config=self.config,
@@ -242,6 +260,13 @@ class ChaosHarness:
         else:
             states = {}
 
+        # C8 must be judged on the audit-crash WAL, before the liveness
+        # probes append fresh records (they would shift both sides the
+        # same way, but the invariant is about the crash point itself).
+        snapshot_check = (
+            snapshot_equivalence(system.loggers) if self.snapshots
+            else None)
+
         liveness = self._probe_liveness(pre_crash_max_bid)
         schedule = check_tracer(self.tracer)
         serializable = (
@@ -252,11 +277,13 @@ class ChaosHarness:
 
         if self.workload_name == "smallbank":
             oracle = verify(states, outcomes, liveness=liveness,
-                            serializable=serializable)
+                            serializable=serializable,
+                            snapshots=snapshot_check)
         else:
             # TPC-C states are not marker-stamped: the generic subset.
             oracle = verify({}, [], liveness=liveness,
-                            serializable=serializable)
+                            serializable=serializable,
+                            snapshots=snapshot_check)
 
         system.shutdown()
         tally: Dict[str, int] = {}

@@ -51,6 +51,10 @@ class ChaosLogStorage:
         self.inner = inner
         self._armed: Optional[str] = None
         self._torn_lsns: Set[int] = set()
+        #: records dropped by :meth:`truncate_upto`, in LSN order — kept
+        #: so the oracle's replay-from-zero baseline (C8) can audit the
+        #: *union* log the production recovery no longer sees.
+        self._truncated: List[LogRecord] = []
         self.appends_failed = 0
         self.appends_torn = 0
 
@@ -84,6 +88,34 @@ class ChaosLogStorage:
     def truncate(self) -> None:
         self.inner.truncate()
         self._torn_lsns.clear()
+        self._truncated.clear()
+
+    def truncate_upto(self, lsn: int):
+        """Forward a frontier truncation, remembering exactly what it
+        dropped (minus torn records — recovery never saw those either).
+        The before/after diff, not ``<= lsn``: segmented file storage
+        only drops whole sealed segments behind the frontier."""
+        truncate_upto = getattr(self.inner, "truncate_upto", None)
+        if truncate_upto is None:  # pragma: no cover - both storages have it
+            return (0, 0)
+        before = {record.lsn: record for record in self.inner.scan()}
+        result = truncate_upto(lsn)
+        if result[0]:
+            remaining = {record.lsn for record in self.inner.scan()}
+            self._truncated.extend(
+                record for recorded_lsn, record in sorted(before.items())
+                if recorded_lsn not in remaining
+                and recorded_lsn not in self._torn_lsns
+            )
+        return result
+
+    def full_scan(self) -> Iterator[LogRecord]:
+        """The union view: truncated records first (their LSNs are the
+        oldest on this device), then the live log."""
+        for record in self._truncated:
+            yield record
+        for record in self.scan():
+            yield record
 
     def close(self) -> None:
         close = getattr(self.inner, "close", None)
@@ -123,6 +155,9 @@ class ChaosInjector:
         self._armed_msgs: List[Tuple[str, str, float]] = []
         #: armed record triggers: ``[record_kind, remaining_count]``.
         self._armed_records: List[List] = []
+        #: armed truncation triggers: ``[remaining_count]`` each — the
+        #: Nth record-dropping truncation after arming crashes the silo.
+        self._armed_truncates: List[List] = []
         self.storages: List[ChaosLogStorage] = []
         self.stats: Dict[str, int] = {
             "faults_fired": 0,
@@ -132,6 +167,7 @@ class ChaosInjector:
             "recoveries": 0,
             "recovery_retries": 0,
             "record_triggers": 0,
+            "truncate_triggers": 0,
         }
 
     # -- lifecycle ----------------------------------------------------------
@@ -146,6 +182,9 @@ class ChaosInjector:
             self.storages.append(logger.wal.storage)
         self.system.loggers.on_persist = self._on_persist
         self.system.runtime.message_interceptor = self._intercept
+        snapshots = getattr(self.system, "snapshots", None)
+        if snapshots is not None:
+            snapshots.on_truncate = self._on_truncate
         loop = self.system.loop
         for fault in self.plan.faults:
             loop.call_clamped(fault.at, self._fire, fault)
@@ -160,10 +199,14 @@ class ChaosInjector:
         self._active = False
         self._armed_msgs.clear()
         self._armed_records.clear()
+        self._armed_truncates.clear()
         for storage in self.storages:
             storage._armed = None
         self.system.loggers.on_persist = None
         self.system.runtime.message_interceptor = None
+        snapshots = getattr(self.system, "snapshots", None)
+        if snapshots is not None:
+            snapshots.on_truncate = None
 
     # -- fault dispatch -----------------------------------------------------
     def _fire(self, fault: FaultSpec) -> None:
@@ -194,6 +237,8 @@ class ChaosInjector:
         elif kind == FaultKind.CRASH_ON_RECORD:
             self._armed_records.append(
                 [str(fault.target), max(1, int(fault.arg))])
+        elif kind == FaultKind.CRASH_ON_TRUNCATE:
+            self._armed_truncates.append([max(1, int(fault.arg))])
         else:  # pragma: no cover - plan generation only emits known kinds
             raise ValueError(f"unknown fault kind {kind!r}")
 
@@ -288,6 +333,22 @@ class ChaosInjector:
                     self.system.loop.call_clamped(
                         self.system.loop.now, self._crash_silo)
                 return
+
+    def _on_truncate(self, records: int, bytes_: int) -> None:
+        """A frontier truncation just dropped records — the snapshot
+        protocol's most delicate window (the old records are gone and
+        the system must already be able to live without them)."""
+        if not self._active or not self._armed_truncates:
+            return
+        armed = self._armed_truncates[0]
+        armed[0] -= 1
+        if armed[0] <= 0:
+            del self._armed_truncates[0]
+            self.stats["truncate_triggers"] += 1
+            self._trace("crash_on_truncate_triggered",
+                        {"records": records, "bytes": bytes_})
+            self.system.loop.call_clamped(
+                self.system.loop.now, self._crash_silo)
 
     def _trace(self, event: str, detail) -> None:
         tracer = self.system.runtime.services.get("txn_tracer")

@@ -22,6 +22,12 @@ C6  liveness             (fed by the harness) the recovered system
                          scheduled before the crash.
 C7  serializability      (fed by the harness) the full recorded trace
                          passes the post-hoc schedule checker.
+C8  snapshot-equivalence with snapshots/truncation enabled, every
+                         actor's post-recovery state (snapshot seed +
+                         tail replay over the truncated log) equals the
+                         replay-from-zero baseline over the *union*
+                         log — truncated records included, snapshots
+                         ignored — bit-for-bit.
 
 Outcome classification follows the Jepsen convention: only a *definite*
 abort — the protocol decided, and told the client why — may be required
@@ -38,8 +44,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.chaos.workload import INITIAL_BALANCE, ChaosOutcome
-from repro.core.engine.recovery import recover_state
+from repro.core.engine.recovery import recover_state, recover_state_ex
 from repro.errors import AbortReason
+from repro.persistence.records import SnapshotRecord
 
 #: abort reasons that are protocol *decisions*: the transaction was
 #: refused before any of its effects could become durable, so its marker
@@ -102,6 +109,72 @@ def recovered_states(
     return states
 
 
+class UnionLogView:
+    """A read-only logger-group facade over the *union* log: every
+    record a chaos run ever made durable, including those a frontier
+    truncation later dropped (:class:`ChaosLogStorage` keeps them).
+
+    This is what the C8 baseline replays from: recovery over this view
+    with ``use_snapshots=False`` is exactly what plain log replay would
+    have reconstructed had the snapshot subsystem never existed.
+    """
+
+    enabled = True
+
+    def __init__(self, loggers: Any):
+        self._loggers = loggers
+
+    def all_records(self) -> List[Any]:
+        records: List[Any] = []
+        for logger in self._loggers.loggers:
+            storage = logger.wal.storage
+            scan = getattr(storage, "full_scan", None) or storage.scan
+            records.extend(scan())
+        records.sort(key=lambda record: record.lsn)
+        return records
+
+
+def snapshot_equivalence(loggers: Any) -> Tuple[bool, str]:
+    """The C8 verdict: production recovery (snapshot seed + truncated
+    tail) vs replay-from-zero over the union log, for every actor that
+    ever logged state, compared with plain ``==`` (bit-for-bit on the
+    chaos workload's plain dict/float states).
+
+    Uses ``None`` as the initial state on both sides: the comparison is
+    production-vs-baseline, not vs ground truth, so any actor with no
+    covered records compares equal trivially.
+    """
+    union = UnionLogView(loggers)
+    actor_ids = sorted(
+        {
+            record.actor
+            for record in union.all_records()
+            if getattr(record, "state", None) is not None
+            and not isinstance(record, SnapshotRecord)
+        },
+        key=str,
+    )
+    mismatches: List[str] = []
+    for actor_id in actor_ids:
+        production = recover_state_ex(
+            actor_id, loggers, None, _raise_on_delta
+        )
+        baseline = recover_state_ex(
+            actor_id, union, None, _raise_on_delta, use_snapshots=False
+        )
+        if production.state != baseline.state:
+            mismatches.append(
+                f"{actor_id}: snapshot-recovered {production.state!r} "
+                f"(frontier lsn {production.frontier_lsn}, "
+                f"{production.replayed} replayed) != baseline "
+                f"{baseline.state!r} ({baseline.replayed} replayed)"
+            )
+    if mismatches:
+        return (False, "; ".join(mismatches[:5]))
+    return (True, f"{len(actor_ids)} actor(s) compared against "
+                  f"replay-from-zero, all bit-identical")
+
+
 @dataclass
 class OracleCheck:
     """One invariant's verdict."""
@@ -159,8 +232,9 @@ def verify(
     *,
     liveness: Optional[Tuple[bool, str]] = None,
     serializable: Optional[Tuple[bool, str]] = None,
+    snapshots: Optional[Tuple[bool, str]] = None,
 ) -> OracleReport:
-    """Run C1–C5 on recovered states; attach harness-fed C6/C7."""
+    """Run C1–C5 on recovered states; attach harness-fed C6/C7/C8."""
     outcomes = list(outcomes)
     report = OracleReport()
 
@@ -263,4 +337,8 @@ def verify(
     if serializable is not None:
         ok, detail = serializable
         report.checks.append(OracleCheck("C7 serializability", ok, detail))
+    if snapshots is not None:
+        ok, detail = snapshots
+        report.checks.append(
+            OracleCheck("C8 snapshot-equivalence", ok, detail))
     return report

@@ -28,6 +28,7 @@ class FaultKind:
     WAL_FAIL = "wal_fail"
     WAL_TORN = "wal_torn"
     CRASH_ON_RECORD = "crash_on_record"
+    CRASH_ON_TRUNCATE = "crash_on_truncate"
 
     ALL: Tuple[str, ...] = (
         ACTOR_CRASH,
@@ -39,6 +40,7 @@ class FaultKind:
         WAL_FAIL,
         WAL_TORN,
         CRASH_ON_RECORD,
+        CRASH_ON_TRUNCATE,
     )
 
 
@@ -88,7 +90,17 @@ RECORD_TRIGGERS: Tuple[str, ...] = (
     "BatchCompleteRecord",
 )
 
+#: Extra trigger under ``generate(..., snapshots=True)``: crash right
+#: after an actor snapshot becomes durable but before the frontier can
+#: be acted on (truncation) — the snapshot protocol's own window.
+SNAPSHOT_RECORD_TRIGGERS: Tuple[str, ...] = (
+    RECORD_TRIGGERS + ("SnapshotRecord",)
+)
+
 #: Expected faults per simulated second at ``rate_multiplier=1``.
+#: ``CRASH_ON_TRUNCATE`` has no default rate on purpose: snapshot
+#: faults are opt-in (``generate(..., snapshots=True)``) so every
+#: pre-existing seeded plan stays byte-identical.
 DEFAULT_RATES: Dict[str, float] = {
     FaultKind.ACTOR_CRASH: 1.5,
     FaultKind.COORDINATOR_CRASH: 0.4,
@@ -100,6 +112,9 @@ DEFAULT_RATES: Dict[str, float] = {
     FaultKind.WAL_TORN: 0.4,
     FaultKind.CRASH_ON_RECORD: 0.4,
 }
+
+#: Rate used for ``CRASH_ON_TRUNCATE`` when snapshot faults are on.
+SNAPSHOT_TRUNCATE_RATE = 0.4
 
 
 class FaultSpec:
@@ -178,6 +193,7 @@ class FaultPlan:
         num_loggers: int = 2,
         rate_multiplier: float = 1.0,
         rates: Optional[Dict[str, float]] = None,
+        snapshots: bool = False,
     ) -> "FaultPlan":
         """Derive a schedule from ``seed``.
 
@@ -186,9 +202,21 @@ class FaultPlan:
         fault never lands before the workload is up or after clients
         stopped).  The kind iteration order is fixed, so the same seed
         always produces the same plan regardless of dict hashing.
+
+        ``snapshots=True`` extends the vocabulary with the snapshot
+        subsystem's crash points: ``crash_on_record`` may pin to a
+        ``SnapshotRecord``, and ``crash_on_truncate`` fires inside the
+        truncation window.  Off (the default) the generated plan is
+        byte-identical to what this seed produced before the snapshot
+        subsystem existed.
         """
         rng = random.Random(seed)
         effective = dict(DEFAULT_RATES)
+        record_triggers = RECORD_TRIGGERS
+        if snapshots:
+            effective.setdefault(FaultKind.CRASH_ON_TRUNCATE,
+                                 SNAPSHOT_TRUNCATE_RATE)
+            record_triggers = SNAPSHOT_RECORD_TRIGGERS
         if rates:
             effective.update(rates)
         faults: List[FaultSpec] = []
@@ -228,14 +256,21 @@ class FaultPlan:
                         at, kind, target=rng.randrange(num_loggers)))
                 elif kind == FaultKind.CRASH_ON_RECORD:
                     faults.append(FaultSpec(
-                        at, kind, target=rng.choice(RECORD_TRIGGERS),
+                        at, kind, target=rng.choice(record_triggers),
                         arg=float(rng.randrange(1, 4))))
-        return cls(seed, duration, faults, meta={
+                elif kind == FaultKind.CRASH_ON_TRUNCATE:
+                    # arg: crash on the Nth truncation that drops records
+                    faults.append(FaultSpec(
+                        at, kind, arg=float(rng.randrange(1, 3))))
+        meta: Dict[str, object] = {
             "num_actors": num_actors,
             "num_coordinators": num_coordinators,
             "num_loggers": num_loggers,
             "rate_multiplier": rate_multiplier,
-        })
+        }
+        if snapshots:
+            meta["snapshots"] = True
+        return cls(seed, duration, faults, meta=meta)
 
     # -- (de)serialisation --------------------------------------------------
     def to_dict(self) -> Dict[str, object]:

@@ -46,6 +46,8 @@ class SnapperConfig:
         "sanitize_access_sets",
         # execution substrate / deployment
         "runtime_backend", "coordinator_placement",
+        # snapshots & residency (repro.snapshot)
+        "snapshot_interval", "max_resident_actors", "wal_segment_bytes",
     )
 
     def __init__(
@@ -83,6 +85,10 @@ class SnapperConfig:
         # -- execution substrate / deployment ------------------------------------
         runtime_backend: str = "sim",
         coordinator_placement: Any = "spread",
+        # -- snapshots & residency (repro.snapshot) -------------------------------
+        snapshot_interval: Optional[float] = None,
+        max_resident_actors: Optional[int] = None,
+        wal_segment_bytes: Optional[int] = None,
         **removed: Any,
     ):
         if "wait_die" in removed:
@@ -200,6 +206,34 @@ class SnapperConfig:
                 f"known backends: {list(BACKENDS)}"
             )
         self.runtime_backend = runtime_backend
+
+        #: run the :class:`repro.snapshot.SnapshotService`: every this
+        #: many (virtual) seconds, checkpoint each resident actor's
+        #: committed state to the WAL and truncate records behind the
+        #: machine-wide snapshot frontier.  None (the default) disables
+        #: the service — no SnapshotRecord is ever written, and the WAL
+        #: contents are bit-for-bit what they were before the subsystem
+        #: existed.  See docs/snapshots.md.
+        if snapshot_interval is not None and snapshot_interval <= 0:
+            raise ValueError("snapshot_interval must be positive")
+        self.snapshot_interval = snapshot_interval
+
+        #: LRU residency budget for transactional actors: when more than
+        #: this many are live, the snapshot service snapshots the
+        #: coldest quiescent ones and deactivates them; the next PACT or
+        #: ACT touch transparently reactivates from snapshot + WAL tail.
+        #: None (the default) keeps every activation forever.
+        if max_resident_actors is not None and max_resident_actors < 1:
+            raise ValueError("max_resident_actors must be >= 1")
+        self.max_resident_actors = max_resident_actors
+
+        #: roll file-backed WALs (``log_dir``) into sealed segments of
+        #: this many bytes so truncation can drop whole segments behind
+        #: the snapshot frontier.  None = a single unsegmented file
+        #: (truncation then reclaims nothing on disk).
+        if wal_segment_bytes is not None and wal_segment_bytes < 1:
+            raise ValueError("wal_segment_bytes must be >= 1")
+        self.wal_segment_bytes = wal_segment_bytes
 
     def __getattr__(self, name: str) -> Any:
         if name == "wait_die":

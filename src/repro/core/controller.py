@@ -22,7 +22,8 @@ from __future__ import annotations
 from typing import Set
 
 from repro.actors.ref import ActorId
-from repro.core.registry import CommitRegistry
+from repro.core.registry import BatchInfo, CommitRegistry
+from repro.persistence.records import BatchAbortRecord
 from repro.runtime.kernel import gather, spawn
 from repro.runtime.sync import Condition
 
@@ -41,6 +42,9 @@ class AbortController:
         self._resumed = Condition(label="abort-controller")
         #: set by SnapperSystem after wiring: callable(actor_id) -> ActorRef.
         self.actor_ref = None
+        #: set by SnapperSystem after wiring: the silo's LoggerGroup.
+        #: The cascade write-aheads its abort decisions through it.
+        self.loggers = None
         self.cascades = 0
         self._obs_cascades = None
         self._obs_fanout = None
@@ -92,6 +96,32 @@ class AbortController:
             while True:
                 self._rerun = False
                 doomed = self.registry.uncommitted_batches()
+                # Write-ahead the abort decision (one record per doomed
+                # bid) *before* any waiter can learn of it: fully-voted
+                # batches look committable to the recovery commit rule
+                # (§4.2.4), so an externalized-but-undurable abort would
+                # be resurrected by a crash — and only on the actors
+                # that logged nothing afterwards, breaking atomicity.
+                # A persist failure falls through to the in-memory abort
+                # (same exposure as before the record existed): leaving
+                # the batches EMITTED would wedge the commit chain.
+                if doomed and self.loggers is not None:
+                    try:
+                        await gather(*[
+                            self.loggers.persist(
+                                ("abort", batch.bid),
+                                BatchAbortRecord(bid=batch.bid),
+                            )
+                            for batch in doomed
+                        ])
+                    except Exception:  # noqa: BLE001 - logging failure
+                        pass
+                    # the flush yielded: a doomed batch may have won the
+                    # race and committed meanwhile — its durable commit
+                    # record outranks the abort record, keep it.
+                    doomed = [
+                        b for b in doomed if b.status == BatchInfo.EMITTED
+                    ]
                 participants: Set[ActorId] = set()
                 for batch in doomed:
                     participants.update(batch.participants)

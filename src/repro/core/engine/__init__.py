@@ -54,7 +54,12 @@ from repro.core.engine.concurrency import (
 from repro.core.engine.guard import SerializabilityGuard
 from repro.core.engine.hybrid import HybridScheduler
 from repro.core.engine.pact import PactExecutor
-from repro.core.engine.recovery import RecoveryWarning, recover_state
+from repro.core.engine.recovery import (
+    RecoveryResult,
+    RecoveryWarning,
+    recover_state,
+    recover_state_ex,
+)
 from repro.core.engine.sanitizer import AccessSanitizer, AccessViolation
 
 __all__ = [
@@ -75,6 +80,8 @@ __all__ = [
     "WaitDie",
     "RecoveryWarning",
     "recover_state",
+    "recover_state_ex",
+    "RecoveryResult",
     "register_strategy",
     "resolve_concurrency_control",
 ]

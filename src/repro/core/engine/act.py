@@ -54,13 +54,18 @@ from repro.runtime.kernel import Future, gather, spawn
 class ActRun:
     """Per-transaction bookkeeping on one participating actor."""
 
-    __slots__ = ("info", "undo", "epoch", "wrote", "outstanding")
+    __slots__ = ("info", "undo", "epoch", "wrote", "outstanding",
+                 "prepare_lsn")
 
     def __init__(self, epoch: int = 0):
         self.info = TxnExeInfo()
         self.undo: Any = None
         self.epoch = epoch
         self.wrote = False
+        #: LSN of this actor's durable ActPrepareRecord (-1 until it is
+        #: on disk); a commit promotes it into the actor's committed
+        #: frontier for the snapshot subsystem.
+        self.prepare_lsn = -1
         #: in-flight child call futures (see settle_children): a failing
         #: transaction must learn the participants its concurrent child
         #: calls reached before it aborts, or their locks would leak.
@@ -458,13 +463,12 @@ class ActExecutor(ActExecutionCore):
             # decision make the transaction durable (§4.3.3, Fig. 15's
             # near-free I8 for single-writer ACTs).
             self._prepare_local(ctx.tid)
-            await host._loggers.persist(
-                host.id,
-                ActPrepareRecord(
-                    tid=ctx.tid, actor=host.id,
-                    state=self.prepare_state(ctx.tid),
-                ),
+            record = ActPrepareRecord(
+                tid=ctx.tid, actor=host.id,
+                state=self.prepare_state(ctx.tid),
             )
+            await host._loggers.persist(host.id, record)
+            self._note_prepared(ctx.tid, record)
             self._ensure_uncrossed(ctx.tid)
             await host._loggers.persist(
                 host.id, CoordCommitRecord(tid=ctx.tid)
@@ -484,20 +488,23 @@ class ActExecutor(ActExecutionCore):
         # the 2PC coordinator, §5.2.3) in parallel with the remote
         # participants' prepare round.
         votes = []
+        local_prepare = None
         if host.id in info.participants:
             self._prepare_local(ctx.tid)
+            local_prepare = ActPrepareRecord(
+                tid=ctx.tid, actor=host.id,
+                state=self.prepare_state(ctx.tid),
+            )
             votes.append(spawn(host._loggers.persist(
-                host.id,
-                ActPrepareRecord(
-                    tid=ctx.tid, actor=host.id,
-                    state=self.prepare_state(ctx.tid),
-                ),
+                host.id, local_prepare,
             )))
         votes.extend(
             host.actor_ref(p).call("act_prepare", ctx.tid) for p in remote
         )
         if votes:
             await gather(*votes)
+        if local_prepare is not None:
+            self._note_prepared(ctx.tid, local_prepare)
         self._obs_prepare.observe(host.runtime.loop.now - prepare_from)
         # decision — but not if a cascade crossed the prepare round: the
         # participants' writes were just rolled back, so persisting the
@@ -567,12 +574,11 @@ class ActExecutor(ActExecutionCore):
                 AbortReason.FAILURE,
             )
         self._prepare_local(tid)
-        await host._loggers.persist(
-            host.id,
-            ActPrepareRecord(
-                tid=tid, actor=host.id, state=self.prepare_state(tid)
-            ),
+        record = ActPrepareRecord(
+            tid=tid, actor=host.id, state=self.prepare_state(tid)
         )
+        await host._loggers.persist(host.id, record)
+        self._note_prepared(tid, record)
         return True
 
     async def on_commit(self, tid: int, max_bs: Optional[int]) -> None:
@@ -598,6 +604,15 @@ class ActExecutor(ActExecutionCore):
         self.local_abort(tid)
 
     # -- local transitions ----------------------------------------------------------
+    def _note_prepared(self, tid: int, record: ActPrepareRecord) -> None:
+        """Pin the durable prepare record's LSN on the run (if it still
+        exists — an abort may have raced the persist).  The decision is
+        made only after every vote, so by ``commit_local`` time the LSN
+        is always set."""
+        run = self._runs.get(tid)
+        if run is not None and record.state is not None:
+            run.prepare_lsn = record.lsn
+
     def _prepare_local(self, tid: int) -> None:
         run = self._runs.get(tid)
         if run is None:
@@ -634,6 +649,8 @@ class ActExecutor(ActExecutionCore):
             host._serial_seq += 1
             host._committed_state = copy.deepcopy(host._state)
             host._committed_seq = host._serial_seq
+            if run.prepare_lsn > host._committed_lsn:
+                host._committed_lsn = run.prepare_lsn
         self.lock.release(tid)
         self._scheduler.note_act_commit_carry(max_bs)
         self._scheduler.act_ended(tid)

@@ -47,9 +47,17 @@ class PactExecutor:
         #: batch commit (§4.2.4); the position orders this snapshot
         #: against other commit points on the actor.
         self._batch_snapshots: Dict[int, Any] = {}
+        #: bid -> LSN of this actor's durable BatchCompleteRecord; set by
+        #: the vote persist, consumed at promotion to advance the
+        #: committed-frontier LSN the snapshot subsystem anchors to.
+        self._record_lsns: Dict[int, int] = {}
         #: bid -> futures of root PACTs waiting for that batch's commit.
         self._commit_waiters: Dict[int, List[Future]] = {}
         scheduler.on_subbatch_complete = self._subbatch_completed
+
+    def is_idle(self) -> bool:
+        """No batch awaiting commit, no root PACT parked on one."""
+        return not self._batch_snapshots and not self._commit_waiters
 
     # -- root PACT (start_txn with actorAccessInfo) ---------------------------
     async def run_root(self, method: str, func_input: Any, access,
@@ -155,12 +163,13 @@ class PactExecutor:
     ) -> None:
         # WAL first (Fig. 6), then the BatchComplete vote.
         host = self._host
-        await host._loggers.persist(
-            host.id,
-            BatchCompleteRecord(
-                bid=sub_batch.bid, actor=host.id, state=payload
-            ),
+        record = BatchCompleteRecord(
+            bid=sub_batch.bid, actor=host.id, state=payload
         )
+        await host._loggers.persist(host.id, record)
+        # the vote precedes the commit, so by promotion time the durable
+        # record's LSN is always on file here.
+        self._record_lsns[sub_batch.bid] = record.lsn
         coordinator = host.runtime.service("coordinator_by_key")(
             sub_batch.coordinator_key
         )
@@ -192,12 +201,15 @@ class PactExecutor:
         must not roll the committed state backwards)."""
         host = self._host
         entry = self._batch_snapshots.pop(bid, None)
+        lsn = self._record_lsns.pop(bid, -1)
         if entry is None:
             return
         seq, snapshot = entry
         if snapshot is not None and seq > host._committed_seq:
             host._committed_state = snapshot
             host._committed_seq = seq
+            if lsn > host._committed_lsn:
+                host._committed_lsn = lsn
 
     async def rollback_uncommitted(self) -> None:
         """Cascading abort — restore the last committed state and drop
@@ -220,6 +232,7 @@ class PactExecutor:
         self._acts.note_cascading_rollback()
         host._state = copy.deepcopy(host._committed_state)
         self._batch_snapshots.clear()
+        self._record_lsns.clear()
         host._delta_buffer.clear()
         dropped = self._scheduler.rollback_batches()
         for bid in dropped:

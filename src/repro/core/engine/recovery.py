@@ -8,6 +8,13 @@ and restores the newest one *covered* by a commit record — a
 incremental logging (§5.4.2) it restores the newest covered full
 snapshot and replays the covered deltas logged after it.
 
+With :mod:`repro.snapshot` enabled the scan may also find a durable
+``SnapshotRecord`` for the actor: recovery then *seeds* from the
+snapshot's state and replays only the covered records with LSNs past
+its frontier, which bounds recovery work by the tail length rather than
+the log length.  A missing or stale snapshot degrades to plain replay —
+the snapshot is pure optimization, never load-bearing.
+
 Records *newer* than that recovery point whose outcome is still
 undecided form the actor's **in-doubt tail**: sub-batches it voted for
 and ACTs it prepared whose commit decisions were in flight when the
@@ -23,14 +30,17 @@ from __future__ import annotations
 
 import copy
 import warnings
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Set
 
 from repro.persistence.records import (
     ActCommitRecord,
     ActPrepareRecord,
+    BatchAbortRecord,
     BatchCommitRecord,
     BatchCompleteRecord,
     CoordCommitRecord,
+    SnapshotRecord,
 )
 
 #: tags delta payloads in state records (incremental logging, §5.4.2).
@@ -56,6 +66,25 @@ def is_delta(payload: Any) -> bool:
     )
 
 
+@dataclass
+class RecoveryResult:
+    """What :func:`recover_state_ex` reconstructed, and from how much log.
+
+    ``frontier_lsn`` is the LSN of the newest covered record embedded in
+    ``state`` (the snapshot's frontier if nothing newer was replayed,
+    ``-1`` if the actor has no committed history at all) — the exact
+    value a later snapshot of this state must carry.  ``replayed`` is
+    the number of covered state records applied past the snapshot seed;
+    with a fresh snapshot it is the bounded-recovery guarantee made
+    countable.
+    """
+
+    state: Any
+    frontier_lsn: int = -1
+    replayed: int = 0
+    snapshot: Optional[SnapshotRecord] = None
+
+
 def recover_state(
     actor_id: Any,
     loggers: Any,
@@ -67,11 +96,26 @@ def recover_state(
     ``state`` is the actor's initial state; it is returned unchanged
     when logging is disabled or no covered record exists.
     """
+    return recover_state_ex(actor_id, loggers, state, apply_delta).state
+
+
+def recover_state_ex(
+    actor_id: Any,
+    loggers: Any,
+    state: Any,
+    apply_delta: Callable[[Any, List[Any]], Any],
+    *,
+    use_snapshots: bool = True,
+) -> RecoveryResult:
+    """:func:`recover_state`, plus the frontier/replay accounting the
+    snapshot subsystem needs.  ``use_snapshots=False`` forces the
+    replay-from-zero path (the chaos oracle's C8 baseline)."""
     if not loggers.enabled:
-        return state
+        return RecoveryResult(state)
     committed_bids: Set[int] = set()
     committed_tids: Set[int] = set()
     state_records: List[Any] = []
+    snapshot: Optional[SnapshotRecord] = None
     for record in loggers.all_records():
         if isinstance(record, BatchCommitRecord):
             committed_bids.add(record.bid)
@@ -83,27 +127,36 @@ def recover_state(
         elif isinstance(record, ActPrepareRecord):
             if record.actor == actor_id and record.state is not None:
                 state_records.append(record)
+        elif isinstance(record, SnapshotRecord):
+            if use_snapshots and record.actor == actor_id:
+                if snapshot is None or record.lsn > snapshot.lsn:
+                    snapshot = record
+    floor = snapshot.frontier_lsn if snapshot is not None else -1
     covered = sorted(
         (
             r for r in state_records
-            if (isinstance(r, BatchCompleteRecord)
-                and r.bid in committed_bids)
-            or (isinstance(r, ActPrepareRecord)
-                and r.tid in committed_tids)
+            if r.lsn > floor
+            and ((isinstance(r, BatchCompleteRecord)
+                  and r.bid in committed_bids)
+                 or (isinstance(r, ActPrepareRecord)
+                     and r.tid in committed_tids))
         ),
         key=lambda r: r.lsn,
     )
+    if snapshot is not None:
+        state = copy.deepcopy(snapshot.state)
     if not covered:
-        return state
+        return RecoveryResult(state, floor, 0, snapshot)
     # start from the latest full-state record (if any), then replay
-    # the delta records logged after it (incremental logging, §5.4.2)
+    # the delta records logged after it (incremental logging, §5.4.2);
+    # a snapshot seed is itself a full base for an all-delta tail.
     base_index = -1
     for index, record in enumerate(covered):
         if not is_delta(record.state):
             base_index = index
     if base_index >= 0:
         state = copy.deepcopy(covered[base_index].state)
-    else:
+    elif snapshot is None:
         # Every covered record is a delta.  Replaying them onto the
         # *initial* state is only sound when the chain really starts at
         # the actor's birth; if an earlier full snapshot exists anywhere
@@ -128,7 +181,7 @@ def recover_state(
     for record in covered[base_index + 1:]:
         delta = copy.deepcopy(record.state[1])
         state = apply_delta(state, delta)
-    return state
+    return RecoveryResult(state, covered[-1].lsn, len(covered), snapshot)
 
 
 def in_doubt_tail(actor_id: Any, loggers: Any) -> List[Any]:
@@ -137,34 +190,56 @@ def in_doubt_tail(actor_id: Any, loggers: Any) -> List[Any]:
 
     These are the sub-batches the actor voted ``complete`` for and the
     ACTs it prepared whose coordinators had not (durably) decided when
-    the log was scanned — the 2PC in-doubt window.
+    the log was scanned — the 2PC in-doubt window.  With a durable
+    snapshot in the log, only post-frontier LSNs are walked: an
+    uncovered record at or below the frontier predates a commit the
+    actor later durably took, so its transaction is decided (it could
+    only have aborted) — it is garbage, not doubt.
     """
     if not loggers.enabled:
         return []
     committed_bids: Set[int] = set()
+    aborted_bids: Set[int] = set()
     committed_tids: Set[int] = set()
     state_records: List[Any] = []
+    floor = -1
     for record in loggers.all_records():
         if isinstance(record, BatchCommitRecord):
             committed_bids.add(record.bid)
+        elif isinstance(record, BatchAbortRecord):
+            aborted_bids.add(record.bid)
         elif isinstance(record, (ActCommitRecord, CoordCommitRecord)):
             committed_tids.add(record.tid)
         elif isinstance(record, (BatchCompleteRecord, ActPrepareRecord)):
             if record.actor == actor_id and record.state is not None:
                 state_records.append(record)
+        elif isinstance(record, SnapshotRecord):
+            if record.actor == actor_id:
+                floor = max(floor, record.frontier_lsn)
 
     def covered(record: Any) -> bool:
         if isinstance(record, BatchCompleteRecord):
             return record.bid in committed_bids
         return record.tid in committed_tids
 
+    def decided_abort(record: Any) -> bool:
+        # a vote whose batch has a durable cascade-abort decision is
+        # not doubt, it is garbage (a commit record for the same bid
+        # would have made it covered — commit wins).
+        return (
+            isinstance(record, BatchCompleteRecord)
+            and record.bid in aborted_bids
+        )
+
     recovery_point = max(
         (r.lsn for r in state_records if covered(r)), default=-1
     )
+    recovery_point = max(recovery_point, floor)
     return sorted(
         (
             r for r in state_records
-            if not covered(r) and r.lsn > recovery_point
+            if not covered(r) and not decided_abort(r)
+            and r.lsn > recovery_point
         ),
         key=lambda r: r.lsn,
     )
@@ -192,6 +267,7 @@ async def resolve_in_doubt_tail(
     apply_delta: Callable[[Any, List[Any]], Any],
     timeout: float,
     tail: Optional[List[Any]] = None,
+    on_adopt: Optional[Callable[[Any], None]] = None,
 ) -> Any:
     """2PC participant recovery: advance ``state`` through the actor's
     in-doubt tail as each record's commit decision resolves.
@@ -218,6 +294,9 @@ async def resolve_in_doubt_tail(
       period is *presumed abort*, and the walk continues: an aborted
       ACT's effects were undone on the live actor before any later
       record was logged, so later records do not embed them.
+
+    ``on_adopt`` fires once per adopted record (after its state is
+    folded in) so the caller can track the committed frontier.
     """
     if tail is None:
         # callers that already computed the tail (e.g. to report its
@@ -247,11 +326,25 @@ async def resolve_in_doubt_tail(
                 # abort and stop — later tail records embed this
                 # batch's speculative effects.
                 break
+            info = registry.batch(record.bid)
+            if info is None or info.status != "committed":
+                # The wait resolved through the commit *watermark*, not
+                # an explicit commit entry: a silo recovery reset the
+                # registry while we waited, and the new chain's commits
+                # pushed the watermark past this pre-crash bid.  The
+                # recovery commit rule already judged the batch (no
+                # commit record on file means presumed abort) — adopting
+                # here would resurrect a cascade-aborted batch's effects.
+                break
             state = _adopt(state, record, apply_delta)
+            if on_adopt is not None:
+                on_adopt(record)
         else:
             if not _act_decided_commit(loggers, record.tid):
                 await sleep(timeout)
                 if not _act_decided_commit(loggers, record.tid):
                     continue  # presumed abort; undo already ran
             state = _adopt(state, record, apply_delta)
+            if on_adopt is not None:
+                on_adopt(record)
     return state

@@ -34,13 +34,16 @@ from repro.core.registry import CommitRegistry
 from repro.obs.instruments import MetricsRegistry
 from repro.persistence.logger import LoggerGroup
 from repro.persistence.records import (
+    BatchAbortRecord,
     BatchCommitRecord,
     BatchCompleteRecord,
     BatchInfoRecord,
     CoordCommitRecord,
     CoordPrepareRecord,
+    SnapshotRecord,
 )
 from repro.runtime import as_backend, create_backend
+from repro.runtime.sync import Condition
 from repro.trace import SYSTEM_TID
 
 COORDINATOR_KIND = "snapper-coordinator"
@@ -85,9 +88,17 @@ class SnapperSystem:
             cpu=self.runtime.cpu_of,
             log_dir=self.config.log_dir,
             io_factory=self.backend.io_device,
+            wal_segment_bytes=self.config.wal_segment_bytes,
         )
+        self.controller.loggers = self.loggers
         self._token_active = False
         self._token_epoch = 0
+        #: silo-down window: True between :meth:`crash_silo` and the end
+        #: of :meth:`recover`.  Transactional actors must not activate
+        #: inside it — their recovery scan would race the WAL resolution
+        #: and registry reset (see ``services["silo_gate"]``).
+        self._silo_down = False
+        self._silo_gate = Condition(label="silo-gate")
 
         #: the metrics registry (``repro.obs``), live only when
         #: ``SnapperConfig(observability=True)``: a disabled registry
@@ -105,6 +116,14 @@ class SnapperSystem:
         services["coordinator_for"] = self._coordinator_for
         services["token_active"] = lambda: self._token_active
         services["token_epoch"] = lambda: self._token_epoch
+        #: awaited at the top of ``TransactionalActor.on_activate``: an
+        #: actor touched between a silo crash and the end of recovery
+        #: must not rebuild its state from a WAL whose in-doubt tail is
+        #: still being resolved (it could adopt a batch recovery is
+        #: about to presume aborted, or miss one recovery is about to
+        #: commit).  Coordinators are *not* gated — ``reinitiate_token``
+        #: runs inside ``recover()`` and must be able to activate one.
+        services["silo_gate"] = self._wait_silo_up
         #: the runtime access sanitizer (``docs/analysis.md``): live only
         #: under ``SnapperConfig(sanitize_access_sets=True)``; with it
         #: off, no service exists and contexts carry no declaration.
@@ -114,11 +133,26 @@ class SnapperSystem:
 
             self.sanitizer = AccessSanitizer(self.controller)
             services["access_sanitizer"] = self.sanitizer
+        #: the snapshot service (``repro.snapshot``): live only when the
+        #: config asks for snapshots or a residency budget; with it off,
+        #: no SnapshotRecord is ever written and the WAL is bit-for-bit
+        #: what it was before the subsystem existed.
+        self.snapshots = None
+        if (self.config.snapshot_interval is not None
+                or self.config.max_resident_actors is not None):
+            from repro.snapshot import SnapshotService
+
+            self.snapshots = SnapshotService(
+                self.runtime, self.loggers, self.registry, self.config
+            )
+            services["snapshots"] = self.snapshots
         if self.obs.enabled:
             services["obs"] = self.obs
             self.runtime.attach_obs(self.obs)
             self.loggers.attach_obs(self.obs)
             self.controller.attach_obs(self.obs)
+            if self.snapshots is not None:
+                self.snapshots.attach_obs(self.obs)
 
         self.runtime.register(COORDINATOR_KIND, CoordinatorActor)
         self._place_coordinators()
@@ -168,6 +202,8 @@ class SnapperSystem:
         if self._token_active:
             return
         self._token_active = True
+        if self.snapshots is not None:
+            self.snapshots.start()
         self._coordinator_by_key(0).call(
             "receive_token", Token(epoch=self._token_epoch)
         )
@@ -176,6 +212,8 @@ class SnapperSystem:
         """Stop the token (and close file-backed logs, if any); the
         simulation can then drain naturally."""
         self._token_active = False
+        if self.snapshots is not None:
+            self.snapshots.stop()
         self.loggers.close()
 
     def submit(self, request: TxnRequest) -> TxnHandle:
@@ -256,9 +294,15 @@ class SnapperSystem:
         the SSD in the paper's deployment.
         """
         self._token_active = False
+        self._silo_down = True
         killed = self.runtime.kill_all()
         self._trace_system("silo_crash", {"killed": killed})
         return killed
+
+    async def _wait_silo_up(self) -> None:
+        """Block while the silo is down (``services["silo_gate"]``)."""
+        if self._silo_down:
+            await self._silo_gate.wait_until(lambda: not self._silo_down)
 
     async def recover(self) -> None:
         """Bring the system back after :meth:`crash_silo`.
@@ -271,19 +315,31 @@ class SnapperSystem:
         committed state from the WAL on next activation.
         """
         committed_bids: Set[int] = set()
+        aborted_bids: Set[int] = set()
         complete_votes: Dict[int, Set[Any]] = {}
         batch_infos: Dict[int, BatchInfoRecord] = {}
         max_tid = -1
+        # Snapshots carry the watermarks of everything truncated behind
+        # them: a batch whose records were dropped was committed at or
+        # below some snapshot's bid, and the tid space must restart
+        # above anything the vanished records could have named.
+        snapshot_bid_floor = -1
         for record in self.loggers.all_records():
             if isinstance(record, BatchInfoRecord):
                 batch_infos[record.bid] = record
                 max_tid = max(max_tid, record.bid)
             elif isinstance(record, BatchCommitRecord):
                 committed_bids.add(record.bid)
+            elif isinstance(record, BatchAbortRecord):
+                aborted_bids.add(record.bid)
+                max_tid = max(max_tid, record.bid)
             elif isinstance(record, BatchCompleteRecord):
                 complete_votes.setdefault(record.bid, set()).add(record.actor)
             elif isinstance(record, (CoordPrepareRecord, CoordCommitRecord)):
                 max_tid = max(max_tid, record.tid)
+            elif isinstance(record, SnapshotRecord):
+                snapshot_bid_floor = max(snapshot_bid_floor, record.bid)
+                max_tid = max(max_tid, record.bid, record.tid_highwater)
         resolved_commits = 0
         presumed_aborts = 0
         # Batches commit strictly in bid order, and under speculative
@@ -297,10 +353,21 @@ class SnapperSystem:
         #  * once one in-doubt batch aborts, every later in-doubt batch
         #    aborts with it — its snapshot may embed the aborted
         #    effects.
-        max_committed_bid = max(committed_bids, default=-1)
+        max_committed_bid = max(
+            max(committed_bids, default=-1), snapshot_bid_floor
+        )
         abort_point: Optional[int] = None
         for bid, info in sorted(batch_infos.items()):
             if bid in committed_bids:
+                continue
+            if bid in aborted_bids:
+                # decided, not in doubt: the cascade write-aheads its
+                # abort decisions (BatchAbortRecord), so the commit rule
+                # must not resurrect this batch however complete its
+                # votes look.  Batches registered after the cascade
+                # carry post-rollback state, so the abort dooms nothing
+                # later.
+                presumed_aborts += 1
                 continue
             votes = complete_votes.get(bid, set())
             if (
@@ -322,6 +389,10 @@ class SnapperSystem:
         # fresh in-memory protocol state + a new token (§4.2.5).
         self.registry.reset()
         self.reinitiate_token(max_tid)
+        # the WAL's in-doubt tail is resolved and the registry rebuilt:
+        # reopen the activation gate for transactional actors.
+        self._silo_down = False
+        self._silo_gate.notify_all()
         self._trace_system(
             "recovery",
             {
@@ -351,6 +422,10 @@ class SnapperSystem:
                 elif isinstance(record,
                                 (CoordPrepareRecord, CoordCommitRecord)):
                     max_logged_tid = max(max_logged_tid, record.tid)
+                elif isinstance(record, SnapshotRecord):
+                    max_logged_tid = max(
+                        max_logged_tid, record.bid, record.tid_highwater
+                    )
         self._token_epoch += 1
         token = Token(epoch=self._token_epoch)
         token.last_tid = max(
@@ -361,7 +436,7 @@ class SnapperSystem:
 
     # -- statistics ---------------------------------------------------------------
     def stats(self) -> Dict[str, Any]:
-        return {
+        stats = {
             "messages_sent": self.runtime.messages_sent,
             "cpu_busy_time": self.runtime.cpu.busy_time,
             "log_records": self.loggers.records_persisted(),
@@ -370,3 +445,10 @@ class SnapperSystem:
             "batches_aborted": self.registry.batches_aborted,
             "cascading_aborts": self.controller.cascades,
         }
+        # only when the service is live: the snapshots-off stats surface
+        # must stay bit-identical to pre-subsystem pins (BENCH_core).
+        if self.snapshots is not None:
+            stats["snapshots_taken"] = self.snapshots.snapshots_taken
+            stats["records_truncated"] = self.snapshots.records_truncated
+            stats["evictions"] = self.snapshots.evictions
+        return stats

@@ -45,7 +45,7 @@ from repro.core.engine import (
     HybridScheduler,
     PactExecutor,
     SerializabilityGuard,
-    recover_state,
+    recover_state_ex,
     resolve_concurrency_control,
 )
 from repro.core.engine.recovery import (
@@ -54,7 +54,7 @@ from repro.core.engine.recovery import (
     resolve_in_doubt_tail,
 )
 from repro.core.locks import ActorLock
-from repro.obs.instruments import registry_from_services
+from repro.obs.instruments import LATENCY_BUCKETS, registry_from_services
 from repro.core.schedule import LocalSchedule
 from repro.errors import SimulationError
 
@@ -104,6 +104,13 @@ class TransactionalActor(Actor):
     # lifecycle: wire the engine layers
     # ------------------------------------------------------------------
     async def on_activate(self) -> None:
+        # A touch between crash_silo() and the end of recover() must not
+        # rebuild state from a WAL whose in-doubt tail is mid-resolution
+        # (wrongly adopting a batch recovery presumes aborted, or missing
+        # one recovery is about to commit).  Wait the window out.
+        gate = self.runtime.services.get("silo_gate")
+        if gate is not None:
+            await gate()
         self._config: SnapperConfig = self.runtime.service("snapper_config")
         self._loggers = self.runtime.service("loggers")
         self._registry = self.runtime.service("registry")
@@ -127,12 +134,24 @@ class TransactionalActor(Actor):
         self._acts = ActExecutor(self, self._scheduler, guard, cc, self._lock)
         self._pact = PactExecutor(self, self._scheduler, self._acts)
 
+        activate_from = self.runtime.loop.now
         #: (tid, entry) changes since the last persist (incremental mode).
         self._delta_buffer: List[tuple] = []
         self._state = self.initial_state()
-        self._state = recover_state(
+        #: LSN of the newest durable state record embedded in
+        #: ``_committed_state`` — the frontier a snapshot of this actor
+        #: anchors to (``-1``: no committed history).  Per-actor state
+        #: records commit in LSN order (the schedule gates later turns on
+        #: earlier commit points), so a single max is exact.
+        self._committed_lsn = -1
+        recovered = recover_state_ex(
             self.id, self._loggers, self._state, self.apply_delta
         )
+        self._state = recovered.state
+        self._committed_lsn = recovered.frontier_lsn
+        #: covered records replayed past the snapshot seed at the last
+        #: reactivation (bounded-recovery accounting; see bench-recovery).
+        self._recovery_replayed = recovered.replayed
         # 2PC participant recovery: resolve work this actor prepared
         # whose commit decision was still in flight when it crashed.
         # The runtime holds the inbox closed until on_activate returns,
@@ -152,6 +171,7 @@ class TransactionalActor(Actor):
             self.apply_delta,
             timeout=self._config.batch_complete_timeout or 1.0,
             tail=tail,
+            on_adopt=self._note_adopted,
         )
         self._committed_state = copy.deepcopy(self._state)
         #: position of the actor's execution frontier in its local serial
@@ -163,6 +183,18 @@ class TransactionalActor(Actor):
         #: can never roll the committed state backwards.
         self._serial_seq = 0
         self._committed_seq = 0
+        if self._obs.enabled:
+            self._obs.histogram(
+                "snapper_snapshot_reactivation_seconds",
+                "Activation latency: WAL recovery + in-doubt resolution",
+                buckets=LATENCY_BUCKETS,
+            ).observe(self.runtime.loop.now - activate_from)
+
+    def _note_adopted(self, record: Any) -> None:
+        """An in-doubt record resolved to commit during reactivation:
+        its effects are now part of the committed state."""
+        if record.lsn > self._committed_lsn:
+            self._committed_lsn = record.lsn
 
     # ------------------------------------------------------------------
     # Table 1: StartTxn
@@ -305,6 +337,35 @@ class TransactionalActor(Actor):
     async def act_abort(self, tid: int) -> None:
         """RPC endpoint: 2PC abort decision (presumed abort: no logging)."""
         await self._acts.on_abort(tid)
+
+    # ------------------------------------------------------------------
+    # snapshot subsystem surface (repro.snapshot)
+    # ------------------------------------------------------------------
+    def snapshot_capture(self) -> Optional[Tuple[Any, int, int]]:
+        """``(committed state, frontier LSN, commit seq)`` — or None.
+
+        Synchronous and copy-free by design: the committed blob is
+        rebound, never mutated, once installed (the in-memory WAL
+        already shares these objects), and ``_committed_state`` /
+        ``_committed_lsn`` are always updated without an intervening
+        await, so the triple read here is consistent even mid-schedule.
+        This is what makes the snapshot *asynchronous*: capturing never
+        blocks or pauses the hybrid schedule.  Returns None when the
+        actor has no durably committed history to anchor a snapshot to.
+        """
+        if self._committed_lsn < 0:
+            return None
+        return self._committed_state, self._committed_lsn, self._committed_seq
+
+    def engine_quiescent(self) -> bool:
+        """No transaction in any stage on this actor — safe to deactivate
+        (an eviction between check and deactivation must not await)."""
+        return (
+            self._scheduler.schedule.is_empty()
+            and self._pact.is_idle()
+            and not self._acts.active_runs
+            and not self._delta_buffer
+        )
 
     # ------------------------------------------------------------------
     # host surface for the engine layers

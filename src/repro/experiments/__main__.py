@@ -6,6 +6,7 @@ Usage::
     REPRO_SCALE=paper python -m repro.experiments
     python -m repro.experiments bench-core      # pinned DES benchmark
     python -m repro.experiments bench-runtime   # SimBackend vs AsyncioBackend
+    python -m repro.experiments bench-recovery  # snapshots vs plain replay
     python -m repro.experiments bench-core --compare BENCH_core.json
                                 # delta table vs a baseline; exits 1 on
                                 # drift of any seed-determined field
@@ -27,6 +28,7 @@ from typing import List, Optional
 
 from repro.experiments import (
     ablations,
+    bench_recovery,
     bench_runtime,
     chaos_sweep,
     fig12_overhead,
@@ -53,10 +55,11 @@ def _bench_main(command: str, argv: List[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--out",
-        default=(
-            "BENCH_core.json" if command == "bench-core"
-            else "BENCH_runtime.json"
-        ),
+        default={
+            "bench-core": "BENCH_core.json",
+            "bench-runtime": "BENCH_runtime.json",
+            "bench-recovery": "BENCH_recovery.json",
+        }[command],
         help="output JSON path ('-' prints to stdout only)",
     )
     parser.add_argument(
@@ -69,11 +72,14 @@ def _bench_main(command: str, argv: List[str]) -> int:
         ),
     )
     args = parser.parse_args(argv)
+    module = bench_recovery if command == "bench-recovery" else bench_runtime
     if command == "bench-core":
         result = bench_runtime.bench_core(seed=args.seed)
+    elif command == "bench-recovery":
+        result = bench_recovery.bench_recovery(seed=args.seed)
     else:
         result = bench_runtime.bench_runtime(seed=args.seed)
-    print(bench_runtime.print_table(result))
+    print(module.print_table(result))
     if args.out != "-":
         with open(args.out, "w") as f:
             json.dump(result, f, indent=2, sort_keys=True)
@@ -90,17 +96,20 @@ def _bench_main(command: str, argv: List[str]) -> int:
                 file=sys.stderr,
             )
             return 2
-        text, pinned_match = bench_runtime.compare_table(baseline, result)
+        text, pinned_match = module.compare_table(baseline, result)
         print(text)
         drifted = not pinned_match
     if command == "bench-runtime" and not result["differential_match"]:
+        return 1
+    if command == "bench-recovery" and not (
+            result["recovery_match"] and result["bounded"]):
         return 1
     return 1 if drifted else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] in ("bench-core", "bench-runtime"):
+    if argv and argv[0] in ("bench-core", "bench-runtime", "bench-recovery"):
         return _bench_main(argv[0], argv[1:])
     if argv:
         print(f"unknown arguments: {argv}", file=sys.stderr)

@@ -1,0 +1,274 @@
+"""Pinned benchmark: bounded recovery with snapshots vs plain replay.
+
+``bench-recovery`` runs the same seeded SmallBank mix at growing scales
+(transactions *and* keyspace grow together) twice on the DES backend:
+
+``baseline``
+    Snapshots off.  The WAL keeps every record ever written, and
+    recovering an actor replays its full committed history — both grow
+    linearly with the scale.
+
+``snapshots``
+    The :mod:`repro.snapshot` service on, with a residency budget far
+    below the keyspace.  The sweep checkpoints actors, truncates the
+    WAL behind the machine-wide frontier, and deactivates cold actors —
+    so WAL length, replayed-records-per-recovery, and the resident set
+    all stay (roughly) flat as the scale grows.
+
+Every per-scale entry records the WAL length, the total records
+replayed by a full recovery pass over every actor, the resident
+activation count, and a digest of the recovered states; the two modes
+must recover **identical** states (``recovery_match``).  All of those
+are pure functions of the seed, so the pinned ``BENCH_recovery.json``
+doubles as a regression oracle via ``--compare`` (wall-clock fields are
+informational only).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.actors.runtime import _Activation
+from repro.core.config import SnapperConfig
+from repro.core.engine.recovery import recover_state_ex
+from repro.core.system import SnapperSystem
+from repro.core.transactional_actor import TransactionalActor
+from repro.api import TxnRequest
+from repro.persistence.records import SnapshotRecord
+from repro.runtime.kernel import gather, sleep, spawn
+from repro.workloads.smallbank import ACCOUNT_KIND, SnapperAccountActor
+
+#: (pacts, accounts) per scale step: keyspace grows with the load (so an
+#: unbounded run's resident set grows) but transactions dominate it (so
+#: WAL history, not the per-actor snapshot floor, is what truncation has
+#: to beat).
+SCALES = ((32, 4), (96, 12), (192, 24))
+
+#: the snapshot mode's knobs: sweep well inside the run's virtual
+#: duration, budget far below the largest keyspace.
+SNAPSHOT_OVERRIDES = {"snapshot_interval": 0.001, "max_resident_actors": 6}
+
+
+def _digest(payload: Any) -> str:
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _raise_on_delta(state: Any, delta: Any) -> Any:
+    raise AssertionError(
+        f"SmallBank logs full blobs; unexpected delta {delta!r}"
+    )
+
+
+def _run_scale(
+    seed: int,
+    pacts: int,
+    accounts: int,
+    overrides: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    config = SnapperConfig(
+        runtime_backend="sim",
+        batch_complete_timeout=30.0,
+        **(overrides or {}),
+    )
+    system = SnapperSystem(config=config, seed=seed)
+    system.register_actor(ACCOUNT_KIND, SnapperAccountActor)
+    system.start()
+    rng = random.Random(seed * 1_000_003 + accounts)
+
+    async def _submit(spec_keys: List[int]) -> None:
+        await system.submit(TxnRequest.pact(
+            ACCOUNT_KIND, spec_keys[0], "multi_transfer",
+            (1.0, spec_keys[1:]), access={k: 1 for k in spec_keys},
+        ))
+
+    async def _drive() -> None:
+        jobs = []
+        for _ in range(pacts):
+            keys = rng.sample(range(accounts), 3)
+            jobs.append(spawn(_submit(keys)))
+        await gather(*jobs)
+        if system.snapshots is not None:
+            # one settle sweep: frontiers current, WAL truncated, cold
+            # actors beyond the budget deactivated.
+            await system.snapshots.snapshot_sweep()
+            # let the eviction's spawned on_deactivate tasks run before
+            # the main future resolves and the loop stops.
+            await sleep(0.001)
+
+    system.run(_drive())
+
+    wal_records = 0
+    wal_bytes = 0
+    actor_ids = set()
+    for record in system.loggers.all_records():
+        wal_records += 1
+        wal_bytes += record.size_bytes()
+        if isinstance(record, SnapshotRecord) or (
+                getattr(record, "state", None) is not None):
+            actor_ids.add(record.actor)
+    resident = sum(
+        1 for activation in system.runtime._activations.values()
+        if activation.state == _Activation.ACTIVE
+        and isinstance(activation.actor, TransactionalActor)
+    )
+
+    # a full recovery pass: every actor that ever logged state, as a
+    # fresh activation would reconstruct it (snapshot seed + tail).
+    started = time.perf_counter()
+    replayed = 0
+    states = {}
+    for actor_id in sorted(actor_ids, key=str):
+        result = recover_state_ex(
+            actor_id, system.loggers, None, _raise_on_delta
+        )
+        replayed += result.replayed
+        states[str(actor_id)] = result.state
+    recovery_wall = time.perf_counter() - started
+
+    stats = system.stats()
+    system.shutdown()
+    system.backend.close()
+    entry = {
+        "pacts": pacts,
+        "accounts": accounts,
+        "wal_records": wal_records,
+        "wal_bytes": wal_bytes,
+        "replayed_records": replayed,
+        "resident_actors": resident,
+        "state_digest": _digest(states),
+        "recovery_wall_seconds": round(recovery_wall, 6),
+        "snapshots_taken": stats.get("snapshots_taken", 0),
+        "records_truncated": stats.get("records_truncated", 0),
+        "evictions": stats.get("evictions", 0),
+    }
+    return entry
+
+
+def accounts_last(modes: Dict[str, Any]) -> int:
+    """Flatness allowance: at most one replayed tail record per actor
+    (commits that landed after the final sweep's capture)."""
+    return modes["snapshots"][-1]["accounts"]
+
+
+def bench_recovery(seed: int = 0) -> Dict[str, Any]:
+    """Recovery cost vs WAL length, with and without snapshots."""
+    modes: Dict[str, Any] = {}
+    for mode, overrides in (
+        ("baseline", None),
+        ("snapshots", SNAPSHOT_OVERRIDES),
+    ):
+        modes[mode] = [
+            _run_scale(seed, pacts, accounts, overrides)
+            for pacts, accounts in SCALES
+        ]
+    # both modes must reconstruct identical committed states per scale.
+    recovery_match = all(
+        base["state_digest"] == snap["state_digest"]
+        for base, snap in zip(modes["baseline"], modes["snapshots"])
+    )
+    base_first, base_last = modes["baseline"][0], modes["baseline"][-1]
+    snap_first, snap_last = modes["snapshots"][0], modes["snapshots"][-1]
+    return {
+        "benchmark": "bench-recovery",
+        "backend": "sim",
+        "seed": seed,
+        "modes": modes,
+        "recovery_match": recovery_match,
+        # the bounded-recovery claim, made checkable: replay grows with
+        # the scale without snapshots and does not with them.
+        "baseline_replay_growth": round(
+            base_last["replayed_records"]
+            / max(1, base_first["replayed_records"]), 2),
+        "snapshot_replay_growth": round(
+            snap_last["replayed_records"]
+            / max(1, snap_first["replayed_records"]), 2),
+        "bounded": (
+            recovery_match
+            # replay work: grows ~6x across the scales without
+            # snapshots, must stay flat (and far below baseline) with.
+            and snap_last["replayed_records"] < base_last["replayed_records"]
+            and snap_last["replayed_records"] <= (
+                snap_first["replayed_records"] + accounts_last(modes))
+            and snap_last["wal_records"] < base_last["wal_records"]
+            and snap_last["resident_actors"] <= (
+                SNAPSHOT_OVERRIDES["max_resident_actors"])
+        ),
+    }
+
+
+#: per-scale fields whose drift means seed-determined behavior changed.
+_PINNED_FIELDS = (
+    "wal_records", "wal_bytes", "replayed_records", "resident_actors",
+    "state_digest", "snapshots_taken", "records_truncated", "evictions",
+)
+
+
+def _delta_cell(before: Any, after: Any) -> str:
+    if isinstance(before, (int, float)) and isinstance(after, (int, float)) \
+            and not isinstance(before, bool):
+        delta = after - before
+        if before:
+            return f"{delta:+g} ({delta / before:+.1%})"
+        return f"{delta:+g}"
+    return "" if before == after else "DRIFT"
+
+
+def compare_table(baseline: Dict[str, Any], result: Dict[str, Any]) -> tuple:
+    """Baseline-vs-current delta table; ``(text, pinned_match)``."""
+    lines = [f"-- vs baseline ({baseline['benchmark']}, "
+             f"seed {baseline['seed']}) --"]
+    lines.append(f"{'field':>44} {'baseline':>18} {'current':>18} delta")
+    pinned_match = True
+    for mode in ("baseline", "snapshots"):
+        for index, after_entry in enumerate(result["modes"][mode]):
+            before_entry = baseline["modes"][mode][index]
+            prefix = f"{mode}[{after_entry['pacts']}]"
+            for field in _PINNED_FIELDS + ("recovery_wall_seconds",):
+                before = before_entry[field]
+                after = after_entry[field]
+                cell = _delta_cell(before, after)
+                if field in _PINNED_FIELDS and before != after:
+                    pinned_match = False
+                    cell = (cell + " DRIFT").strip()
+                lines.append(
+                    f"{prefix + '.' + field:>44} {before!s:>18} "
+                    f"{after!s:>18} {cell}".rstrip()
+                )
+    for field in ("recovery_match", "bounded"):
+        if baseline[field] != result[field] or not result[field]:
+            pinned_match = False
+        lines.append(f"{field:>44} {baseline[field]!s:>18} "
+                     f"{result[field]!s:>18}")
+    lines.append(
+        "pinned fields match" if pinned_match
+        else "PINNED FIELD DRIFT: seed-determined behavior changed"
+    )
+    return "\n".join(lines), pinned_match
+
+
+def print_table(result: Dict[str, Any]) -> str:
+    lines = [f"== {result['benchmark']} (seed {result['seed']}) =="]
+    lines.append(
+        f"{'mode':>10} {'pacts':>6} {'wal':>6} {'replayed':>9} "
+        f"{'resident':>9} {'truncated':>10} digest"
+    )
+    for mode in ("baseline", "snapshots"):
+        for entry in result["modes"][mode]:
+            lines.append(
+                f"{mode:>10} {entry['pacts']:>6} {entry['wal_records']:>6} "
+                f"{entry['replayed_records']:>9} "
+                f"{entry['resident_actors']:>9} "
+                f"{entry['records_truncated']:>10} {entry['state_digest']}"
+            )
+    lines.append(
+        f"recovery_match={result['recovery_match']} "
+        f"bounded={result['bounded']} "
+        f"replay growth {result['baseline_replay_growth']}x (baseline) vs "
+        f"{result['snapshot_replay_growth']}x (snapshots)"
+    )
+    return "\n".join(lines)

@@ -37,32 +37,39 @@ def run(
     # transactions and faults each row sees.
     duration = max(1.0, scale.epochs * scale.epoch_duration)
     rows: List[Dict] = []
+    # Each multiplier runs twice: plain, and with the snapshot subsystem
+    # live (checkpoints + WAL truncation + cold-actor eviction, plus the
+    # snapshot-specific crash points) — C8 must hold at every rate.
     for multiplier in multipliers:
-        plan = FaultPlan.generate(
-            seed, duration=duration, rate_multiplier=multiplier
-        )
-        report = ChaosHarness(plan).run()
-        classes = report.class_tally
-        rows.append({
-            "multiplier": multiplier,
-            "faults": sum(plan.counts().values()),
-            "txns": report.num_txns,
-            "committed": classes.get("committed", 0),
-            "aborted": classes.get("definite_abort", 0),
-            "in_doubt": classes.get("in_doubt", 0),
-            "committed_tps": classes.get("committed", 0) / duration,
-            "oracle_ok": report.ok,
-        })
+        for snapshots in (False, True):
+            plan = FaultPlan.generate(
+                seed, duration=duration, rate_multiplier=multiplier,
+                snapshots=snapshots,
+            )
+            report = ChaosHarness(plan, snapshots=snapshots).run()
+            classes = report.class_tally
+            rows.append({
+                "multiplier": multiplier,
+                "snapshots": snapshots,
+                "faults": sum(plan.counts().values()),
+                "txns": report.num_txns,
+                "committed": classes.get("committed", 0),
+                "aborted": classes.get("definite_abort", 0),
+                "in_doubt": classes.get("in_doubt", 0),
+                "committed_tps": classes.get("committed", 0) / duration,
+                "oracle_ok": report.ok,
+            })
     return rows
 
 
 def print_table(rows: List[Dict]) -> str:
     table = format_table(
-        ["fault rate x", "faults", "txns", "committed", "aborted",
-         "in doubt", "committed tps", "oracle"],
+        ["fault rate x", "snapshots", "faults", "txns", "committed",
+         "aborted", "in doubt", "committed tps", "oracle"],
         [
             [
                 r["multiplier"],
+                "on" if r.get("snapshots") else "off",
                 r["faults"],
                 r["txns"],
                 r["committed"],

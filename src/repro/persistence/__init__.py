@@ -21,6 +21,7 @@ from repro.persistence.logger import Logger, LoggerGroup
 from repro.persistence.records import (
     ActCommitRecord,
     ActPrepareRecord,
+    BatchAbortRecord,
     BatchCommitRecord,
     BatchCompleteRecord,
     BatchInfoRecord,
@@ -35,6 +36,7 @@ __all__ = [
     "BatchInfoRecord",
     "BatchCompleteRecord",
     "BatchCommitRecord",
+    "BatchAbortRecord",
     "CoordPrepareRecord",
     "ActPrepareRecord",
     "ActCommitRecord",

@@ -123,6 +123,7 @@ class LoggerGroup:
         cpu_per_byte: float = 10e-9,
         log_dir: Optional[str] = None,
         io_factory: Optional[Callable[..., Any]] = None,
+        wal_segment_bytes: Optional[int] = None,
     ):
         """``log_dir`` switches the WALs from in-memory lists to pickle
         files on disk (one per logger), so committed state survives the
@@ -156,7 +157,10 @@ class LoggerGroup:
                 import os
 
                 wal = WriteAheadLog(
-                    FileLogStorage(os.path.join(log_dir, f"log{i}.bin"))
+                    FileLogStorage(
+                        os.path.join(log_dir, f"log{i}.bin"),
+                        segment_bytes=wal_segment_bytes,
+                    )
                 )
             self.loggers.append(
                 Logger(
@@ -238,6 +242,23 @@ class LoggerGroup:
     def truncate(self) -> None:
         for logger in self.loggers:
             logger.wal.truncate()
+
+    def truncate_upto(self, lsn: int) -> Tuple[int, int]:
+        """Reclaim records at or below ``lsn`` across every logger.
+
+        Safe only when ``lsn`` is at or below the machine-wide snapshot
+        frontier (see :mod:`repro.snapshot`): every state record that
+        low is embedded in a durable snapshot, and every commit record
+        that low covers only such records.  Returns the total
+        ``(records, bytes)`` dropped.
+        """
+        records = 0
+        size = 0
+        for logger in self.loggers:
+            r, b = logger.wal.truncate_upto(lsn)
+            records += r
+            size += b
+        return records, size
 
     def close(self) -> None:
         """Close file-backed storage (no-op for in-memory logs)."""

@@ -103,6 +103,22 @@ class BatchCommitRecord(LogRecord):
     bid: int
 
 
+@dataclass(frozen=True)
+class BatchAbortRecord(LogRecord):
+    """Cascading-abort decision for one batch, persisted by the abort
+    controller *before* any waiter learns of the abort.
+
+    Without it the decision lives only in the commit registry: a crash
+    after the abort was externalized would leave the batch fully voted
+    in the WAL, and the recovery commit rule (§4.2.4) would resurrect
+    it — on exactly the actors that logged nothing afterwards, breaking
+    atomicity.  A durable commit record for the same bid wins (the
+    batch committed during the abort flush and the abort was never
+    externalized)."""
+
+    bid: int
+
+
 # -- ACT records (Fig. 7) ---------------------------------------------------
 
 
@@ -148,3 +164,40 @@ class CoordCommitRecord(LogRecord):
     """2PC coordinator's commit decision record."""
 
     tid: int
+
+
+# -- snapshots (repro.snapshot) ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class SnapshotRecord(LogRecord):
+    """A full committed-state checkpoint of one actor.
+
+    Written by the :mod:`repro.snapshot` manager through the normal
+    group-commit path.  ``frontier_lsn`` is the LSN of the covered state
+    record whose commit produced ``state``: recovery seeded from this
+    snapshot replays only records with a higher LSN.  ``state`` is always
+    the *full* committed blob — even for incremental-logging actors —
+    so a snapshot is a valid delta-chain base on its own.
+
+    ``bid`` / ``tid_highwater`` capture the commit registry's watermarks
+    at snapshot time; silo recovery folds them into its max-tid scan so
+    WAL truncation can never make a fresh token reuse transaction ids.
+    """
+
+    actor: Any
+    state: Any
+    frontier_lsn: int
+    #: the actor-local commit position (``_committed_seq``) at capture;
+    #: diagnostic only — ordering uses ``frontier_lsn``.
+    frontier_seq: int = 0
+    bid: int = -1
+    tid_highwater: int = -1
+    _size: int = field(default=-1, compare=False)
+
+    def size_bytes(self) -> int:
+        if self._size >= 0:
+            return self._size
+        size = RECORD_HEADER_BYTES + payload_size(self.state)
+        object.__setattr__(self, "_size", size)
+        return size

@@ -7,12 +7,21 @@ IO *cost* is modelled separately by the logger's
 :class:`~repro.sim.IoDevice`) and :class:`FileLogStorage`, which actually
 persists pickled records so recovery can be demonstrated across process
 boundaries in the examples.
+
+Both backends support **prefix truncation** (``truncate_upto``): once a
+snapshot frontier makes the records at or below an LSN redundant, the
+storage may drop them.  The file backend does this segment-wise — the
+active file rolls into sealed segments at ``segment_bytes``, and only
+segments *entirely* behind the frontier are deleted — so truncation
+never rewrites live data and the torn-tail repair still only ever
+touches the active file.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import re
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
 from repro.persistence.records import LogRecord
@@ -36,6 +45,25 @@ class InMemoryLogStorage:
     def truncate(self) -> None:
         self._records.clear()
 
+    def truncate_upto(self, lsn: int) -> Tuple[int, int]:
+        """Drop records with ``record.lsn <= lsn``; keep everything else.
+
+        Returns ``(records_dropped, bytes_dropped)``.  Records that were
+        never stamped with an LSN (``lsn == -1``) are kept — they are not
+        provably behind any frontier.
+        """
+        kept: List[LogRecord] = []
+        dropped_count = 0
+        dropped_bytes = 0
+        for record in self._records:
+            if 0 <= record.lsn <= lsn:
+                dropped_count += 1
+                dropped_bytes += record.size_bytes()
+            else:
+                kept.append(record)
+        self._records = kept
+        return dropped_count, dropped_bytes
+
     def close(self) -> None:
         """Nothing to release; present for storage-backend symmetry."""
 
@@ -46,8 +74,19 @@ class InMemoryLogStorage:
         self.close()
 
 
+#: sealed-segment filename suffix: ``<active path>.<seq>.seg``.
+_SEGMENT_RE = re.compile(r"\.(\d{6})\.seg$")
+
+
 class FileLogStorage:
-    """Record storage backed by a pickle-framed file on disk.
+    """Record storage backed by pickle-framed files on disk.
+
+    Without ``segment_bytes`` this is a single append-only file.  With
+    it, the active file rolls into a sealed, immutable segment
+    (``<path>.<seq>.seg``) whenever it reaches the byte budget, and
+    ``truncate_upto`` deletes sealed segments whose highest LSN is at or
+    below the frontier.  Scans read sealed segments oldest-first, then
+    the active file, preserving append order.
 
     Durability edges a crash can expose are handled explicitly:
 
@@ -55,42 +94,66 @@ class FileLogStorage:
       write itself fails partway the torn frame is truncated away so the
       log stays scannable.
     * ``scan`` stops cleanly at a torn tail record (the bytes a crash
-      mid-append leaves behind) instead of raising.
+      mid-append leaves behind) instead of raising.  Sealed segments are
+      fsynced whole before the roll, so a torn tail can only ever live
+      in the active file.
     * ``truncate`` fsyncs the emptied file, and ``close`` is idempotent;
       the storage is also a context manager.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, segment_bytes: Optional[int] = None):
         self.path = path
+        self.segment_bytes = segment_bytes
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._count = 0
         self._closed = False
+        #: sealed segments in append order: (path, record count, max lsn).
+        self._segments: List[Tuple[str, int, int]] = []
+        for seg_path in self._discover_segments():
+            _, count, max_lsn = self._file_meta(seg_path)
+            self._segments.append((seg_path, count, max_lsn))
+        self._count = 0
+        self._max_lsn = -1
         if os.path.exists(path) and os.path.getsize(path):
             # restart-time repair: a crash mid-append may have left a
             # torn frame at the tail; truncate back to the last whole
             # record so new appends land on a clean boundary.
-            valid, self._count = self._valid_prefix(path)
+            valid, self._count, self._max_lsn = self._file_meta(path)
             if valid < os.path.getsize(path):
                 with open(path, "r+b") as f:
                     f.truncate(valid)
         self._file = open(path, "ab")
 
+    def _discover_segments(self) -> List[str]:
+        directory = os.path.dirname(self.path) or "."
+        base = os.path.basename(self.path)
+        found = []
+        for name in os.listdir(directory):
+            if not name.startswith(base):
+                continue
+            match = _SEGMENT_RE.search(name[len(base):])
+            if match is not None and name == base + match.group(0):
+                found.append((int(match.group(1)),
+                              os.path.join(directory, name)))
+        return [path for _, path in sorted(found)]
+
     @staticmethod
-    def _valid_prefix(path: str) -> "Tuple[int, int]":
-        """Byte length and record count of the readable log prefix."""
+    def _file_meta(path: str) -> "Tuple[int, int, int]":
+        """Byte length, record count, and max LSN of the readable prefix."""
         offset = 0
         count = 0
+        max_lsn = -1
         with open(path, "rb") as f:
             while True:
                 try:
-                    pickle.load(f)
+                    record = pickle.load(f)
                 except (EOFError, pickle.UnpicklingError, AttributeError,
                         ValueError, IndexError, ImportError):
-                    return offset, count
+                    return offset, count, max_lsn
                 offset = f.tell()
                 count += 1
+                max_lsn = max(max_lsn, getattr(record, "lsn", -1))
 
     def append(self, record: LogRecord) -> None:
         if self._closed:
@@ -111,11 +174,30 @@ class FileLogStorage:
                 pass
             raise
         self._count += 1
+        self._max_lsn = max(self._max_lsn, record.lsn)
+        if (self.segment_bytes is not None
+                and self._file.tell() >= self.segment_bytes):
+            self._roll()
 
-    def scan(self) -> Iterator[LogRecord]:
-        if not self._closed:
-            self._file.flush()
-        with open(self.path, "rb") as f:
+    def _roll(self) -> None:
+        """Seal the active file as an immutable segment and start fresh."""
+        self._file.close()
+        next_seq = 0
+        if self._segments:
+            last = self._segments[-1][0]
+            match = _SEGMENT_RE.search(last)
+            if match is not None:
+                next_seq = int(match.group(1)) + 1
+        seg_path = f"{self.path}.{next_seq:06d}.seg"
+        os.replace(self.path, seg_path)
+        self._segments.append((seg_path, self._count, self._max_lsn))
+        self._count = 0
+        self._max_lsn = -1
+        self._file = open(self.path, "ab")
+
+    @staticmethod
+    def _scan_file(path: str) -> Iterator[LogRecord]:
+        with open(path, "rb") as f:
             while True:
                 try:
                     record = pickle.load(f)
@@ -128,16 +210,58 @@ class FileLogStorage:
                     return
                 yield record
 
+    def scan(self) -> Iterator[LogRecord]:
+        if not self._closed:
+            self._file.flush()
+        for seg_path, _, _ in self._segments:
+            yield from self._scan_file(seg_path)
+        yield from self._scan_file(self.path)
+
     def __len__(self) -> int:
-        return self._count
+        return self._count + sum(count for _, count, _ in self._segments)
 
     def truncate(self) -> None:
+        for seg_path, _, _ in self._segments:
+            try:
+                os.remove(seg_path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments = []
         self._file.close()
         self._file = open(self.path, "wb")
         self._file.flush()
         os.fsync(self._file.fileno())
         self._count = 0
+        self._max_lsn = -1
         self._closed = False
+
+    def truncate_upto(self, lsn: int) -> Tuple[int, int]:
+        """Delete sealed segments entirely at or below ``lsn``.
+
+        The active file is never rewritten: records below the frontier
+        that still share it (or a sealed segment with newer records)
+        survive until a later roll moves the boundary past them —
+        truncation here is an upper-bound space reclaim, never a
+        correctness mechanism.  Returns ``(records, bytes)`` dropped.
+        """
+        dropped_count = 0
+        dropped_bytes = 0
+        kept: List[Tuple[str, int, int]] = []
+        for seg_path, count, max_lsn in self._segments:
+            if 0 <= max_lsn <= lsn:
+                try:
+                    dropped_bytes += os.path.getsize(seg_path)
+                except OSError:  # pragma: no cover - racing cleanup
+                    pass
+                try:
+                    os.remove(seg_path)
+                except OSError:  # pragma: no cover - already gone
+                    pass
+                dropped_count += count
+            else:
+                kept.append((seg_path, count, max_lsn))
+        self._segments = kept
+        return dropped_count, dropped_bytes
 
     def close(self) -> None:
         if not self._closed:
@@ -189,6 +313,18 @@ class WriteAheadLog:
 
     def truncate(self) -> None:
         self.storage.truncate()
+
+    def truncate_upto(self, lsn: int) -> Tuple[int, int]:
+        """Reclaim records at or below ``lsn``; ``(records, bytes)`` dropped.
+
+        Storage backends without prefix truncation keep everything (a
+        safe no-op): truncation is an optimization over redundant data,
+        so recovery must never depend on it having happened.
+        """
+        truncate_upto = getattr(self.storage, "truncate_upto", None)
+        if truncate_upto is None:
+            return 0, 0
+        return truncate_upto(lsn)
 
     def close(self) -> None:
         close = getattr(self.storage, "close", None)

@@ -62,14 +62,25 @@ class Semaphore:
     def waiting(self) -> int:
         return sum(1 for w in self._waiters if not w.done())
 
-    def acquire(self) -> Future:
-        fut = Future(label=f"{self.label}.acquire")
+    async def acquire(self) -> None:
         if self._value > 0 and not self._waiters:
             self._value -= 1
-            fut.set_result(None)
-        else:
-            self._waiters.append(fut)
-        return fut
+            return
+        fut = Future(label=f"{self.label}.acquire")
+        self._waiters.append(fut)
+        try:
+            await fut
+        except BaseException:
+            # Cancelled while queued.  Mark the waiter done so
+            # ``release`` skips it — otherwise a grant lands on a
+            # future nobody consumes and the permit leaks forever
+            # (e.g. a CPU slot lost per turn task killed mid-queue).
+            if fut.done() and not fut.cancelled():
+                # The grant raced the cancellation: pass it on.
+                self.release()
+            else:
+                fut.cancel(f"{self.label}.acquire abandoned")
+            raise
 
     def release(self) -> None:
         while self._waiters:

@@ -1,0 +1,12 @@
+"""``repro.snapshot`` — asynchronous actor snapshots, WAL truncation,
+and the cold-actor residency lifecycle (bounded recovery).
+
+Off by default: without ``SnapperConfig(snapshot_interval=...)`` or
+``max_resident_actors=...`` no service is built, no ``SnapshotRecord``
+is ever written, and the WAL is bit-for-bit what it was before this
+subsystem existed.  See docs/snapshots.md.
+"""
+
+from repro.snapshot.service import DEFAULT_INTERVAL, SnapshotService
+
+__all__ = ["DEFAULT_INTERVAL", "SnapshotService"]

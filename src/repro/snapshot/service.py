@@ -1,0 +1,314 @@
+"""The snapshot service: asynchronous checkpoints, WAL truncation, and
+the cold-actor residency policy.
+
+One :class:`SnapshotService` runs per deployment (built by
+:class:`~repro.core.system.SnapperSystem` when ``snapshot_interval`` or
+``max_resident_actors`` is set).  On every tick it:
+
+1. **Snapshots** each resident transactional actor whose committed
+   frontier advanced since its last snapshot.  Capture is synchronous
+   and copy-free (:meth:`TransactionalActor.snapshot_capture`) — the
+   hybrid schedule never pauses; the :class:`SnapshotRecord` then rides
+   the ordinary group-commit path, and the actor's frontier is marked
+   *only after* the record is durable.  A crash at any point between
+   capture and mark simply leaves the old (or no) snapshot in force and
+   recovery degrades to plain log replay.
+
+2. **Truncates** the WAL behind the machine-wide snapshot frontier: the
+   minimum durable frontier over every actor that still has
+   state-bearing records on file.  One actor without a snapshot pins
+   the whole log (floor ``-1``), which is exactly the bounded-recovery
+   contract: a record may only be dropped once *no* actor could need it
+   for replay.  Dropped commit-decision records cannot resurrect or
+   lose transactions — every state record at or below the floor is
+   embedded in a durable snapshot, and an in-doubt record below the
+   floor is already decided (see ``engine/recovery.py``).
+
+3. **Enforces residency**: with ``max_resident_actors`` set, the
+   coldest quiescent transactional actors beyond the budget are
+   snapshotted and deactivated; the next PACT/ACT touch transparently
+   reactivates them from snapshot + WAL tail on either backend.
+
+:meth:`migrate_actor` composes the same three primitives into live
+migration: snapshot, deactivate, re-pin — the target silo replays only
+the tail.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.actors.ref import ActorId
+from repro.actors.runtime import _Activation
+from repro.core.transactional_actor import TransactionalActor
+from repro.obs.instruments import LATENCY_BUCKETS
+from repro.persistence.records import SnapshotRecord
+
+#: sweep period when only ``max_resident_actors`` asks for the service
+#: (residency needs a heartbeat even if the user never picked one).
+DEFAULT_INTERVAL = 0.05
+
+
+class SnapshotService:
+    """Periodic snapshot/truncate/evict sweeps over one silo."""
+
+    def __init__(
+        self,
+        runtime: Any,
+        loggers: Any,
+        registry: Any,
+        config: Any,
+        obs: Optional[Any] = None,
+    ):
+        self._runtime = runtime
+        self._loggers = loggers
+        self._registry = registry
+        self._config = config
+        self.interval = config.snapshot_interval or DEFAULT_INTERVAL
+        #: residency budget (None = unbounded, snapshots only).
+        self.max_resident = config.max_resident_actors
+        #: actor -> frontier LSN of its newest *durable* snapshot.  Only
+        #: ever advanced after the persist returns: the in-memory value
+        #: must never run ahead of the disk.
+        self._frontiers: Dict[ActorId, int] = {}
+        self._running = False
+        self._sweeping = False
+        #: lifetime counters (also mirrored to obs when attached).
+        self.snapshots_taken = 0
+        self.records_truncated = 0
+        self.bytes_truncated = 0
+        self.evictions = 0
+        self.sweep_failures = 0
+        #: test/chaos hook, fired *after* each nonzero truncation with
+        #: ``(records_dropped, bytes_dropped)`` — the chaos injector arms
+        #: its crash-on-truncate fault here.
+        self.on_truncate = None
+        # obs handles (attach_obs); None keeps the off path at one check.
+        self._obs_taken = None
+        self._obs_trunc_records = None
+        self._obs_trunc_bytes = None
+        self._obs_duration = None
+        self._obs_evictions = None
+        self._obs_resident = None
+
+    def attach_obs(self, obs: Any) -> None:
+        """Declare the subsystem's instruments on an obs registry."""
+        self._obs_taken = obs.counter(
+            "snapper_snapshot_taken_total",
+            "Actor snapshots made durable",
+        ).labels()
+        self._obs_trunc_records = obs.counter(
+            "snapper_snapshot_truncated_records_total",
+            "WAL records dropped behind the snapshot frontier",
+        ).labels()
+        self._obs_trunc_bytes = obs.counter(
+            "snapper_snapshot_truncated_bytes_total",
+            "WAL bytes reclaimed behind the snapshot frontier",
+        ).labels()
+        self._obs_duration = obs.histogram(
+            "snapper_snapshot_duration_seconds",
+            "Capture-to-durable latency of one actor snapshot",
+            buckets=LATENCY_BUCKETS,
+        ).labels()
+        self._obs_evictions = obs.counter(
+            "snapper_snapshot_evictions_total",
+            "Cold actors deactivated by the residency policy",
+        ).labels()
+        self._obs_resident = obs.gauge(
+            "snapper_registry_resident_actors_count",
+            "Resident transactional-actor activations after each sweep",
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> None:
+        """Arm the periodic sweep (idempotent)."""
+        if self._running:
+            return
+        self._running = True
+        self._runtime.backend.call_later(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Disarm the sweep; an in-flight sweep finishes on its own."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        if not self._sweeping:
+            self._runtime.backend.create_task(
+                self._sweep_task(), label="snapshot:sweep"
+            )
+        self._runtime.backend.call_later(self.interval, self._tick)
+
+    async def _sweep_task(self) -> None:
+        self._sweeping = True
+        try:
+            await self.snapshot_sweep()
+        except Exception:  # noqa: BLE001 - a failed WAL append (e.g. an
+            # injected fault) aborts this sweep only; the frontier was
+            # not advanced, and the next tick simply retries.
+            self.sweep_failures += 1
+        finally:
+            self._sweeping = False
+
+    # -- the sweep ----------------------------------------------------------
+    def _resident(self) -> List[Tuple[ActorId, Any]]:
+        """Live ``(actor_id, activation)`` pairs of transactional actors
+        (coordinators and plain actors are not the subsystem's business)."""
+        return [
+            (actor_id, activation)
+            for actor_id, activation in self._runtime._activations.items()
+            if activation.state == _Activation.ACTIVE
+            and isinstance(activation.actor, TransactionalActor)
+        ]
+
+    async def snapshot_sweep(self) -> int:
+        """One full pass: snapshot advanced actors, evict beyond the
+        residency budget, truncate the WAL.  Returns snapshots taken."""
+        taken = 0
+        resident = self._resident()
+        for actor_id, activation in resident:
+            if await self.snapshot_actor(actor_id, activation.actor):
+                taken += 1
+        if self.max_resident is not None:
+            await self._enforce_residency()
+        await self.truncate()
+        if self._obs_resident is not None:
+            self._obs_resident.set(len(self._resident()))
+        return taken
+
+    async def snapshot_actor(self, actor_id: ActorId, host: Any) -> bool:
+        """Checkpoint one actor's committed state if its frontier moved.
+
+        Never blocks the actor: the capture is a synchronous read of the
+        committed triple, and the actor keeps executing (even committing
+        past the captured frontier) while the record is in the logger's
+        group-commit queue.  The frontier table advances only once the
+        record is durable — the crash-safety hinge of the protocol.
+        """
+        captured = host.snapshot_capture()
+        if captured is None:
+            return False
+        state, frontier_lsn, frontier_seq = captured
+        if frontier_lsn <= self._frontiers.get(actor_id, -1):
+            return False  # nothing committed since the last snapshot
+        record = SnapshotRecord(
+            actor=actor_id,
+            state=state,
+            frontier_lsn=frontier_lsn,
+            frontier_seq=frontier_seq,
+            # recovery watermarks: a truncated log must still tell a
+            # recovering system how far bids/tids had advanced.
+            bid=self._registry.last_committed_bid,
+            tid_highwater=self._registry.tid_highwater,
+        )
+        started = self._runtime.backend.now
+        await self._loggers.persist(actor_id, record)
+        if record.lsn > self._frontiers.get(actor_id, -1):
+            self._frontiers[actor_id] = frontier_lsn
+        self.snapshots_taken += 1
+        if self._obs_taken is not None:
+            self._obs_taken.inc()
+            self._obs_duration.observe(self._runtime.backend.now - started)
+        return True
+
+    async def truncate(self) -> Tuple[int, int]:
+        """Drop WAL segments fully behind the machine-wide frontier.
+
+        The floor is the minimum durable snapshot frontier over every
+        actor with state-bearing records still on file; an actor without
+        any snapshot pins the floor at ``-1`` (nothing is dropped).  The
+        scan also re-seeds the frontier table from durable
+        ``SnapshotRecord``\\ s, so the floor survives service restarts.
+        """
+        needs_cover = set()
+        for record in self._loggers.all_records():
+            if isinstance(record, SnapshotRecord):
+                if record.frontier_lsn > self._frontiers.get(record.actor, -1):
+                    self._frontiers[record.actor] = record.frontier_lsn
+                # the snapshot itself is state the actor may have nowhere
+                # else: it must stay behind the floor too.  Its frontier
+                # (< its own LSN) is exactly the right per-actor limit —
+                # a floor at the frontier keeps the snapshot and its tail.
+                needs_cover.add(record.actor)
+            elif getattr(record, "state", None) is not None:
+                needs_cover.add(record.actor)
+        if not needs_cover:
+            return (0, 0)
+        floor = min(self._frontiers.get(a, -1) for a in needs_cover)
+        if floor < 0:
+            return (0, 0)
+        records, bytes_ = self._loggers.truncate_upto(floor)
+        if records:
+            self.records_truncated += records
+            self.bytes_truncated += bytes_
+            if self._obs_trunc_records is not None:
+                self._obs_trunc_records.inc(records)
+                self._obs_trunc_bytes.inc(bytes_)
+            if self.on_truncate is not None:
+                self.on_truncate(records, bytes_)
+        return (records, bytes_)
+
+    # -- residency ----------------------------------------------------------
+    def _evictable(self, activation: Any) -> bool:
+        """Safe to deactivate *right now*: no turn running, nothing
+        queued, no transaction in any engine stage.  Checked without an
+        intervening await before ``deactivate`` — the runtime drops a
+        deactivated actor's queued inbox, so the check and the pop must
+        see the same instant."""
+        return (
+            activation.state == _Activation.ACTIVE
+            and activation.turns_inflight == 0
+            and not activation.inbox
+            and activation.actor.engine_quiescent()
+        )
+
+    async def _enforce_residency(self) -> int:
+        """Deactivate the coldest quiescent actors beyond the budget."""
+        resident = self._resident()
+        excess = len(resident) - self.max_resident
+        if excess <= 0:
+            return 0
+        # coldest first — LRU over the runtime's own activity clock.
+        resident.sort(key=lambda pair: pair[1].last_active_at)
+        evicted = 0
+        for actor_id, activation in resident:
+            if evicted >= excess:
+                break
+            if not self._evictable(activation):
+                continue
+            # make the snapshot current first, so the reactivation tail
+            # is empty; the persist awaits, so re-check evictability and
+            # identity afterwards — a touch during the await wins.
+            await self.snapshot_actor(actor_id, activation.actor)
+            if (self._runtime._activations.get(actor_id) is not activation
+                    or not self._evictable(activation)):
+                continue
+            self._runtime.deactivate(actor_id)
+            evicted += 1
+            self.evictions += 1
+            if self._obs_evictions is not None:
+                self._obs_evictions.inc()
+        return evicted
+
+    # -- live migration (stretch) -------------------------------------------
+    async def migrate_actor(self, actor_id: ActorId, target_silo: int) -> bool:
+        """Move an actor between silos: snapshot, deactivate, re-pin.
+
+        The next touch reactivates it on ``target_silo`` from the fresh
+        snapshot plus whatever tail committed during the move.  Returns
+        False (and changes nothing) if the actor is mid-transaction.
+        """
+        activation = self._runtime._activations.get(actor_id)
+        if activation is not None:
+            if not isinstance(activation.actor, TransactionalActor):
+                return False
+            if not self._evictable(activation):
+                return False
+            await self.snapshot_actor(actor_id, activation.actor)
+            if (self._runtime._activations.get(actor_id) is not activation
+                    or not self._evictable(activation)):
+                return False
+            self._runtime.deactivate(actor_id)
+        self._runtime.pin_actor(actor_id, target_silo)
+        return True

@@ -61,6 +61,7 @@ def _run_specs(
     registrations: Dict[str, Any],
     specs: List[TxnSpec],
     probes: List[Tuple[str, Hashable, str, Any]],
+    config_overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Run ``specs`` concurrently on ``backend``, then read ``probes``.
 
@@ -68,8 +69,17 @@ def _run_specs(
     hiccup a loaded CI machine can produce: on the wall-clock backend
     the config's timeouts are *real* seconds, and a spurious timeout
     abort would (correctly) fail the equality check.
+
+    ``config_overrides`` lets differential tests flip config knobs that
+    must not change the canonical surface — e.g. snapshots plus a
+    residency budget (``snapshot_interval``, ``max_resident_actors``)
+    against the unbounded default.
     """
-    config = SnapperConfig(runtime_backend=backend, batch_complete_timeout=30.0)
+    config = SnapperConfig(
+        runtime_backend=backend,
+        batch_complete_timeout=30.0,
+        **(config_overrides or {}),
+    )
     system = SnapperSystem(config=config, seed=seed)
     for kind, factory in registrations.items():
         system.register_actor(kind, factory)
@@ -134,6 +144,7 @@ def run_smallbank(
     pacts: int = 16,
     acts: int = 4,
     txn_size: int = 3,
+    config_overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Seeded hybrid SmallBank: contended PACTs + disjoint ACTs.
 
@@ -172,7 +183,8 @@ def run_smallbank(
         (ACCOUNT_KIND, key, "balance", None) for key in range(total_accounts)
     ]
     return _run_specs(
-        backend, seed, {ACCOUNT_KIND: SnapperAccountActor}, specs, probes
+        backend, seed, {ACCOUNT_KIND: SnapperAccountActor}, specs, probes,
+        config_overrides=config_overrides,
     )
 
 
@@ -180,6 +192,7 @@ def run_tpcc(
     backend: str = "sim",
     seed: int = 0,
     payments: int = 12,
+    config_overrides: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Seeded TPC-C Payment mix (PACTs across 3 actor kinds).
 
@@ -212,4 +225,7 @@ def run_tpcc(
     for w, c_id in sorted(customers_touched):
         probes.append(("customer", w, "read_customer", c_id))
     registrations = tpcc_actor_families()["snapper"]
-    return _run_specs(backend, seed, registrations, specs, probes)
+    return _run_specs(
+        backend, seed, registrations, specs, probes,
+        config_overrides=config_overrides,
+    )

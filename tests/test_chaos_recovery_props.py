@@ -6,6 +6,8 @@ reconstruct a committed-consistent deployment — atomic per transaction,
 money conserved, balances derivable from the applied markers.
 """
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.actors.ref import ActorId
@@ -244,7 +246,12 @@ class RegistryStub:
         self.waited = []
 
     def batch(self, bid):
-        return object() if self.known else None
+        if not self.known:
+            return None
+        # a faithful double: the resolver re-checks ``status`` after the
+        # wait to tell explicit commit entries from watermark resolution.
+        status = "committed" if self.outcome == "commit" else "aborted"
+        return SimpleNamespace(status=status)
 
     async def wait_until_committed(self, bid, timeout=None):
         self.waited.append(bid)

@@ -205,3 +205,90 @@ def test_io_batched_write_cheaper_than_individual():
     individual = run([100] * 20)
     batched = run([100 * 20])
     assert batched < individual / 10
+
+
+# ---------------------------------------------------------------------------
+# cancellation while queued: permits must never leak
+# ---------------------------------------------------------------------------
+
+
+def test_cancelled_queued_waiter_does_not_eat_a_permit():
+    """A task killed while queued on ``acquire`` abandons its waiter;
+    ``release`` must skip it, not hand it the permit.  (Regression: a
+    silo crash cancelling queued turn tasks leaked one CPU slot each,
+    eventually wedging every later ``CpuPool.execute`` forever.)"""
+    loop = SimLoop()
+    semaphore = Semaphore(1)
+    completions = []
+
+    async def holder():
+        async with semaphore:
+            await sim.sleep(1)
+
+    async def worker(name):
+        async with semaphore:
+            completions.append(name)
+
+    async def main():
+        hold = sim.spawn(holder())
+        doomed = sim.spawn(worker("doomed"))
+        survivor = sim.spawn(worker("survivor"))
+        await sim.sleep(0.5)  # both workers are queued behind the holder
+        doomed.cancel("killed while queued")
+        await sim.gather(hold, survivor)
+        # the released permit must reach the live waiter, then free up
+        async with semaphore:
+            completions.append("after")
+
+    loop.run_until_complete(main())
+    assert completions == ["survivor", "after"]
+    assert semaphore.value == 1  # nothing leaked
+
+
+def test_cancellation_racing_a_grant_passes_the_permit_on():
+    """If the permit lands on a waiter in the same instant its task is
+    cancelled, ``acquire`` hands the grant to the next waiter instead of
+    swallowing it."""
+    loop = SimLoop()
+    semaphore = Semaphore(1)
+    completions = []
+
+    async def holder():
+        async with semaphore:
+            await sim.sleep(1)
+
+    async def worker(name):
+        async with semaphore:
+            completions.append(name)
+
+    async def main():
+        hold = sim.spawn(holder())
+        doomed = sim.spawn(worker("doomed"))
+        survivor = sim.spawn(worker("survivor"))
+        await sim.sleep(1)  # the holder releases *now*: grant in flight
+        doomed.cancel("cancelled at the instant of the grant")
+        await sim.gather(hold, survivor)
+        return semaphore.value
+
+    assert loop.run_until_complete(main()) == 1
+    assert completions == ["survivor"]
+
+
+def test_cpu_pool_survives_mass_cancellation_of_queued_work():
+    """The resource-level consequence: cancelling a crowd of queued jobs
+    leaves the pool at full capacity for later work."""
+    loop = SimLoop()
+    pool = CpuPool(2)
+
+    async def main():
+        tasks = [sim.spawn(pool.execute(1.0)) for _ in range(10)]
+        await sim.sleep(0.5)  # 2 running, 8 queued
+        for task in tasks[2:]:
+            task.cancel("silo crash")
+        await sim.gather(*tasks[:2])
+        before = loop.now
+        # the pool must still run 2-wide: 4 jobs in 2 seconds
+        await sim.gather(*[sim.spawn(pool.execute(1.0)) for _ in range(4)])
+        return loop.now - before
+
+    assert loop.run_until_complete(main()) == 2.0

@@ -1,0 +1,170 @@
+"""Segment-aware WAL truncation (docs/snapshots.md).
+
+The file backend rolls its active file into sealed, immutable segments
+and reclaims only segments entirely behind the snapshot frontier; the
+in-memory backend drops records individually.  Either way truncation is
+an upper-bound space reclaim, never a correctness mechanism — and the
+torn-tail repair keeps touching only the active file.
+"""
+
+import os
+
+from repro.persistence.records import BatchCommitRecord
+from repro.persistence.wal import (
+    FileLogStorage,
+    InMemoryLogStorage,
+    WriteAheadLog,
+)
+
+
+def _rec(lsn):
+    record = BatchCommitRecord(bid=lsn)
+    object.__setattr__(record, "lsn", lsn)
+    return record
+
+
+def _seg_files(path):
+    directory = os.path.dirname(path)
+    base = os.path.basename(path)
+    return sorted(
+        name for name in os.listdir(directory)
+        if name.startswith(base) and name.endswith(".seg")
+    )
+
+
+# ---------------------------------------------------------------------------
+# in-memory backend
+# ---------------------------------------------------------------------------
+
+
+def test_memory_truncate_upto_drops_prefix_only():
+    storage = InMemoryLogStorage()
+    for lsn in range(6):
+        storage.append(_rec(lsn))
+    dropped, freed = storage.truncate_upto(2)
+    assert dropped == 3
+    assert freed > 0
+    assert [r.lsn for r in storage.scan()] == [3, 4, 5]
+
+
+def test_memory_truncate_upto_keeps_unstamped_records():
+    """A record without an LSN is not provably behind any frontier."""
+    storage = InMemoryLogStorage()
+    storage.append(BatchCommitRecord(bid=1))  # lsn stays -1
+    storage.append(_rec(0))
+    dropped, _ = storage.truncate_upto(10)
+    assert dropped == 1
+    assert len(storage) == 1
+
+
+# ---------------------------------------------------------------------------
+# file backend: segment roll
+# ---------------------------------------------------------------------------
+
+
+def test_active_file_rolls_into_sealed_segments(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path, segment_bytes=1) as storage:
+        # a 1-byte budget seals after every append
+        for lsn in range(4):
+            storage.append(_rec(lsn))
+        assert len(_seg_files(path)) == 4
+        assert [r.lsn for r in storage.scan()] == [0, 1, 2, 3]
+        assert len(storage) == 4
+
+
+def test_reopen_discovers_sealed_segments(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path, segment_bytes=1) as storage:
+        for lsn in range(3):
+            storage.append(_rec(lsn))
+    with FileLogStorage(path, segment_bytes=1) as storage:
+        storage.append(_rec(3))
+        assert [r.lsn for r in storage.scan()] == [0, 1, 2, 3]
+        assert len(storage) == 4
+
+
+def test_truncate_upto_deletes_only_fully_covered_segments(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path, segment_bytes=1) as storage:
+        for lsn in range(5):
+            storage.append(_rec(lsn))
+        dropped, freed = storage.truncate_upto(2)
+        assert dropped == 3
+        assert freed > 0
+        assert len(_seg_files(path)) == 2
+        assert [r.lsn for r in storage.scan()] == [3, 4]
+
+
+def test_truncate_upto_never_rewrites_the_active_file(tmp_path):
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path) as storage:  # no rolling at all
+        for lsn in range(4):
+            storage.append(_rec(lsn))
+        dropped, freed = storage.truncate_upto(99)
+        assert (dropped, freed) == (0, 0)
+        assert [r.lsn for r in storage.scan()] == [0, 1, 2, 3]
+
+
+def test_mixed_lsn_segment_survives_truncation(tmp_path):
+    """A sealed segment holding one record above the frontier keeps its
+    whole contents: segments are immutable, all-or-nothing."""
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path, segment_bytes=200) as storage:
+        for lsn in range(6):
+            storage.append(_rec(lsn))
+        segments = len(_seg_files(path))
+        assert segments >= 1
+        # frontier inside the first sealed segment
+        dropped, _ = storage.truncate_upto(0)
+        assert dropped == 0
+        assert [r.lsn for r in storage.scan()] == [0, 1, 2, 3, 4, 5]
+
+
+# ---------------------------------------------------------------------------
+# torn tails stay an active-file-only concern
+# ---------------------------------------------------------------------------
+
+
+def test_torn_tail_in_active_file_tolerated_with_segments(tmp_path):
+    # ~250 bytes fits a couple of ~90-byte frames per segment, so the
+    # run ends with sealed segments *and* records in the active file.
+    path = str(tmp_path / "wal.log")
+    with FileLogStorage(path, segment_bytes=250) as storage:
+        for lsn in range(4):
+            storage.append(_rec(lsn))
+        sealed = [r.lsn for seg in _seg_files(path)
+                  for r in FileLogStorage._scan_file(str(tmp_path / seg))]
+        active = [r.lsn for r in storage.scan()]
+    assert sealed  # the roll happened
+    # chop bytes off the active file: a crash mid-append
+    with open(path, "r+b") as f:
+        f.seek(0, os.SEEK_END)
+        size = f.tell()
+        assert size > 0
+        f.truncate(size - 1)
+    with FileLogStorage(path, segment_bytes=250) as storage:
+        survivors = [r.lsn for r in storage.scan()]
+    # every sealed record survives; only the torn active record is lost
+    assert survivors[:len(sealed)] == sealed
+    assert len(survivors) == len(active) - 1
+
+
+def test_wal_truncate_upto_on_memoryless_backend_is_a_noop():
+    class Plain:
+        def __init__(self):
+            self._records = []
+
+        def append(self, record):
+            self._records.append(record)
+
+        def scan(self):
+            return iter(self._records)
+
+        def __len__(self):
+            return len(self._records)
+
+    wal = WriteAheadLog(storage=Plain())
+    wal.append(_rec(0))
+    assert wal.truncate_upto(10) == (0, 0)
+    assert len(wal) == 1
